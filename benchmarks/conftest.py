@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure benchmarks.
+
+Scale is controlled by the ``REPRO_BENCH_SF`` environment variable
+(default 0.005 ≈ 7 500 orders / 30 000 lineitems): large enough that the
+paper's series shapes are visible, small enough that the whole benchmark
+suite finishes in minutes on a laptop.  Set it to 0.02 or higher for
+slower, higher-resolution runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.bench import default_db
+
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.005"))
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    """The nullable-price database (the paper's featured general case)."""
+    return default_db(sf=BENCH_SF, seed=2005)
+
+
+@pytest.fixture(scope="session")
+def bench_db_not_null():
+    """Same data with NOT NULL declared on the price columns."""
+    return default_db(sf=BENCH_SF, seed=2005, price_not_null=True)

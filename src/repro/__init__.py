@@ -1,0 +1,114 @@
+"""repro — A Nested Relational Approach to Processing SQL Subqueries.
+
+Reproduction of Cao & Badia, SIGMOD 2005.  The package provides:
+
+* a flat relational engine with SQL three-valued logic
+  (:mod:`repro.engine`),
+* the paper's extended nested relational algebra — nest, linking
+  predicates, linking/pseudo selection — and the nested relational
+  evaluation strategies (:mod:`repro.core`),
+* a SQL front-end for the non-aggregate-subquery subset
+  (:mod:`repro.sql`),
+* the baselines the paper compares against (:mod:`repro.baselines`),
+* a TPC-H substrate and the paper's benchmark queries
+  (:mod:`repro.tpch`), and
+* the figure-by-figure benchmark harness (:mod:`repro.bench`).
+
+Quickstart::
+
+    import repro
+
+    db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+    sql = repro.tpch.query1("1993-01-01", "1994-01-01")
+    result = repro.run_sql(sql, db)                      # auto strategy
+    oracle = repro.run_sql(sql, db, strategy="nested-iteration")
+    assert result == oracle
+"""
+
+from . import engine
+from . import core
+from . import sql
+from . import baselines
+from . import tpch
+from .engine import (
+    Column,
+    Database,
+    Metrics,
+    NULL,
+    Relation,
+    Schema,
+    collect,
+    is_null,
+)
+from .core import (
+    Correlation,
+    LinkSpec,
+    NestedQuery,
+    NestedRelation,
+    NestedRelationalStrategy,
+    OptimizedNestedRelationalStrategy,
+    QueryBlock,
+    SetPredicate,
+    TreeExpression,
+    available_strategies,
+    choose_strategy,
+    execute,
+    linking_selection,
+    nest,
+    nest_sorted,
+    pseudo_selection,
+    unnest,
+)
+from .errors import ReproError
+from .sql import compile_sql, parse
+
+__version__ = "1.0.0"
+
+
+def run_sql(text: str, db: Database, strategy: str = "auto") -> Relation:
+    """Parse, analyze and execute SQL text against *db*.
+
+    *strategy* is a registry name from
+    :func:`repro.core.available_strategies` or ``"auto"``.
+    """
+    query = compile_sql(text, db)
+    return execute(query, db, strategy=strategy)
+
+
+__all__ = [
+    "engine",
+    "core",
+    "sql",
+    "baselines",
+    "tpch",
+    "NULL",
+    "is_null",
+    "Column",
+    "Schema",
+    "Relation",
+    "Database",
+    "Metrics",
+    "collect",
+    "NestedQuery",
+    "QueryBlock",
+    "LinkSpec",
+    "Correlation",
+    "NestedRelation",
+    "SetPredicate",
+    "TreeExpression",
+    "nest",
+    "nest_sorted",
+    "unnest",
+    "linking_selection",
+    "pseudo_selection",
+    "NestedRelationalStrategy",
+    "OptimizedNestedRelationalStrategy",
+    "available_strategies",
+    "choose_strategy",
+    "execute",
+    "compile_sql",
+    "parse",
+    "run_sql",
+    "ReproError",
+    "__version__",
+]

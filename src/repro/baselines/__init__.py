@@ -1,0 +1,31 @@
+"""Baseline evaluation strategies the paper compares against.
+
+* :class:`NestedIterationStrategy` — tuple-iteration SQL semantics,
+  the correctness oracle (Kim's starting point);
+* :class:`ClassicalUnnestingStrategy` — semijoin/antijoin rewrites with
+  NULL-soundness guards (Kim/Dayal-style);
+* :class:`SystemAEmulationStrategy` — the commercial optimizer
+  behaviour narrated in the paper's Section 5.2;
+* :class:`CountRewriteStrategy` — non-aggregate subqueries rewritten as
+  COUNT comparisons (the [1]/[6] family);
+* :class:`BooleanAggregateStrategy` — linking predicates as Boolean
+  aggregates over marked tuples (the [2] approach);
+* :class:`AggregateRewriteStrategy` — Kim's MAX/MIN rewrite of
+  inequality-quantified subqueries, with NULL-soundness guards.
+"""
+
+from .nested_iteration import NestedIterationStrategy
+from .unnesting import ClassicalUnnestingStrategy
+from .native import SystemAEmulationStrategy
+from .count_rewrite import CountRewriteStrategy
+from .boolean_aggregate import BooleanAggregateStrategy
+from .agg_rewrite import AggregateRewriteStrategy
+
+__all__ = [
+    "NestedIterationStrategy",
+    "ClassicalUnnestingStrategy",
+    "SystemAEmulationStrategy",
+    "CountRewriteStrategy",
+    "BooleanAggregateStrategy",
+    "AggregateRewriteStrategy",
+]

@@ -1,0 +1,47 @@
+"""Benchmark harness reproducing every figure of the paper's Section 5."""
+
+from .harness import (
+    Experiment,
+    SeriesPoint,
+    StrategyMeasurement,
+    block_sizes,
+    intermediate_result_size,
+    measure_strategy,
+    run_point,
+)
+from .plot import render_chart
+from .figures import (
+    PAPER_STRATEGIES,
+    ablation_not_null,
+    ablation_optimizations,
+    default_db,
+    figure4_query1,
+    figure5_query2a,
+    figure6_query2b,
+    figure7_query3a,
+    figure8_query3b,
+    figure9_query3c,
+    text_intermediate_results,
+)
+
+__all__ = [
+    "Experiment",
+    "SeriesPoint",
+    "StrategyMeasurement",
+    "block_sizes",
+    "intermediate_result_size",
+    "measure_strategy",
+    "run_point",
+    "PAPER_STRATEGIES",
+    "default_db",
+    "figure4_query1",
+    "figure5_query2a",
+    "figure6_query2b",
+    "figure7_query3a",
+    "figure8_query3b",
+    "figure9_query3c",
+    "text_intermediate_results",
+    "render_chart",
+    "ablation_not_null",
+    "ablation_optimizations",
+]

@@ -1,0 +1,321 @@
+"""Benchmark harness: run a query across strategies, collect series.
+
+The paper's figures plot elapsed time against the size of each query
+block; its text additionally reports the *intermediate result* size (the
+fully outer-joined relation the nested relational approach processes) and
+the time spent in nest + linking selection alone.  The harness reproduces
+all three: each :class:`SeriesPoint` records per-strategy wall time,
+deterministic cost counters, result cardinality, and the intermediate
+result size.
+
+Wall times on a pure-Python engine do not match a 2005 C++ DBMS; the
+*relations between* the series (who wins, by what factor, how slopes
+scale with block size) are the reproduction target.  EXPERIMENTS.md
+records both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from ..engine.catalog import Database
+from ..engine.metrics import Metrics, collect
+from ..core.blocks import NestedQuery
+from ..core.planner import make_strategy
+from ..core.reduce import reduce_all
+
+
+@dataclass
+class StrategyMeasurement:
+    """One strategy's run at one series point."""
+
+    strategy: str
+    seconds: float
+    result_rows: int
+    metrics: Dict[str, int]
+
+    @property
+    def cost(self) -> int:
+        """Disk-era deterministic cost (see ``Metrics.weighted_cost``)."""
+        from ..engine.metrics import IO_WEIGHTS
+
+        return sum(
+            value * IO_WEIGHTS.get(name, 1)
+            for name, value in self.metrics.items()
+        )
+
+    @property
+    def raw_cost(self) -> int:
+        """Unweighted counter sum (pure operation count)."""
+        return sum(self.metrics.values())
+
+
+@dataclass
+class SeriesPoint:
+    """One x-position of a figure: block sizes + per-strategy numbers."""
+
+    label: str
+    block_sizes: Tuple[int, ...]
+    intermediate_rows: int
+    measurements: Dict[str, StrategyMeasurement] = field(default_factory=dict)
+
+
+@dataclass
+class Experiment:
+    """A full figure/table: an ordered list of series points."""
+
+    experiment_id: str
+    title: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def strategies(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for name in point.measurements:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def format_table(self, metric: str = "seconds") -> str:
+        """Render the figure as an aligned text table.
+
+        *metric* is ``"seconds"``, ``"cost"`` or ``"rows"``.
+        """
+        strategies = self.strategies()
+        header = ["block sizes", "IR rows"] + strategies
+        rows: List[List[str]] = []
+        for point in self.points:
+            row = [point.label, str(point.intermediate_rows)]
+            for name in strategies:
+                m = point.measurements.get(name)
+                if m is None:
+                    row.append("-")
+                elif metric == "seconds":
+                    row.append(f"{m.seconds:.4f}")
+                elif metric == "cost":
+                    row.append(str(m.cost))
+                elif metric == "rows":
+                    row.append(str(m.result_rows))
+                else:
+                    row.append(str(m.metrics.get(metric, 0)))
+            rows.append(row)
+        widths = [len(h) for h in header]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            f"== {self.experiment_id}: {self.title} ({metric}) ==",
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def speedup(self, baseline: str, contender: str) -> List[float]:
+        """Per-point wall-time ratio baseline/contender (>1 = contender wins)."""
+        out = []
+        for point in self.points:
+            b = point.measurements.get(baseline)
+            c = point.measurements.get(contender)
+            if b is None or c is None or c.seconds == 0:
+                out.append(float("nan"))
+            else:
+                out.append(b.seconds / c.seconds)
+        return out
+
+
+def measure_strategy(
+    query: NestedQuery, db: Database, strategy_name: str, repeats: int = 1
+) -> StrategyMeasurement:
+    """Run one strategy, returning the best-of-*repeats* wall time."""
+    strategy = make_strategy(strategy_name)
+    best: Optional[float] = None
+    metrics_snapshot: Dict[str, int] = {}
+    result_rows = 0
+    for _ in range(max(1, repeats)):
+        with collect() as m:
+            start = time.perf_counter()
+            result = strategy.execute(query, db)
+            elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            metrics_snapshot = m.snapshot()
+            result_rows = len(result)
+    assert best is not None
+    return StrategyMeasurement(
+        strategy=strategy_name,
+        seconds=best,
+        result_rows=result_rows,
+        metrics=metrics_snapshot,
+    )
+
+
+def intermediate_result_size(query: NestedQuery, db: Database) -> int:
+    """Rows in the fully outer-joined intermediate relation.
+
+    This is the main cost parameter the paper reports ("one of the main
+    parameters we use is the size of the intermediate result").
+    """
+    from ..core.optimized import OptimizedNestedRelationalStrategy
+
+    reduced = reduce_all(query, db)
+    chain = list(query.root.walk())
+    if len(chain) == 1:
+        return len(reduced[1].relation)
+    if query.is_linear:
+        strategy = OptimizedNestedRelationalStrategy()
+        joined = strategy._join_chain(chain, reduced)
+        return len(joined)
+    # tree query: accumulate the join the original algorithm performs
+    total = 0
+    from ..engine.operators import LeftOuterHashJoin, CrossJoin, as_relation
+    from ..engine.expressions import conjoin
+
+    rel = reduced[query.root.index].relation
+    for child in query.root.walk():
+        if child is query.root:
+            continue
+        crel = reduced[child.index]
+        equi = [c for c in child.correlations if c.is_equality]
+        other = [c for c in child.correlations if not c.is_equality]
+        residual = conjoin([c.as_expr() for c in other]) if other else None
+        rel = as_relation(
+            LeftOuterHashJoin(
+                rel,
+                crel.relation,
+                [c.outer_ref for c in equi],
+                [c.inner_ref for c in equi],
+                residual=residual,
+            )
+        )
+    return len(rel)
+
+
+def block_sizes(query: NestedQuery, db: Database) -> Tuple[int, ...]:
+    """Reduced size |T_i| of every block, in DFS order (the paper's
+    'size of each query block' x-axis)."""
+    reduced = reduce_all(query, db)
+    return tuple(len(reduced[b.index].relation) for b in query.root.walk())
+
+
+@dataclass
+class ProcessingProfile:
+    """Section 5.2's in-text numbers for one query instance: the size of
+    the intermediate result and the time spent in nest + linking
+    selection alone, for the original (two passes) and the optimized
+    (one fused pass) nested relational approaches."""
+
+    label: str
+    intermediate_rows: int
+    original_seconds: float
+    optimized_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """original / optimized — the paper reports roughly 2x (two
+        passes versus one over the intermediate result)."""
+        if self.optimized_seconds == 0:
+            return float("inf")
+        return self.original_seconds / self.optimized_seconds
+
+
+def processing_profile(
+    sql: str, db: Database, repeats: int = 3
+) -> ProcessingProfile:
+    """Isolate the nest + linking-selection stage for a *linear* query.
+
+    Both variants are timed directly over the same pre-joined
+    intermediate relation (reduction and outer joins excluded), exactly
+    the quantity the paper reports as "the processing time of nest and
+    linking selection".  Original = one sort-based nest plus one linking
+    selection per level (two passes per level); optimized = the fused
+    single-pass pipeline.
+    """
+    from ..core.compute import set_predicate_for
+    from ..core.nest import nest_sorted
+    from ..core.optimized import (
+        OptimizedNestedRelationalStrategy,
+        _single_pass,
+    )
+    from ..core.selection import linking_selection, pseudo_selection
+
+    query = repro.compile_sql(sql, db)
+    if not query.is_linear:
+        raise ValueError("processing_profile requires a linear query")
+    chain = list(query.root.walk())
+    reduced = reduce_all(query, db)
+    joined = OptimizedNestedRelationalStrategy()._join_chain(chain, reduced)
+
+    owner: Dict[str, int] = {}
+    for idx, rb in reduced.items():
+        for ref in rb.attr_refs:
+            owner[ref] = idx
+
+    def original_stage() -> None:
+        rel = joined
+        for level in range(len(chain) - 1, 0, -1):
+            child = chain[level]
+            link = child.link
+            assert link is not None
+            crel = reduced[child.index]
+            path_indices = {b.index for b in chain[:level]}
+            by = [r for r in rel.schema.names if owner.get(r) in path_indices]
+            keep = [r for r in ((link.inner_ref,) if link.inner_ref else ())]
+            keep.append(crel.rid_ref)
+            nested = nest_sorted(rel, by, keep)
+            predicate = set_predicate_for(link)
+            if level == 1:
+                rel = linking_selection(
+                    nested, predicate, link.outer_ref, link.inner_ref,
+                    pk_ref=crel.rid_ref,
+                )
+            else:
+                node = chain[level - 1]
+                pad = [r for r in by if owner.get(r) == node.index]
+                rel = pseudo_selection(
+                    nested, predicate, link.outer_ref, link.inner_ref,
+                    pk_ref=crel.rid_ref, pad_refs=pad,
+                )
+
+    def optimized_stage() -> None:
+        _single_pass(chain, reduced, joined)
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    sizes = block_sizes(query, db)
+    return ProcessingProfile(
+        label="/".join(str(s) for s in sizes),
+        intermediate_rows=len(joined),
+        original_seconds=best(original_stage) if len(chain) > 1 else 0.0,
+        optimized_seconds=best(optimized_stage) if len(chain) > 1 else 0.0,
+    )
+
+
+def run_point(
+    sql: str,
+    db: Database,
+    strategies: Sequence[str],
+    label: Optional[str] = None,
+    repeats: int = 1,
+) -> SeriesPoint:
+    """Measure every strategy on one query instance."""
+    query = repro.compile_sql(sql, db)
+    sizes = block_sizes(query, db)
+    point = SeriesPoint(
+        label=label or "/".join(str(s) for s in sizes),
+        block_sizes=sizes,
+        intermediate_rows=intermediate_result_size(query, db),
+    )
+    for name in strategies:
+        point.measurements[name] = measure_strategy(query, db, name, repeats)
+    return point

@@ -1,0 +1,96 @@
+"""ASCII line charts for experiment series.
+
+The paper presents its evaluation as line plots (elapsed time on the
+Y-axis, block sizes on the X-axis).  :func:`render_chart` draws the same
+picture in plain text so figures can live in EXPERIMENTS.md, terminals
+and CI logs — one column group per series point, one glyph per strategy,
+a log-ish Y scale when series span orders of magnitude (as the paper's
+native-vs-NR series do).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .harness import Experiment
+
+#: plotting glyphs assigned to strategies in first-seen order
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(values: Sequence[float], log: bool) -> List[float]:
+    if not log:
+        return list(values)
+    return [math.log10(v) if v > 0 else 0.0 for v in values]
+
+
+def render_chart(
+    experiment: Experiment,
+    metric: str = "cost",
+    height: int = 12,
+    width_per_point: int = 14,
+    log_scale: Optional[bool] = None,
+) -> str:
+    """Render one experiment as an ASCII chart.
+
+    *metric* is ``"seconds"``, ``"cost"``, ``"rows"`` or a raw counter
+    name.  *log_scale* defaults to automatic: on when the series span
+    more than a 20x range (the paper's interesting figures do).
+    """
+    strategies = experiment.strategies()
+    series: Dict[str, List[float]] = {name: [] for name in strategies}
+    for point in experiment.points:
+        for name in strategies:
+            m = point.measurements.get(name)
+            if m is None:
+                series[name].append(0.0)
+            elif metric == "seconds":
+                series[name].append(m.seconds)
+            elif metric == "cost":
+                series[name].append(float(m.cost))
+            elif metric == "rows":
+                series[name].append(float(m.result_rows))
+            else:
+                series[name].append(float(m.metrics.get(metric, 0)))
+
+    flat = [v for vs in series.values() for v in vs if v > 0]
+    if not flat:
+        return f"(no data for metric {metric!r})"
+    if log_scale is None:
+        log_scale = max(flat) / min(flat) > 20
+
+    scaled = {name: _scale(vs, log_scale) for name, vs in series.items()}
+    lo = min(v for vs in scaled.values() for v in vs)
+    hi = max(v for vs in scaled.values() for v in vs)
+    span = (hi - lo) or 1.0
+
+    n_points = len(experiment.points)
+    chart_width = n_points * width_per_point
+    grid = [[" "] * chart_width for _ in range(height)]
+    for s_idx, name in enumerate(strategies):
+        glyph = GLYPHS[s_idx % len(GLYPHS)]
+        for p_idx, value in enumerate(scaled[name]):
+            row = height - 1 - int(round((value - lo) / span * (height - 1)))
+            col = p_idx * width_per_point + width_per_point // 2
+            if grid[row][col] != " ":
+                # collision: nudge right so coincident series stay visible
+                col = min(col + 1, chart_width - 1)
+            grid[row][col] = glyph
+
+    unit = f"log10({metric})" if log_scale else metric
+    lines = [f"== {experiment.experiment_id}: {experiment.title} [{unit}] =="]
+    for r, row in enumerate(grid):
+        value = hi - (r / (height - 1)) * span if height > 1 else hi
+        label = f"{value:8.2f} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * chart_width)
+    x_labels = "".join(
+        point.label.center(width_per_point) for point in experiment.points
+    )
+    lines.append(" " * 10 + x_labels)
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {name}" for i, name in enumerate(strategies)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate --sf 0.005 --out data/        # TPC-H -> CSV
+    python -m repro run "select ..." --data data/          # execute SQL
+    python -m repro run --file q.sql --tpch 0.002 --strategy auto
+    python -m repro explain "select ..." --tpch 0.002 --strategy system-a-native
+    python -m repro bench --figure fig4 --sf 0.005         # one paper figure
+    python -m repro strategies                             # list strategies
+
+Databases come either from a CSV directory written by ``generate`` /
+:func:`repro.engine.storage.save_database` (``--data``) or from an
+in-memory TPC-H instance generated on the fly (``--tpch <sf>``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import repro
+from .core.explain import explain as explain_plan
+from .core.planner import available_strategies
+from .engine.catalog import Database
+from .engine.metrics import collect
+from .engine.storage import load_database, save_database
+
+
+def _load_db(args: argparse.Namespace) -> Database:
+    if getattr(args, "data", None):
+        return load_database(args.data)
+    sf = getattr(args, "tpch", None)
+    if sf is None:
+        sf = 0.002
+    return repro.tpch.generate(
+        repro.tpch.TpchConfig(
+            scale_factor=float(sf),
+            seed=getattr(args, "seed", 42),
+            price_not_null=getattr(args, "not_null", False),
+        )
+    )
+
+
+def _read_sql(args: argparse.Namespace) -> str:
+    if getattr(args, "file", None):
+        with open(args.file) as handle:
+            return handle.read()
+    if args.sql:
+        return args.sql
+    raise SystemExit("provide SQL inline or with --file")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    db = repro.tpch.generate(
+        repro.tpch.TpchConfig(
+            scale_factor=args.sf,
+            seed=args.seed,
+            price_not_null=args.not_null,
+            inject_null_fraction=args.inject_nulls,
+        )
+    )
+    save_database(db, args.out)
+    print(f"wrote TPC-H sf={args.sf} to {args.out}/")
+    print(db.summary())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    db = _load_db(args)
+    sql = _read_sql(args)
+    query = repro.compile_sql(sql, db)
+    with collect() as metrics:
+        start = time.perf_counter()
+        result = repro.execute(query, db, strategy=args.strategy)
+        elapsed = time.perf_counter() - start
+    print(result.to_table(max_rows=args.limit))
+    print(
+        f"\n{len(result)} row(s) in {elapsed:.4f}s "
+        f"[strategy={args.strategy}, weighted-cost={metrics.weighted_cost()}]"
+    )
+    if args.check:
+        oracle = repro.execute(query, db, strategy="nested-iteration")
+        status = "agrees" if result == oracle else "DISAGREES"
+        print(f"oracle check: {status} with nested-iteration")
+        if result != oracle:
+            return 1
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = _load_db(args)
+    query = repro.compile_sql(_read_sql(args), db)
+    print(query.describe())
+    print()
+    print(repro.TreeExpression(query).render())
+    print()
+    print(explain_plan(query, db, strategy=args.strategy))
+    return 0
+
+
+_FIGURES = {
+    "fig4": "figure4_query1",
+    "fig5": "figure5_query2a",
+    "fig6": "figure6_query2b",
+    "fig7": "figure7_query3a",
+    "fig8": "figure8_query3b",
+    "fig9": "figure9_query3c",
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    db = bench.default_db(sf=args.sf, seed=args.seed)
+    if args.figure == "all":
+        names = list(_FIGURES) + ["t-ir"]
+    else:
+        names = [args.figure]
+    for name in names:
+        if name == "t-ir":
+            from .bench.figures import format_profiles, text_intermediate_results
+
+            print(format_profiles(text_intermediate_results(db)))
+            continue
+        if name not in _FIGURES:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from {sorted(_FIGURES)} or 'all'"
+            )
+        result = getattr(bench, _FIGURES[name])(db)
+        experiments = result.values() if isinstance(result, dict) else [result]
+        for experiment in experiments:
+            print(experiment.format_table("seconds"))
+            print(experiment.format_table("cost"))
+            if args.chart:
+                from .bench.plot import render_chart
+
+                print()
+                print(render_chart(experiment, metric="cost"))
+            print()
+    return 0
+
+
+def cmd_strategies(_args: argparse.Namespace) -> int:
+    for name in available_strategies():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nested relational subquery processing (SIGMOD 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate TPC-H data as CSV")
+    p.add_argument("--sf", type=float, default=0.002)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", required=True)
+    p.add_argument("--not-null", action="store_true", dest="not_null",
+                   help="declare NOT NULL on the price columns")
+    p.add_argument("--inject-nulls", type=float, default=0.0)
+    p.set_defaults(func=cmd_generate)
+
+    for name, func, help_text in (
+        ("run", cmd_run, "execute a SQL query"),
+        ("explain", cmd_explain, "show query structure and plan"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("sql", nargs="?", help="SQL text (or use --file)")
+        p.add_argument("--file", help="read SQL from a file")
+        p.add_argument("--data", help="CSV directory from 'generate'")
+        p.add_argument("--tpch", type=float, help="generate TPC-H at this sf")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--not-null", action="store_true", dest="not_null")
+        p.add_argument("--strategy", default="auto")
+        if name == "run":
+            p.add_argument("--limit", type=int, default=20,
+                           help="max rows to print")
+            p.add_argument("--check", action="store_true",
+                           help="verify against the tuple-iteration oracle")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("bench", help="regenerate a paper figure")
+    p.add_argument("--figure", default="all",
+                   help="fig4..fig9, t-ir, or 'all'")
+    p.add_argument("--sf", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--chart", action="store_true",
+                   help="also draw ASCII charts")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("strategies", help="list strategy names")
+    p.set_defaults(func=cmd_strategies)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

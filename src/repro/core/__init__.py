@@ -1,0 +1,58 @@
+"""The paper's contribution: the extended nested relational algebra and
+the nested relational approach to processing SQL subqueries."""
+
+from .blocks import (
+    Correlation,
+    LINK_OPS,
+    LinkSpec,
+    NEGATIVE_OPS,
+    NestedQuery,
+    POSITIVE_OPS,
+    QueryBlock,
+)
+from .nested import NestedRelation, NestedSchema, SubSchema
+from .nest import nest, nest_sorted, unnest
+from .linking import SetPredicate, evaluate_quantified
+from .selection import linking_selection, pseudo_selection
+from .query_tree import TreeExpression
+from .reduce import ReducedBlock, reduce_all, reduce_block
+from .compute import NestedRelationalStrategy, set_predicate_for
+from .optimized import (
+    BottomUpLinearStrategy,
+    OptimizedNestedRelationalStrategy,
+    PositiveRewriteStrategy,
+)
+from .planner import available_strategies, choose_strategy, execute, make_strategy
+
+__all__ = [
+    "Correlation",
+    "LinkSpec",
+    "NestedQuery",
+    "QueryBlock",
+    "LINK_OPS",
+    "POSITIVE_OPS",
+    "NEGATIVE_OPS",
+    "NestedRelation",
+    "NestedSchema",
+    "SubSchema",
+    "nest",
+    "nest_sorted",
+    "unnest",
+    "SetPredicate",
+    "evaluate_quantified",
+    "linking_selection",
+    "pseudo_selection",
+    "TreeExpression",
+    "ReducedBlock",
+    "reduce_all",
+    "reduce_block",
+    "NestedRelationalStrategy",
+    "set_predicate_for",
+    "OptimizedNestedRelationalStrategy",
+    "BottomUpLinearStrategy",
+    "PositiveRewriteStrategy",
+    "available_strategies",
+    "choose_strategy",
+    "execute",
+    "make_strategy",
+]

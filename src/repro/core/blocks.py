@@ -1,0 +1,344 @@
+"""Logical model of a nested SQL query: blocks, links, correlations.
+
+Every strategy in this repository (nested relational, nested iteration,
+classical unnesting, System-A emulation) consumes the same normalized
+representation, a tree of :class:`QueryBlock` objects:
+
+* each block has FROM tables (with aliases), a *local* predicate
+  (the paper's Δ_i — everything in the WHERE clause except linking and
+  correlated predicates),
+* a block other than the root carries a :class:`LinkSpec` describing the
+  linking predicate that connects it to its parent (the paper's L_i),
+* a block carries :class:`Correlation` records for predicates that
+  reference attributes of *enclosing* blocks (the paper's C_ij).
+
+Blocks are numbered in depth-first, left-to-right order starting at 1 —
+the same order the paper uses when it writes T_1 .. T_n.
+
+The model is deliberately restricted to the paper's scope: non-aggregate
+subqueries linked by EXISTS / NOT EXISTS / IN / NOT IN / θ SOME|ANY /
+θ ALL, with conjunctive WHERE clauses whose correlated predicates are
+simple comparisons between an inner and an outer column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..engine.expressions import Comparison, Col, Expr, conjoin
+from ..engine.types import flip_op
+
+#: Linking operators, paper terminology.  "Positive" operators pass when a
+#: matching inner tuple exists; "negative" ones pass on the empty set.
+POSITIVE_OPS = ("exists", "in", "some")
+NEGATIVE_OPS = ("not_exists", "not_in", "all")
+LINK_OPS = POSITIVE_OPS + NEGATIVE_OPS
+
+#: Comparison thetas allowed in quantified linking predicates.
+THETAS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """The linking predicate between a block and its parent.
+
+    ``operator`` is one of :data:`LINK_OPS`.  For quantified operators
+    (``in``/``not_in``/``some``/``all``) *outer_ref* is the linking
+    attribute (an outer-block column), *theta* the comparison, and
+    *inner_ref* the linked attribute (a column of this block).  For
+    ``exists``/``not_exists`` all three are None.
+
+    ``IN`` is normalized as ``= SOME`` and ``NOT IN`` as ``<> ALL``
+    (paper Section 4.1, Example 2) but the original spelling is retained
+    in ``operator`` so baselines can reproduce operator-specific plans.
+    """
+
+    operator: str
+    outer_ref: Optional[str] = None
+    theta: Optional[str] = None
+    inner_ref: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in LINK_OPS:
+            raise AnalysisError(f"unknown linking operator {self.operator!r}")
+        quantified = self.operator not in ("exists", "not_exists")
+        if quantified and not (self.outer_ref and self.theta and self.inner_ref):
+            raise AnalysisError(
+                f"linking operator {self.operator!r} needs outer_ref/theta/inner_ref"
+            )
+        if self.theta is not None and self.theta not in THETAS:
+            raise AnalysisError(f"unknown linking theta {self.theta!r}")
+
+    @property
+    def is_positive(self) -> bool:
+        return self.operator in POSITIVE_OPS
+
+    @property
+    def is_negative(self) -> bool:
+        return self.operator in NEGATIVE_OPS
+
+    @property
+    def quantifier(self) -> str:
+        """The SOME/ALL quantifier after IN / NOT IN normalization."""
+        if self.operator in ("exists", "not_exists"):
+            return self.operator
+        if self.operator in ("in", "some"):
+            return "some"
+        return "all"
+
+    @property
+    def effective_theta(self) -> Optional[str]:
+        """Theta after IN -> ``= SOME`` / NOT IN -> ``<> ALL`` normalization."""
+        if self.operator == "in":
+            return "="
+        if self.operator == "not_in":
+            return "<>"
+        return self.theta
+
+    def describe(self) -> str:
+        if self.operator in ("exists", "not_exists"):
+            return self.operator.upper().replace("_", " ")
+        return f"{self.outer_ref} {self.effective_theta} {self.quantifier.upper()} {{{self.inner_ref}}}"
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """A correlated predicate ``outer_ref op inner_ref``.
+
+    *outer_ref* belongs to an enclosing block, *inner_ref* to the block
+    holding the record.  ``op`` is a plain comparison theta, oriented so
+    the outer attribute is on the left (the paper writes ``R.D = S.G``).
+    """
+
+    outer_ref: str
+    op: str
+    inner_ref: str
+
+    def __post_init__(self) -> None:
+        if self.op not in THETAS:
+            raise AnalysisError(f"unknown correlation operator {self.op!r}")
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def as_expr(self) -> Expr:
+        return Comparison(self.op, Col(self.outer_ref), Col(self.inner_ref))
+
+    def describe(self) -> str:
+        return f"{self.outer_ref} {self.op} {self.inner_ref}"
+
+
+@dataclass
+class QueryBlock:
+    """One SQL query block.
+
+    ``tables`` maps alias -> base table name (insertion ordered; SQL FROM
+    list).  ``local_predicate`` is Δ_i: every WHERE conjunct that only
+    references this block's tables (including join predicates among them).
+    ``correlations`` are the C_ij records; ``link`` is L_{i-1} — how this
+    block is linked *to its parent* (None for the root).  ``select_refs``
+    is only meaningful for the root block (the subquery SELECT list is
+    captured in its link's ``inner_ref``).
+    """
+
+    tables: Dict[str, str]
+    local_predicate: Optional[Expr] = None
+    correlations: List[Correlation] = field(default_factory=list)
+    link: Optional[LinkSpec] = None
+    children: List["QueryBlock"] = field(default_factory=list)
+    select_refs: List[str] = field(default_factory=list)
+    distinct: bool = False
+    #: root only: ``(qualified ref, descending)`` pairs, applied to the
+    #: final result by the planner (strategies produce unordered bags)
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    #: root only: maximum number of result rows (after ordering)
+    limit: Optional[int] = None
+    #: assigned by :func:`number_blocks`; 1-based DFS-L2R position.
+    index: int = 0
+
+    def walk(self) -> Iterator["QueryBlock"]:
+        """This block and all descendants in DFS-L2R (paper) order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def alias_list(self) -> List[str]:
+        return list(self.tables.keys())
+
+    def owns_ref(self, ref: str) -> bool:
+        """Whether a qualified column reference belongs to this block."""
+        table, _, _name = ref.rpartition(".")
+        return table in self.tables
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        lines = [f"{pad}block {self.index}: {', '.join(f'{t} {a}' if t != a else t for a, t in self.tables.items())}"]
+        if self.link is not None:
+            lines[0] += f"  [link: {self.link.describe()}]"
+        for c in self.correlations:
+            lines.append(f"{pad}  corr: {c.describe()}")
+        for child in self.children:
+            lines.append(child.describe(depth + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class NestedQuery:
+    """A whole nested query: the root block plus derived metadata."""
+
+    root: QueryBlock
+
+    def __post_init__(self) -> None:
+        number_blocks(self.root)
+        _validate(self.root)
+
+    @property
+    def blocks(self) -> List[QueryBlock]:
+        return list(self.root.walk())
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def nesting_depth(self) -> int:
+        """0 for a flat query, 1 for one-level nesting, and so on."""
+
+        def depth(block: QueryBlock) -> int:
+            if not block.children:
+                return 0
+            return 1 + max(depth(c) for c in block.children)
+
+        return depth(self.root)
+
+    @property
+    def is_linear(self) -> bool:
+        """At most one subquery nested within any block (paper footnote 2)."""
+        return all(len(b.children) <= 1 for b in self.root.walk())
+
+    @property
+    def is_tree(self) -> bool:
+        """Some block has two or more subqueries at the same level."""
+        return not self.is_linear
+
+    @property
+    def has_negative_link(self) -> bool:
+        return any(
+            b.link is not None and b.link.is_negative for b in self.root.walk()
+        )
+
+    @property
+    def has_positive_link(self) -> bool:
+        return any(
+            b.link is not None and b.link.is_positive for b in self.root.walk()
+        )
+
+    @property
+    def has_mixed_links(self) -> bool:
+        return self.has_negative_link and self.has_positive_link
+
+    def is_linearly_correlated(self) -> bool:
+        """Each inner block only correlated to its *adjacent* outer block.
+
+        This is the precondition for the bottom-up evaluation strategy of
+        paper Section 4.2.3.
+        """
+        ancestors: Dict[int, List[QueryBlock]] = {}
+
+        def visit(block: QueryBlock, path: List[QueryBlock]) -> bool:
+            for corr in block.correlations:
+                owner = _owner_of(corr.outer_ref, path)
+                if owner is None:
+                    return False
+                if path and owner is not path[-1]:
+                    return False
+            return all(visit(c, path + [block]) for c in block.children)
+
+        return visit(self.root, [])
+
+    def parent_of(self, block: QueryBlock) -> Optional[QueryBlock]:
+        for b in self.root.walk():
+            if block in b.children:
+                return b
+        return None
+
+    def ancestors_of(self, block: QueryBlock) -> List[QueryBlock]:
+        """Path from the root down to (excluding) *block*."""
+        path: List[QueryBlock] = []
+
+        def visit(b: QueryBlock, acc: List[QueryBlock]) -> bool:
+            if b is block:
+                path.extend(acc)
+                return True
+            return any(visit(c, acc + [b]) for c in b.children)
+
+        visit(self.root, [])
+        return path
+
+    def describe(self) -> str:
+        flags = []
+        flags.append("linear" if self.is_linear else "tree")
+        if self.has_mixed_links:
+            flags.append("mixed links")
+        elif self.has_negative_link:
+            flags.append("negative links")
+        elif self.has_positive_link:
+            flags.append("positive links")
+        if self.is_linearly_correlated():
+            flags.append("linearly correlated")
+        return f"NestedQuery[{', '.join(flags)}]\n{self.root.describe()}"
+
+
+def number_blocks(root: QueryBlock) -> None:
+    """Assign 1-based DFS-L2R indexes (the paper's block numbering)."""
+    for i, block in enumerate(root.walk(), start=1):
+        block.index = i
+
+
+def _owner_of(ref: str, path: Sequence[QueryBlock]) -> Optional[QueryBlock]:
+    for block in reversed(list(path)):
+        if block.owns_ref(ref):
+            return block
+    return None
+
+
+def _validate(root: QueryBlock) -> None:
+    seen_aliases: Dict[str, int] = {}
+    for block in root.walk():
+        if not block.tables:
+            raise AnalysisError(f"block {block.index} has an empty FROM list")
+        for alias in block.tables:
+            if alias in seen_aliases:
+                raise AnalysisError(
+                    f"alias {alias!r} used by blocks {seen_aliases[alias]} and "
+                    f"{block.index}; aliases must be unique across the query"
+                )
+            seen_aliases[alias] = block.index
+        if block.link is None and block is not root:
+            raise AnalysisError(f"non-root block {block.index} lacks a link")
+        if block is root and block.link is not None:
+            raise AnalysisError("root block must not carry a link")
+        if block is root and not block.select_refs:
+            raise AnalysisError("root block needs a SELECT list")
+
+    # Every correlation must reference an ancestor block.
+    def visit(block: QueryBlock, path: List[QueryBlock]) -> None:
+        for corr in block.correlations:
+            if not block.owns_ref(corr.inner_ref):
+                raise AnalysisError(
+                    f"correlation {corr.describe()} inner side does not belong "
+                    f"to block {block.index}"
+                )
+            if _owner_of(corr.outer_ref, path) is None:
+                raise AnalysisError(
+                    f"correlation {corr.describe()} outer side does not "
+                    f"resolve in any enclosing block of block {block.index}"
+                )
+        for child in block.children:
+            visit(child, path + [block])
+
+    visit(root, [])

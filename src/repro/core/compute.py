@@ -1,0 +1,283 @@
+"""Algorithm 1 — the original nested relational approach (paper §4.1).
+
+Processing a nested query with non-aggregate subqueries:
+
+1. **Reduce** every block to a single relation T_i = σ_Δi(R_i)
+   (:mod:`repro.core.reduce`).
+2. **Tree expression**: one node per block, edges labelled with the
+   linking predicate L_i and the correlated predicates C_ij.  Because SQL
+   correlation always references *enclosing* blocks, attaching every C_ij
+   of block i to the edge entering block i is a maximal spanning query
+   tree in the paper's sense: by the time block i is joined, the
+   attributes of every enclosing block are already present in the
+   accumulated relation.
+3. **compute(root, T_1)**: walk the tree depth-first.  Going *down*, join
+   (or left-outer-join, when correlated) the accumulated relation with
+   each child's T_i.  Coming back *up*, ``nest`` the relation by the
+   attributes of the blocks on the path and apply the child's linking
+   predicate as a linking selection — strict σ where discarding failing
+   tuples is safe (at the root, or when every unfinished linking
+   predicate above is positive), pseudo σ* (padding the current node's
+   attributes with NULLs) otherwise.
+
+Non-correlated subqueries are executed once and their result set shared
+by every outer tuple — the paper's "virtual Cartesian product".  Set
+``virtual_cartesian=False`` to run the textbook algorithm with a real
+Cartesian product instead (useful for differential testing).
+
+The approach needs no indexes: only hash (outer) joins, nest and linking
+selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PlanError
+from ..engine.catalog import Database
+from ..engine.expressions import conjoin
+from ..engine.metrics import current_metrics
+from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
+from ..engine.relation import Relation
+from ..engine.types import NULL, is_null
+from .blocks import LinkSpec, NestedQuery, QueryBlock
+from .linking import SetPredicate
+from .nest import nest, nest_sorted
+from .reduce import ReducedBlock, reduce_all
+from .selection import linking_selection, pseudo_selection
+
+
+def set_predicate_for(link: LinkSpec) -> SetPredicate:
+    """Translate a linking operator into its set predicate.
+
+    EXISTS -> {B} ≠ ∅, NOT EXISTS -> {B} = ∅, IN -> = SOME,
+    NOT IN -> <> ALL, θ SOME/ALL -> themselves.
+    """
+    if link.operator in ("exists", "not_exists"):
+        return SetPredicate(link.operator)
+    return SetPredicate(link.quantifier, link.effective_theta)
+
+
+class NestedRelationalStrategy:
+    """The original nested relational approach (Algorithm 1).
+
+    Parameters
+    ----------
+    virtual_cartesian:
+        execute non-correlated subqueries once and share the result
+        (paper: "non-correlated subqueries are executed once, and the
+        result is used by every tuple").  When False, a real Cartesian
+        product is used, as in the bare algorithm statement.
+    nest_impl:
+        ``"hash"`` or ``"sorted"`` — the two physical nest
+        implementations (paper Section 5.1 used sorting).
+    strict_when_positive:
+        apply the paper's refinement that strict σ may replace pseudo σ*
+        when every unfinished linking predicate above is positive.
+    """
+
+    name = "nested-relational"
+
+    def __init__(
+        self,
+        virtual_cartesian: bool = True,
+        nest_impl: str = "hash",
+        strict_when_positive: bool = True,
+    ):
+        if nest_impl not in ("hash", "sorted"):
+            raise PlanError(f"unknown nest implementation {nest_impl!r}")
+        self.virtual_cartesian = virtual_cartesian
+        self.nest_impl = nest_impl
+        self.strict_when_positive = strict_when_positive
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: NestedQuery, db: Database) -> Relation:
+        """Evaluate *query* against *db*, returning the result relation."""
+        reduced = reduce_all(query, db)
+        owner = _attr_owner_map(reduced)
+        root = query.root
+        rel = reduced[root.index].relation
+        rel = self._compute(root, rel, [root], reduced, owner)
+        out = rel.project(root.select_refs)
+        if root.distinct:
+            out = out.distinct()
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _nest(self, rel: Relation, by: Sequence[str], keep: Sequence[str]):
+        if self.nest_impl == "sorted":
+            return nest_sorted(rel, by, keep)
+        return nest(rel, by, keep)
+
+    def _compute(
+        self,
+        node: QueryBlock,
+        rel: Relation,
+        path: List[QueryBlock],
+        reduced: Dict[int, ReducedBlock],
+        owner: Dict[str, int],
+    ) -> Relation:
+        """The recursive body of Algorithm 1 (compute(node, rel))."""
+        for child in node.children:
+            link = child.link
+            assert link is not None
+            crel = reduced[child.index]
+            if self.virtual_cartesian and _subtree_uncorrelated(child):
+                rel = self._apply_uncorrelated(
+                    node, child, rel, path, reduced, owner
+                )
+                continue
+
+            # -- way down: connect the child block ---------------------- #
+            if child.correlations:
+                equi = [c for c in child.correlations if c.is_equality]
+                other = [c for c in child.correlations if not c.is_equality]
+                residual = conjoin([c.as_expr() for c in other]) if other else None
+                rel = as_relation(
+                    LeftOuterHashJoin(
+                        rel,
+                        crel.relation,
+                        [c.outer_ref for c in equi],
+                        [c.inner_ref for c in equi],
+                        residual=residual,
+                    )
+                )
+            else:
+                rel = as_relation(OuterCrossJoin(rel, crel.relation))
+
+            # -- recurse into the child's own subqueries ---------------- #
+            rel = self._compute(child, rel, path + [child], reduced, owner)
+
+            # -- way up: nest and apply the linking selection ------------ #
+            path_indices = {b.index for b in path}
+            by = [
+                ref
+                for ref in rel.schema.names
+                if owner.get(ref) in path_indices
+            ]
+            keep = _dedupe(
+                ([link.inner_ref] if link.inner_ref is not None else [])
+                + [crel.rid_ref]
+            )
+            nested = self._nest(rel, by, keep)
+            predicate = set_predicate_for(link)
+            if self._use_strict(path):
+                rel = linking_selection(
+                    nested,
+                    predicate,
+                    link.outer_ref,
+                    link.inner_ref,
+                    pk_ref=crel.rid_ref,
+                )
+            else:
+                pad = [r for r in by if owner.get(r) == node.index]
+                rel = pseudo_selection(
+                    nested,
+                    predicate,
+                    link.outer_ref,
+                    link.inner_ref,
+                    pk_ref=crel.rid_ref,
+                    pad_refs=pad,
+                )
+        return rel
+
+    def _use_strict(self, path: List[QueryBlock]) -> bool:
+        """Strict σ is sound at the root, and (optionally) when every
+        unfinished linking predicate above the current node is positive."""
+        links_above = [b.link for b in path if b.link is not None]
+        if not links_above:
+            return True
+        if self.strict_when_positive:
+            return all(l.is_positive for l in links_above)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Non-correlated subqueries: execute once, share the result.
+    # ------------------------------------------------------------------ #
+
+    def _apply_uncorrelated(
+        self,
+        node: QueryBlock,
+        child: QueryBlock,
+        rel: Relation,
+        path: List[QueryBlock],
+        reduced: Dict[int, ReducedBlock],
+        owner: Dict[str, int],
+    ) -> Relation:
+        link = child.link
+        assert link is not None
+        crel = reduced[child.index]
+        sub = self._compute(
+            child, crel.relation, path + [child], reduced, owner
+        )
+        rid_pos = sub.schema.index_of(crel.rid_ref)
+        if link.inner_ref is not None:
+            val_pos = sub.schema.index_of(link.inner_ref)
+            members = [(row[val_pos], row[rid_pos]) for row in sub.rows]
+        else:
+            members = [(NULL, row[rid_pos]) for row in sub.rows]
+        predicate = set_predicate_for(link)
+        metrics = current_metrics()
+
+        lhs_pos = (
+            rel.schema.index_of(link.outer_ref)
+            if link.outer_ref is not None
+            else None
+        )
+        strict = self._use_strict(path)
+        node_attr_positions = [
+            i
+            for i, ref in enumerate(rel.schema.names)
+            if owner.get(ref) == node.index
+        ]
+        out_rows = []
+        for row in rel.rows:
+            metrics.add("linking_evals")
+            lhs = row[lhs_pos] if lhs_pos is not None else NULL
+            if predicate.evaluate(lhs, members).is_true():
+                out_rows.append(row)
+            elif not strict:
+                padded = list(row)
+                for i in node_attr_positions:
+                    padded[i] = NULL
+                out_rows.append(tuple(padded))
+        return Relation(rel.schema, out_rows)
+
+
+def _subtree_uncorrelated(block: QueryBlock) -> bool:
+    """True when no block in *block*'s subtree correlates outside of it."""
+    subtree_aliases: Set[str] = set()
+    for b in block.walk():
+        subtree_aliases.update(b.tables.keys())
+    for b in block.walk():
+        for corr in b.correlations:
+            outer_table = corr.outer_ref.rpartition(".")[0]
+            if outer_table not in subtree_aliases:
+                return False
+    return True
+
+
+def _attr_owner_map(reduced: Dict[int, ReducedBlock]) -> Dict[str, int]:
+    """Map every qualified attribute name to the index of its block."""
+    owner: Dict[str, int] = {}
+    for idx, rb in reduced.items():
+        for ref in rb.attr_refs:
+            if ref in owner:
+                raise PlanError(
+                    f"attribute {ref!r} appears in blocks {owner[ref]} and {idx}"
+                )
+            owner[ref] = idx
+    return owner
+
+
+def _dedupe(refs: Sequence[str]) -> List[str]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for r in refs:
+        if r not in seen:
+            seen.add(r)
+            out.append(r)
+    return out

@@ -1,0 +1,123 @@
+"""Linking predicates over nested relations (paper Definition 4).
+
+A linking predicate compares an atomic attribute to a set-valued one:
+``A θ SOME {B}``, ``A θ ALL {B}``, or tests set (non-)emptiness
+``{B} = ∅`` / ``{B} ≠ ∅``.  Its evaluation is a *set computation* under
+SQL three-valued logic — this is the paper's core observation: a
+non-aggregate subquery provides, for each outer tuple, a set of values
+(perhaps empty), and every SQL linking operator is a predicate over that
+set:
+
+=============  ==========================
+SQL operator   linking predicate
+=============  ==========================
+EXISTS         {B} ≠ ∅
+NOT EXISTS     {B} = ∅
+A IN           A = SOME {B}
+A NOT IN       A <> ALL {B}
+A θ SOME/ANY   A θ SOME {B}
+A θ ALL        A θ ALL {B}
+=============  ==========================
+
+**Empty-set detection.**  The pipeline materializes subquery results via
+left outer joins, so "no inner tuple" appears as a row padded with NULLs.
+Per the paper (Example 1) each block keeps its primary key, which is
+non-null for genuine tuples; a member whose primary key is NULL is an
+*empty marker* and is excluded from the set before evaluation.  This is
+what distinguishes the empty set from a set containing a genuine NULL —
+the distinction classical antijoin rewrites get wrong.
+
+**Quantifier semantics (3VL).**  ``θ ALL`` is the 3VL conjunction of the
+member comparisons (vacuously TRUE on the empty set); ``θ SOME`` the 3VL
+disjunction (vacuously FALSE).  Comparing against a NULL member yields
+UNKNOWN, so e.g. ``5 > ALL {2,3,4,NULL}`` is UNKNOWN — the example the
+paper uses to show the max/antijoin rewrites are unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..errors import ExpressionError
+from ..engine.types import (
+    SqlValue,
+    TriBool,
+    is_null,
+    sql_compare,
+    tri_all,
+    tri_any,
+)
+
+#: quantifiers accepted by :class:`SetPredicate`
+QUANTIFIERS = ("some", "all", "exists", "not_exists")
+
+
+@dataclass(frozen=True)
+class SetPredicate:
+    """A compiled linking predicate, ready to evaluate group-by-group.
+
+    ``quantifier`` ∈ {"some", "all", "exists", "not_exists"}; *theta* is
+    required for the quantified forms and ignored for the existential
+    ones.  Evaluation receives the linking value (LHS) and the group
+    members together with their primary-key values.
+    """
+
+    quantifier: str
+    theta: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in QUANTIFIERS:
+            raise ExpressionError(f"unknown quantifier {self.quantifier!r}")
+        if self.quantifier in ("some", "all") and self.theta is None:
+            raise ExpressionError(f"quantifier {self.quantifier!r} needs a theta")
+
+    def evaluate(
+        self,
+        linking_value: SqlValue,
+        members: Iterable[Tuple[SqlValue, SqlValue]],
+    ) -> TriBool:
+        """Evaluate over ``members`` = iterable of (linked value, pk value).
+
+        Members whose pk is NULL are empty markers and are skipped; the
+        remaining values form the subquery result set for this group.
+        """
+        live = [value for value, pk in members if not is_null(pk)]
+        if self.quantifier == "exists":
+            return TriBool.from_bool(bool(live))
+        if self.quantifier == "not_exists":
+            return TriBool.from_bool(not live)
+        assert self.theta is not None
+        comparisons = (sql_compare(self.theta, linking_value, v) for v in live)
+        if self.quantifier == "all":
+            return tri_all(comparisons)
+        return tri_any(comparisons)
+
+    @property
+    def is_negative(self) -> bool:
+        """Negative predicates are satisfied by the empty set."""
+        return self.quantifier in ("all", "not_exists")
+
+    def describe(self) -> str:
+        if self.quantifier in ("exists", "not_exists"):
+            return "{B} ≠ ∅" if self.quantifier == "exists" else "{B} = ∅"
+        return f"A {self.theta} {self.quantifier.upper()} {{B}}"
+
+
+def evaluate_quantified(
+    theta: str,
+    quantifier: str,
+    linking_value: SqlValue,
+    values: Sequence[SqlValue],
+) -> TriBool:
+    """Direct quantified comparison against an explicit value set.
+
+    Convenience used by the tuple-iteration baseline, where the subquery
+    result set is computed directly (no pk markers needed).
+    """
+    comparisons = (sql_compare(theta, linking_value, v) for v in values)
+    if quantifier == "all":
+        return tri_all(comparisons)
+    if quantifier == "some":
+        return tri_any(comparisons)
+    raise ExpressionError(f"unknown quantifier {quantifier!r}")

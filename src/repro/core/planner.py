@@ -1,0 +1,128 @@
+"""Strategy registry and automatic strategy selection.
+
+``execute(query, db, strategy="auto")`` is the library's front door: it
+routes a :class:`~repro.core.blocks.NestedQuery` to one of the registered
+evaluation strategies.  ``"auto"`` applies the paper's guidance:
+
+* all-positive linking operators → the algebraic positive rewrite
+  (Section 4.2.5: the nested relational expression simplifies to plain
+  (semi)joins, so do that);
+* linear, linearly correlated queries → bottom-up evaluation with nest
+  push-down (Sections 4.2.3/4.2.4: small intermediate results);
+* linear queries otherwise → the single-pass pipelined variant
+  (Sections 4.2.1/4.2.2);
+* anything else → the original Algorithm 1, which handles any query
+  shape uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import PlanError
+from ..engine.catalog import Database
+from ..engine.relation import Relation
+from .blocks import NestedQuery
+from .compute import NestedRelationalStrategy
+from .optimized import (
+    BottomUpLinearStrategy,
+    OptimizedNestedRelationalStrategy,
+    PositiveRewriteStrategy,
+)
+
+
+def _strategies() -> Dict[str, Callable[[], object]]:
+    from ..baselines.nested_iteration import NestedIterationStrategy
+    from ..baselines.unnesting import ClassicalUnnestingStrategy
+    from ..baselines.native import SystemAEmulationStrategy
+    from ..baselines.count_rewrite import CountRewriteStrategy
+    from ..baselines.boolean_aggregate import BooleanAggregateStrategy
+    from ..baselines.agg_rewrite import AggregateRewriteStrategy
+
+    return {
+        "count-rewrite": CountRewriteStrategy,
+        "boolean-aggregate": BooleanAggregateStrategy,
+        "aggregate-rewrite": AggregateRewriteStrategy,
+        "nested-relational": NestedRelationalStrategy,
+        "nested-relational-sorted": lambda: NestedRelationalStrategy(
+            nest_impl="sorted"
+        ),
+        "nested-relational-optimized": OptimizedNestedRelationalStrategy,
+        "nested-relational-bottomup": BottomUpLinearStrategy,
+        "nested-relational-positive-rewrite": PositiveRewriteStrategy,
+        "nested-iteration": NestedIterationStrategy,
+        "classical-unnesting": ClassicalUnnestingStrategy,
+        "system-a-native": SystemAEmulationStrategy,
+    }
+
+
+def available_strategies() -> list:
+    """Names accepted by :func:`execute`'s *strategy* argument."""
+    return sorted(_strategies()) + ["auto"]
+
+
+def make_strategy(name: str):
+    """Instantiate a strategy by registry name."""
+    registry = _strategies()
+    if name not in registry:
+        raise PlanError(
+            f"unknown strategy {name!r}; available: {available_strategies()}"
+        )
+    return registry[name]()
+
+
+def choose_strategy(query: NestedQuery):
+    """The paper's 'auto' policy, as an inspectable function."""
+    if query.nesting_depth == 0:
+        return NestedRelationalStrategy()
+    positive = PositiveRewriteStrategy()
+    if positive.applicable(query):
+        return positive
+    bottom_up = BottomUpLinearStrategy()
+    if bottom_up.applicable(query):
+        return bottom_up
+    if query.is_linear:
+        return OptimizedNestedRelationalStrategy()
+    return NestedRelationalStrategy()
+
+
+def execute(
+    query: NestedQuery,
+    db: Database,
+    strategy: Union[str, object] = "auto",
+) -> Relation:
+    """Evaluate *query* against *db* with the given strategy.
+
+    *strategy* may be a registry name, ``"auto"``, or any object with an
+    ``execute(query, db)`` method.
+    """
+    if isinstance(strategy, str):
+        impl = choose_strategy(query) if strategy == "auto" else make_strategy(strategy)
+    else:
+        impl = strategy
+    result = impl.execute(query, db)
+    return _finalize(result, query)
+
+
+def _finalize(result: Relation, query: NestedQuery) -> Relation:
+    """Apply root-level ORDER BY / LIMIT to a strategy's bag result.
+
+    Strategies are order-agnostic (the paper's algebra is set-based); the
+    presentation clauses are applied once here so every strategy gets
+    them for free and stays comparable.
+    """
+    root = query.root
+    if root.order_by:
+        from ..engine.types import row_sort_key
+
+        positions = result.schema.indices_of([ref for ref, _d in root.order_by])
+        rows = list(result.rows)
+        # stable sort: apply keys right-to-left so leftmost wins
+        for pos, (_ref, descending) in reversed(
+            list(zip(positions, root.order_by))
+        ):
+            rows.sort(key=lambda r: row_sort_key((r[pos],)), reverse=descending)
+        result = Relation(result.schema, rows)
+    if root.limit is not None:
+        result = Relation(result.schema, result.rows[: root.limit])
+    return result

@@ -1,0 +1,129 @@
+"""Tree expressions (Algorithm step 2, paper Figure 3(a)).
+
+A :class:`TreeExpression` is the paper's intermediate structure between a
+nested query and its evaluation: one node per query block (labelled T_i),
+a directed edge from each block to its children labelled with the linking
+predicate L_i and any correlated predicates C_ij.
+
+Correlated predicates referencing *non-adjacent* blocks are attached to
+the edge entering the correlated block when every edge above already
+carries correlation labels — producing a maximal spanning query tree of
+the underlying query graph, exactly as the paper prescribes.  Since SQL
+correlation always points at enclosing blocks, the attributes needed to
+evaluate such a predicate are guaranteed to be present in the accumulated
+relation by the time the edge is crossed (this is why
+:class:`~repro.core.compute.NestedRelationalStrategy` can evaluate all
+C_ij of a block at its entering edge).
+
+The class is used by ``explain``-style output, tests that pin the paper's
+Figure 3, and documentation examples; the evaluator itself works off the
+:class:`~repro.core.blocks.NestedQuery` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .blocks import Correlation, LinkSpec, NestedQuery, QueryBlock
+
+
+@dataclass
+class TreeNode:
+    """A node of the tree expression, labelled T_i."""
+
+    block: QueryBlock
+    children: List["TreeEdge"] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        tables = ", ".join(
+            name if alias == name else f"{name} {alias}"
+            for alias, name in self.block.tables.items()
+        )
+        return f"T{self.block.index}: {tables}"
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_subroot(self) -> bool:
+        """A node with more than one child (paper terminology)."""
+        return len(self.children) > 1
+
+
+@dataclass
+class TreeEdge:
+    """An edge of the tree expression: linking + correlation labels."""
+
+    child: TreeNode
+    link: LinkSpec
+    correlations: List[Correlation]
+
+    @property
+    def label(self) -> str:
+        parts = [f"L: {self.link.describe()}"]
+        for corr in self.correlations:
+            parts.append(f"C: {corr.describe()}")
+        return "; ".join(parts)
+
+
+class TreeExpression:
+    """The tree expression of a nested query."""
+
+    def __init__(self, query: NestedQuery):
+        self.query = query
+        self.root = self._build(query.root)
+
+    def _build(self, block: QueryBlock) -> TreeNode:
+        node = TreeNode(block)
+        for child in block.children:
+            assert child.link is not None
+            node.children.append(
+                TreeEdge(
+                    child=self._build(child),
+                    link=child.link,
+                    correlations=list(child.correlations),
+                )
+            )
+        return node
+
+    def render(self) -> str:
+        """ASCII rendering matching the paper's Figure 3(a) layout."""
+        lines: List[str] = []
+
+        def visit(node: TreeNode, depth: int) -> None:
+            pad = "    " * depth
+            lines.append(f"{pad}{node.label}")
+            for edge in node.children:
+                lines.append(f"{pad}  |- {edge.label}")
+                visit(edge.child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def subroots(self) -> List[TreeNode]:
+        """All nodes with more than one child."""
+        out = []
+
+        def visit(node: TreeNode) -> None:
+            if node.is_subroot:
+                out.append(node)
+            for edge in node.children:
+                visit(edge.child)
+
+        visit(self.root)
+        return out
+
+    def leaves(self) -> List[TreeNode]:
+        out = []
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+            for edge in node.children:
+                visit(edge.child)
+
+        visit(self.root)
+        return out

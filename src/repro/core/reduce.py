@@ -1,0 +1,188 @@
+"""Block reduction: T_i = σ_Δi(R_i) (Algorithm 1, step one).
+
+Each query block is reduced to a single relation by applying every
+predicate in its WHERE clause *except* linking and correlated predicates
+— selections are pushed onto base tables and the block's own tables are
+joined (the paper assumes all relations in a block are connected, i.e. no
+Cartesian product; we fall back to a cross join if they are not).
+
+Every reduced block gets a synthetic **row id** column ``_rid<i>``: a
+unique, non-null integer per tuple of T_i.  The paper instead assumes
+"each relation has a unique non-null attribute served as a primary key";
+a synthetic rid satisfies that assumption uniformly (also for blocks
+joining several tables, where no single base key is unique) and serves
+as the emptiness marker after outer joins and the grouping anchor for
+``nest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PlanError
+from ..engine.catalog import Database
+from ..engine.expressions import (
+    Col,
+    Comparison,
+    EvalContext,
+    Expr,
+    conjoin,
+    split_conjuncts,
+)
+from ..engine.operators import Filter, HashJoin, NestedLoopJoin, as_relation
+from ..engine.relation import Relation
+from ..engine.schema import Column, Schema
+from .blocks import NestedQuery, QueryBlock
+
+
+@dataclass
+class ReducedBlock:
+    """A block's reduced relation T_i plus bookkeeping for the pipeline."""
+
+    block: QueryBlock
+    relation: Relation
+    #: synthetic unique non-null key of T_i (qualified name)
+    rid_ref: str
+    #: qualified names of every column of T_i (including the rid)
+    attr_refs: Tuple[str, ...]
+
+    @property
+    def index(self) -> int:
+        return self.block.index
+
+
+def rid_name(block: QueryBlock) -> str:
+    return f"_rid{block.index}"
+
+
+def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
+    """Compute T_i = σ_Δi(R_i) and attach the synthetic rid column."""
+    joined = _join_block_tables(block, db)
+    rid = rid_name(block)
+    schema = Schema(tuple(joined.schema.columns) + (Column(rid, not_null=True),))
+    rows = [row + (i,) for i, row in enumerate(joined.rows)]
+    relation = Relation(schema, rows)
+    return ReducedBlock(
+        block=block,
+        relation=relation,
+        rid_ref=rid,
+        attr_refs=schema.names,
+    )
+
+
+def reduce_all(query: NestedQuery, db: Database) -> Dict[int, ReducedBlock]:
+    """Reduce every block of the query, keyed by block index."""
+    return {b.index: reduce_block(b, db) for b in query.root.walk()}
+
+
+def _join_block_tables(block: QueryBlock, db: Database) -> Relation:
+    """Join the block's FROM tables applying the local predicate Δ_i.
+
+    Single-table conjuncts are pushed below the joins; equality conjuncts
+    across two tables become hash-join keys; everything else is applied
+    as a residual filter once all referenced tables are in.
+    """
+    conjuncts = (
+        split_conjuncts(block.local_predicate)
+        if block.local_predicate is not None
+        else []
+    )
+    aliases = block.alias_list
+
+    def owner_tables(expr: Expr) -> Set[str]:
+        owners = set()
+        for ref in expr.columns():
+            table, _, _name = ref.rpartition(".")
+            owners.add(table)
+        return owners
+
+    # Classify conjuncts by the set of aliases they touch.
+    per_table: Dict[str, List[Expr]] = {a: [] for a in aliases}
+    multi: List[Expr] = []
+    for conj in conjuncts:
+        owners = owner_tables(conj)
+        unknown = owners - set(aliases) - {""}
+        if unknown:
+            raise PlanError(
+                f"local predicate {conj!r} of block {block.index} references "
+                f"tables outside the block: {sorted(unknown)}"
+            )
+        real_owners = owners & set(aliases)
+        if len(real_owners) <= 1:
+            target = next(iter(real_owners), aliases[0])
+            per_table[target].append(conj)
+        else:
+            multi.append(conj)
+
+    # Scan + filter each table under its alias.
+    parts: Dict[str, Relation] = {}
+    for alias in aliases:
+        table_name = block.tables[alias]
+        rel = db.relation(table_name)
+        if alias != table_name:
+            rel = rel.rename_table(alias)
+        preds = per_table[alias]
+        if preds:
+            rel = as_relation(Filter(rel, conjoin(preds)))
+        parts[alias] = rel
+
+    current = parts[aliases[0]]
+    joined_aliases = {aliases[0]}
+    remaining = list(aliases[1:])
+    pending = list(multi)
+    while remaining:
+        # Prefer a table connected to the current result by an equality.
+        pick: Optional[str] = None
+        for alias in remaining:
+            if _equi_keys(pending, joined_aliases, alias):
+                pick = alias
+                break
+        if pick is None:
+            pick = remaining[0]
+        remaining.remove(pick)
+        equi = _equi_keys(pending, joined_aliases, pick)
+        newly_resolvable = [
+            p
+            for p in pending
+            if owner_tables(p) <= (joined_aliases | {pick})
+            and p not in [e[2] for e in equi]
+        ]
+        left_keys = [e[0] for e in equi]
+        right_keys = [e[1] for e in equi]
+        residual = conjoin(newly_resolvable) if newly_resolvable else None
+        if equi:
+            current = as_relation(
+                HashJoin(current, parts[pick], left_keys, right_keys, residual)
+            )
+        else:
+            current = as_relation(
+                NestedLoopJoin(current, parts[pick], predicate=residual)
+            )
+        joined_aliases.add(pick)
+        pending = [p for p in pending if p not in newly_resolvable and p not in [e[2] for e in equi]]
+    if pending:
+        current = as_relation(Filter(current, conjoin(pending)))
+    return current
+
+
+def _equi_keys(
+    pending: Sequence[Expr], joined: Set[str], new_alias: str
+) -> List[Tuple[str, str, Expr]]:
+    """Equality conjuncts usable as hash keys between *joined* and *new_alias*.
+
+    Returns (left_ref_in_joined, right_ref_in_new, original_expr) triples.
+    """
+    out: List[Tuple[str, str, Expr]] = []
+    for p in pending:
+        if not isinstance(p, Comparison) or p.op != "=":
+            continue
+        if not isinstance(p.left, Col) or not isinstance(p.right, Col):
+            continue
+        lt = p.left.ref.rpartition(".")[0]
+        rt = p.right.ref.rpartition(".")[0]
+        if lt in joined and rt == new_alias:
+            out.append((p.left.ref, p.right.ref, p))
+        elif rt in joined and lt == new_alias:
+            out.append((p.right.ref, p.left.ref, p))
+    return out

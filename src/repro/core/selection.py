@@ -1,0 +1,149 @@
+"""Linking selection and pseudo-selection (paper Definition 5).
+
+Given a one-level nested relation (the output of ``nest``), a *linking
+selection* applies a :class:`~repro.core.linking.SetPredicate` to every
+nested tuple:
+
+* **strict selection** σ_C keeps exactly the tuples where the predicate
+  is TRUE (rows evaluating FALSE or UNKNOWN are discarded) — used for the
+  outermost / last unfinished linking predicate, where failing simply
+  means the outer tuple is not an answer;
+
+* **pseudo-selection** σ*_{C,A} keeps *every* tuple, but pads the
+  attributes in A with NULL on tuples that fail — used for linking
+  predicates of *inner* blocks when negative/mixed linking predicates
+  remain unfinished above.  Padding A (the failing block's attributes,
+  crucially including its primary key) marks that inner tuple as "not in
+  the subquery result" without deleting the enclosing outer tuple, which
+  a later negative linking predicate may still need to qualify.  This is
+  the mechanism that fixes the problem the paper describes for Query Q:
+  tuples of S that fail the ALL test against T must *help* (not hurt)
+  the R tuple pass its NOT IN test.
+
+Both return a **flat** relation over the atomic attributes of the input
+(the set-valued attribute is consumed), matching the paper's figures
+where each linking selection is followed by a projection that drops the
+nested attribute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from ..engine.metrics import current_metrics
+from ..engine.relation import Relation, Row
+from ..engine.schema import Schema
+from ..engine.types import NULL, SqlValue, is_null
+from .linking import SetPredicate
+from .nested import NestedRelation, SubSchema
+
+
+def _resolve(
+    nested: NestedRelation,
+    set_name: str,
+    linking_ref: Optional[str],
+    linked_ref: Optional[str],
+    pk_ref: str,
+) -> Tuple[int, Optional[int], Optional[int], int, Schema, List[int]]:
+    """Resolve all component positions used by a linking selection."""
+    set_pos = nested.schema.index_of(set_name)
+    sub = nested.schema.components[set_pos]
+    if not isinstance(sub, SubSchema):
+        raise SchemaError(f"{set_name!r} is not a set-valued attribute")
+    sub_flat = sub.schema.to_flat()
+    linked_pos = sub_flat.index_of(linked_ref) if linked_ref is not None else None
+    pk_pos = sub_flat.index_of(pk_ref)
+    atomic_positions = [
+        i for i, c in enumerate(nested.schema.components) if i != set_pos
+    ]
+    for i in atomic_positions:
+        if isinstance(nested.schema.components[i], SubSchema):
+            raise SchemaError(
+                "linking selection expects exactly one set-valued attribute "
+                "at the top level"
+            )
+    out_schema = Schema(
+        [nested.schema.components[i] for i in atomic_positions]  # type: ignore[misc]
+    )
+    linking_pos = (
+        out_schema.index_of(linking_ref) if linking_ref is not None else None
+    )
+    return set_pos, linking_pos, linked_pos, pk_pos, out_schema, atomic_positions
+
+
+def linking_selection(
+    nested: NestedRelation,
+    predicate: SetPredicate,
+    linking_ref: Optional[str],
+    linked_ref: Optional[str],
+    pk_ref: str,
+    set_name: str = "_nested",
+) -> Relation:
+    """Strict σ_C: keep tuples whose linking predicate is TRUE.
+
+    *linking_ref* is the linking attribute (an atomic attribute of the
+    nested relation; None for EXISTS/NOT EXISTS).  *linked_ref* is the
+    linked attribute inside the set; *pk_ref* the inner block's primary
+    key inside the set (NULL pk = empty marker).
+    """
+    set_pos, linking_pos, linked_pos, pk_pos, out_schema, atomic = _resolve(
+        nested, set_name, linking_ref, linked_ref, pk_ref
+    )
+    metrics = current_metrics()
+    out_rows: List[Row] = []
+    for row in nested.rows:
+        metrics.add("linking_evals")
+        flat = tuple(row[i] for i in atomic)
+        members = _members(row[set_pos], linked_pos, pk_pos)
+        lhs = flat[linking_pos] if linking_pos is not None else NULL
+        if predicate.evaluate(lhs, members).is_true():
+            out_rows.append(flat)
+    return Relation(out_schema, out_rows)
+
+
+def pseudo_selection(
+    nested: NestedRelation,
+    predicate: SetPredicate,
+    linking_ref: Optional[str],
+    linked_ref: Optional[str],
+    pk_ref: str,
+    pad_refs: Sequence[str],
+    set_name: str = "_nested",
+) -> Relation:
+    """σ*_{C,A}: keep all tuples; pad attributes in *pad_refs* on failure.
+
+    Failing tuples keep their other attributes intact — in particular the
+    enclosing blocks' attributes — so outer tuples survive for later
+    (negative) linking predicates; the padded primary key inside
+    *pad_refs* marks this inner tuple as absent.
+    """
+    set_pos, linking_pos, linked_pos, pk_pos, out_schema, atomic = _resolve(
+        nested, set_name, linking_ref, linked_ref, pk_ref
+    )
+    pad_positions = set(out_schema.indices_of(pad_refs))
+    metrics = current_metrics()
+    out_rows: List[Row] = []
+    for row in nested.rows:
+        metrics.add("linking_evals")
+        flat = tuple(row[i] for i in atomic)
+        members = _members(row[set_pos], linked_pos, pk_pos)
+        lhs = flat[linking_pos] if linking_pos is not None else NULL
+        if predicate.evaluate(lhs, members).is_true():
+            out_rows.append(flat)
+        else:
+            out_rows.append(
+                tuple(
+                    NULL if i in pad_positions else v for i, v in enumerate(flat)
+                )
+            )
+    return Relation(out_schema, out_rows)
+
+
+def _members(
+    group: Sequence[tuple], linked_pos: Optional[int], pk_pos: int
+) -> List[Tuple[SqlValue, SqlValue]]:
+    """Extract (linked value, pk value) pairs from a nested group."""
+    if linked_pos is None:
+        return [(NULL, member[pk_pos]) for member in group]
+    return [(member[linked_pos], member[pk_pos]) for member in group]

@@ -1,0 +1,356 @@
+"""Scalar and predicate expressions with SQL three-valued logic.
+
+Expressions form a small immutable AST.  They are evaluated against an
+:class:`EvalContext`, a stack of ``(schema, row)`` frames: the innermost
+frame is the current operator's row, outer frames carry correlation
+bindings (the tuple-iteration baseline pushes one frame per query block,
+exactly mirroring SQL's scoping rules).
+
+Predicates evaluate to :class:`~repro.engine.types.TriBool`; value
+expressions evaluate to SQL values.  A WHERE clause keeps a row only when
+its predicate is *definitely* TRUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ExpressionError, SchemaError
+from .schema import Schema
+from .types import (
+    FALSE,
+    NULL,
+    TRUE,
+    UNKNOWN,
+    SqlValue,
+    TriBool,
+    is_null,
+    negate_op,
+    sql_compare,
+    tri_all,
+    tri_any,
+)
+
+Row = Tuple[SqlValue, ...]
+
+
+class EvalContext:
+    """A stack of ``(schema, row)`` frames, innermost last.
+
+    Column references resolve innermost-first, which implements SQL
+    correlation: a subquery's predicate ``R.D = S.G`` finds ``S.G`` in its
+    own frame and ``R.D`` in the enclosing block's frame.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Optional[List[Tuple[Schema, Row]]] = None):
+        self.frames: List[Tuple[Schema, Row]] = frames or []
+
+    @staticmethod
+    def single(schema: Schema, row: Row) -> "EvalContext":
+        return EvalContext([(schema, row)])
+
+    def push(self, schema: Schema, row: Row) -> "EvalContext":
+        """A new context with one more (innermost) frame."""
+        return EvalContext(self.frames + [(schema, row)])
+
+    def with_row(self, schema: Schema, row: Row) -> "EvalContext":
+        """Replace the innermost frame (hot path during scans)."""
+        return EvalContext(self.frames[:-1] + [(schema, row)])
+
+    def lookup(self, ref: str) -> SqlValue:
+        """Resolve *ref* innermost-first; raise if nowhere resolvable."""
+        for schema, row in reversed(self.frames):
+            try:
+                return row[schema.index_of(ref)]
+            except SchemaError:
+                continue
+        raise ExpressionError(f"unresolved column reference {ref!r}")
+
+    def resolvable(self, ref: str) -> bool:
+        for schema, _row in reversed(self.frames):
+            if schema.has(ref):
+                return True
+        return False
+
+
+class Expr:
+    """Base class of all expressions."""
+
+    def evaluate(self, ctx: EvalContext) -> Union[SqlValue, TriBool]:
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """All column references appearing in the expression."""
+        out: List[str] = []
+        self._collect(out)
+        return out
+
+    def _collect(self, out: List[str]) -> None:
+        pass
+
+    # -- small combinator API so plans read naturally ------------------- #
+
+    def and_(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def or_(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def negate(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant SQL value."""
+
+    value: SqlValue
+
+    def evaluate(self, ctx: EvalContext) -> SqlValue:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A column reference, qualified (``"R.A"``) or bare (``"A"``)."""
+
+    ref: str
+
+    def evaluate(self, ctx: EvalContext) -> SqlValue:
+        return ctx.lookup(self.ref)
+
+    def _collect(self, out: List[str]) -> None:
+        out.append(self.ref)
+
+    def __repr__(self) -> str:
+        return f"Col({self.ref})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left op right`` with op in ``= <> < <= > >=`` (3VL result)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        return sql_compare(self.op, _value(self.left, ctx), _value(self.right, ctx))
+
+    def _collect(self, out: List[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def negated(self) -> "Comparison":
+        """The comparison with the logically negated operator."""
+        return Comparison(negate_op(self.op), self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        return _truth(self.left, ctx) & _truth(self.right, ctx)
+
+    def _collect(self, out: List[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        return _truth(self.left, ctx) | _truth(self.right, ctx)
+
+    def _collect(self, out: List[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        return ~_truth(self.operand, ctx)
+
+    def _collect(self, out: List[str]) -> None:
+        self.operand._collect(out)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL`` — always two-valued."""
+
+    operand: Expr
+    negated: bool = False
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        null = is_null(_value(self.operand, ctx))
+        return TriBool.from_bool(null != self.negated)
+
+    def _collect(self, out: List[str]) -> None:
+        self.operand._collect(out)
+
+    def __repr__(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand!r} {op})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``operand BETWEEN low AND high`` (inclusive, 3VL)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        v = _value(self.operand, ctx)
+        lo = _value(self.low, ctx)
+        hi = _value(self.high, ctx)
+        return sql_compare(">=", v, lo) & sql_compare("<=", v, hi)
+
+    def _collect(self, out: List[str]) -> None:
+        self.operand._collect(out)
+        self.low._collect(out)
+        self.high._collect(out)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``operand [NOT] IN (v1, v2, ...)`` with literal values (3VL)."""
+
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def evaluate(self, ctx: EvalContext) -> TriBool:
+        v = _value(self.operand, ctx)
+        result = tri_any(
+            sql_compare("=", v, _value(item, ctx)) for item in self.items
+        )
+        return ~result if self.negated else result
+
+    def _collect(self, out: List[str]) -> None:
+        self.operand._collect(out)
+        for item in self.items:
+            item._collect(out)
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Binary arithmetic; NULL-propagating."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: EvalContext) -> SqlValue:
+        a = _value(self.left, ctx)
+        b = _value(self.right, ctx)
+        if is_null(a) or is_null(b):
+            return NULL
+        try:
+            return _ARITH[self.op](a, b)
+        except KeyError:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+        except ZeroDivisionError:
+            return NULL
+
+    def _collect(self, out: List[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+
+TRUE_EXPR: Expr = Literal(True)
+
+
+def _value(expr: Expr, ctx: EvalContext) -> SqlValue:
+    """Evaluate *expr* as a value; TriBool results map to booleans/NULL."""
+    result = expr.evaluate(ctx)
+    if isinstance(result, TriBool):
+        if result is TRUE:
+            return True
+        if result is FALSE:
+            return False
+        return NULL
+    return result
+
+
+def _truth(expr: Expr, ctx: EvalContext) -> TriBool:
+    """Evaluate *expr* as a predicate; values coerce via SQL truth rules."""
+    result = expr.evaluate(ctx)
+    if isinstance(result, TriBool):
+        return result
+    if is_null(result):
+        return UNKNOWN
+    if isinstance(result, bool):
+        return TriBool.from_bool(result)
+    raise ExpressionError(f"expression {expr!r} is not a predicate: {result!r}")
+
+
+def truth(expr: Expr, ctx: EvalContext) -> TriBool:
+    """Public wrapper over :func:`_truth` for operators and strategies."""
+    return _truth(expr, ctx)
+
+
+def conjoin(predicates: Sequence[Expr]) -> Expr:
+    """AND together a sequence of predicates (empty -> TRUE literal)."""
+    preds = [p for p in predicates if p is not None]
+    if not preds:
+        return TRUE_EXPR
+    result = preds[0]
+    for p in preds[1:]:
+        result = And(result, p)
+    return result
+
+
+def split_conjuncts(expr: Expr) -> List[Expr]:
+    """Flatten a tree of ANDs into a list of conjuncts."""
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    if expr is TRUE_EXPR:
+        return []
+    return [expr]
+
+
+def eq(left: str, right: str) -> Comparison:
+    """Shorthand equality predicate between two column refs."""
+    return Comparison("=", Col(left), Col(right))
+
+
+def cmp(left: str, op: str, value: SqlValue) -> Comparison:
+    """Shorthand comparison between a column ref and a literal."""
+    return Comparison(op, Col(left), Literal(value))

@@ -1,0 +1,46 @@
+"""Physical operators of the flat relational engine."""
+
+from .base import Operator, RelationSource, as_operator, as_relation
+from .basic import Distinct, Filter, Limit, Map, Project, Rename, Sort
+from .joins import (
+    AntiJoin,
+    CrossJoin,
+    OuterCrossJoin,
+    HashJoin,
+    IndexNestedLoopJoin,
+    JoinSpec,
+    LeftOuterHashJoin,
+    NestedLoopJoin,
+    SemiJoin,
+)
+from .aggregate import AggSpec, GroupAggregate, scalar_aggregate
+from .set_ops import Difference, Intersect, Union
+
+__all__ = [
+    "Operator",
+    "RelationSource",
+    "as_operator",
+    "as_relation",
+    "Filter",
+    "Project",
+    "Map",
+    "Distinct",
+    "Limit",
+    "Rename",
+    "Sort",
+    "HashJoin",
+    "LeftOuterHashJoin",
+    "SemiJoin",
+    "AntiJoin",
+    "CrossJoin",
+    "OuterCrossJoin",
+    "NestedLoopJoin",
+    "IndexNestedLoopJoin",
+    "JoinSpec",
+    "AggSpec",
+    "GroupAggregate",
+    "scalar_aggregate",
+    "Union",
+    "Intersect",
+    "Difference",
+]

@@ -1,0 +1,68 @@
+"""Physical operator protocol.
+
+Operators follow the classic iterator (Volcano) model: each exposes an
+output :class:`~repro.engine.schema.Schema` and yields row tuples.  They
+charge work to the ambient :class:`~repro.engine.metrics.Metrics` so the
+benchmark harness can report machine-independent costs.
+
+Operators may be iterated only once unless noted; call :meth:`materialize`
+to pin results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ...errors import ExecutionError
+from ..metrics import current_metrics
+from ..relation import Relation, Row
+from ..schema import Schema
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    #: output schema; subclasses set this in __init__
+    schema: Schema
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def materialize(self) -> Relation:
+        """Drain the operator into a :class:`Relation`."""
+        return Relation.from_iter(self.schema, iter(self))
+
+    def _emit(self, n: int = 1) -> None:
+        current_metrics().add("rows_out", n)
+
+
+class RelationSource(Operator):
+    """Adapts a materialized :class:`Relation` into the operator protocol."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.schema = relation.schema
+
+    def __iter__(self) -> Iterator[Row]:
+        metrics = current_metrics()
+        for row in self.relation.rows:
+            metrics.add("rows_scanned")
+            yield row
+
+
+def as_operator(source) -> Operator:
+    """Coerce a Relation or Operator into an Operator."""
+    if isinstance(source, Operator):
+        return source
+    if isinstance(source, Relation):
+        return RelationSource(source)
+    raise ExecutionError(f"cannot treat {type(source).__name__} as an operator")
+
+
+def as_relation(source) -> Relation:
+    """Coerce a Relation or Operator into a materialized Relation."""
+    if isinstance(source, Relation):
+        return source
+    if isinstance(source, Operator):
+        return source.materialize()
+    raise ExecutionError(f"cannot treat {type(source).__name__} as a relation")

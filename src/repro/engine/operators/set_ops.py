@@ -1,0 +1,89 @@
+"""Set operators: union, intersection, difference.
+
+Used by the classical-transformation baseline ([3] in the paper rewrites
+nested queries into Cartesian products followed by *differences*) and
+available through the public algebra API.  All three follow SQL's set
+semantics (duplicates eliminated; NULLs group together), which is also the
+semantics of the nested relational algebra of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from ...errors import SchemaError
+from ..metrics import current_metrics
+from ..relation import Relation, Row
+from ..types import row_group_key
+from .base import Operator, as_relation
+
+
+def _check_compat(left: Relation, right: Relation) -> None:
+    if len(left.schema) != len(right.schema):
+        raise SchemaError(
+            f"set operation over different arities: "
+            f"{len(left.schema)} vs {len(right.schema)}"
+        )
+
+
+class Union(Operator):
+    """Set union; output schema is the left input's."""
+
+    def __init__(self, left, right):
+        self.left = as_relation(left)
+        self.right = as_relation(right)
+        _check_compat(self.left, self.right)
+        self.schema = self.left.schema
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: Set[tuple] = set()
+        for rel in (self.left, self.right):
+            for row in rel.rows:
+                current_metrics().add("rows_scanned")
+                key = row_group_key(row)
+                if key not in seen:
+                    seen.add(key)
+                    self._emit()
+                    yield row
+
+
+class Intersect(Operator):
+    """Set intersection."""
+
+    def __init__(self, left, right):
+        self.left = as_relation(left)
+        self.right = as_relation(right)
+        _check_compat(self.left, self.right)
+        self.schema = self.left.schema
+
+    def __iter__(self) -> Iterator[Row]:
+        right_keys = {row_group_key(r) for r in self.right.rows}
+        emitted: Set[tuple] = set()
+        for row in self.left.rows:
+            current_metrics().add("rows_scanned")
+            key = row_group_key(row)
+            if key in right_keys and key not in emitted:
+                emitted.add(key)
+                self._emit()
+                yield row
+
+
+class Difference(Operator):
+    """Set difference (left minus right)."""
+
+    def __init__(self, left, right):
+        self.left = as_relation(left)
+        self.right = as_relation(right)
+        _check_compat(self.left, self.right)
+        self.schema = self.left.schema
+
+    def __iter__(self) -> Iterator[Row]:
+        right_keys = {row_group_key(r) for r in self.right.rows}
+        emitted: Set[tuple] = set()
+        for row in self.left.rows:
+            current_metrics().add("rows_scanned")
+            key = row_group_key(row)
+            if key not in right_keys and key not in emitted:
+                emitted.add(key)
+                self._emit()
+                yield row

@@ -1,0 +1,139 @@
+"""Flat-file persistence: save/load a :class:`Database` as CSV.
+
+One ``<table>.csv`` per table plus a ``_catalog.csv`` recording column
+order, NOT NULL flags, primary keys and declared indexes.  The format is
+deliberately boring: it round-trips the value model (ints, floats,
+strings, dates-as-ISO-strings, NULL) and nothing else, so generated
+TPC-H instances and test fixtures can be shared between runs and
+inspected with ordinary tools.
+
+Encoding rules: NULL is the empty field; strings that could be mistaken
+for other types (numeric strings, the empty string) are prefixed with
+``s:``; everything else round-trips through its literal form.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CatalogError
+from .catalog import Database
+from .schema import Column
+from .types import NULL, SqlValue, is_null
+
+_CATALOG_FILE = "_catalog.csv"
+_STRING_PREFIX = "s:"
+
+
+def _encode(value: SqlValue) -> str:
+    if is_null(value):
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    assert isinstance(value, str), f"unsupported storage type {type(value)}"
+    return _STRING_PREFIX + value
+
+
+def _decode(text: str) -> SqlValue:
+    if text == "":
+        return NULL
+    if text.startswith(_STRING_PREFIX):
+        return text[len(_STRING_PREFIX):]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise CatalogError(f"malformed storage field {text!r}")
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Write every table (and the catalog metadata) under *directory*."""
+    os.makedirs(directory, exist_ok=True)
+    catalog_rows: List[List[str]] = []
+    for name, table in sorted(db.tables.items()):
+        path = os.path.join(directory, f"{name}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([c.name for c in table.schema.columns])
+            for row in table.relation.rows:
+                writer.writerow([_encode(v) for v in row])
+        for position, column in enumerate(table.schema.columns):
+            catalog_rows.append(
+                [
+                    "column",
+                    name,
+                    str(position),
+                    column.name,
+                    "1" if column.not_null else "0",
+                ]
+            )
+        if table.primary_key is not None:
+            catalog_rows.append(["pk", name, table.primary_key, "", ""])
+        for key in table.hash_indexes:
+            catalog_rows.append(["hash_index", name, "|".join(key), "", ""])
+        for ref in table.sorted_indexes:
+            catalog_rows.append(["sorted_index", name, ref, "", ""])
+    with open(os.path.join(directory, _CATALOG_FILE), "w", newline="") as handle:
+        csv.writer(handle).writerows(catalog_rows)
+
+
+def load_database(directory: str) -> Database:
+    """Rebuild a database saved by :func:`save_database` (indexes included)."""
+    catalog_path = os.path.join(directory, _CATALOG_FILE)
+    if not os.path.exists(catalog_path):
+        raise CatalogError(f"no {_CATALOG_FILE} in {directory!r}")
+    columns: Dict[str, List[Tuple[int, Column]]] = {}
+    primary_keys: Dict[str, str] = {}
+    hash_indexes: List[Tuple[str, List[str]]] = []
+    sorted_indexes: List[Tuple[str, str]] = []
+    with open(catalog_path, newline="") as handle:
+        for record in csv.reader(handle):
+            kind, table = record[0], record[1]
+            if kind == "column":
+                position = int(record[2])
+                columns.setdefault(table, []).append(
+                    (position, Column(record[3], not_null=record[4] == "1"))
+                )
+            elif kind == "pk":
+                primary_keys[table] = record[2]
+            elif kind == "hash_index":
+                hash_indexes.append((table, record[2].split("|")))
+            elif kind == "sorted_index":
+                sorted_indexes.append((table, record[2]))
+            else:
+                raise CatalogError(f"unknown catalog record kind {kind!r}")
+
+    db = Database()
+    for table, cols in sorted(columns.items()):
+        ordered = [c for _pos, c in sorted(cols, key=lambda pair: pair[0])]
+        path = os.path.join(directory, f"{table}.csv")
+        rows = []
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if header != [c.name for c in ordered]:
+                raise CatalogError(
+                    f"{table}.csv header {header} does not match catalog"
+                )
+            for record in reader:
+                rows.append(tuple(_decode(field) for field in record))
+        db.create_table(
+            table, ordered, rows, primary_key=primary_keys.get(table)
+        )
+    for table, refs in hash_indexes:
+        db.create_hash_index(table, refs)
+    for table, ref in sorted_indexes:
+        db.create_sorted_index(table, ref)
+    return db

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch a single base class.  The hierarchy mirrors the layers of
+the system: engine (physical evaluation), SQL front-end, and the nested
+relational core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference cannot be resolved."""
+
+
+class TypeError_(ReproError):
+    """A value has a type that an operator or expression cannot handle.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or evaluated over an incompatible row."""
+
+
+class ParseError(ReproError):
+    """The SQL parser rejected the input text."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class AnalysisError(ReproError):
+    """Semantic analysis of a parsed query failed (unknown table/column,
+    ambiguous reference, unsupported construct, ...)."""
+
+
+class PlanError(ReproError):
+    """A strategy cannot produce a plan for the given query shape."""
+
+
+class UnsoundRewriteError(PlanError):
+    """A classical rewrite (e.g. ALL -> antijoin) was requested in a context
+    where it would not preserve SQL semantics (NULLable linked attribute).
+
+    The paper's Section 2 motivates the nested relational approach precisely
+    with this failure mode; the baseline strategies raise this error instead
+    of silently producing wrong answers.
+    """
+
+
+class CatalogError(ReproError):
+    """A table or index name is unknown or already defined."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at run time."""

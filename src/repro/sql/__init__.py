@@ -1,0 +1,15 @@
+"""SQL front-end for the subset the paper's workloads use."""
+
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+from .analyzer import Analyzer, analyze, compile_sql
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+    "Analyzer",
+    "analyze",
+    "compile_sql",
+]

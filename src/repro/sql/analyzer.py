@@ -1,0 +1,370 @@
+"""Semantic analysis: SQL AST -> normalized :class:`NestedQuery`.
+
+The analyzer resolves table and column references against the database
+catalog and SQL's block-scoping rules (a name resolves in the innermost
+enclosing block that can supply it), assigns globally unique aliases
+(re-aliasing repeated table uses, since the block model requires global
+uniqueness), and classifies every WHERE conjunct of every block into the
+paper's three categories:
+
+* **linking predicate** — a conjunct containing a subquery (EXISTS /
+  IN / quantified comparison); becomes the child block's
+  :class:`~repro.core.blocks.LinkSpec`;
+* **correlated predicate** — a comparison between a column of the
+  current block and a column of an enclosing block; becomes a
+  :class:`~repro.core.blocks.Correlation`;
+* **local predicate** — everything that references only the current
+  block; AND-ed into Δ_i.
+
+Constructs outside the paper's scope (disjunctions containing
+subqueries, correlated predicates that are not simple column/column
+comparisons, subqueries in the SELECT list, ...) raise
+:class:`~repro.errors.AnalysisError` with a message naming the construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from ..engine import expressions as ex
+from ..engine.catalog import Database
+from ..core.blocks import Correlation, LinkSpec, NestedQuery, QueryBlock
+from . import ast as A
+from .parser import parse
+
+
+@dataclass
+class _Scope:
+    """Name-resolution scope for one block: alias -> table name."""
+
+    aliases: Dict[str, str]
+    db: Database
+    parent: Optional["_Scope"] = None
+
+    def resolve(self, ref: A.ColumnRef) -> Tuple[str, int]:
+        """Resolve to (qualified name, scope depth); 0 = current block.
+
+        Depth counts how many blocks outward resolution had to travel —
+        depth > 0 means the reference is correlated.
+        """
+        scope: Optional[_Scope] = self
+        depth = 0
+        while scope is not None:
+            qualified = scope._resolve_local(ref)
+            if qualified is not None:
+                return qualified, depth
+            scope = scope.parent
+            depth += 1
+        raise AnalysisError(f"unresolved column reference {ref.text!r}")
+
+    def _resolve_local(self, ref: A.ColumnRef) -> Optional[str]:
+        if ref.table is not None:
+            # by alias first, then by base-table name (SQL allows both)
+            if ref.table in self.aliases:
+                table = self.db.table(self.aliases[ref.table])
+                if any(c.name == ref.column for c in table.schema.columns):
+                    return f"{ref.table}.{ref.column}"
+                raise AnalysisError(
+                    f"table {ref.table!r} has no column {ref.column!r}"
+                )
+            for alias, table_name in self.aliases.items():
+                if table_name == ref.table:
+                    table = self.db.table(table_name)
+                    if any(c.name == ref.column for c in table.schema.columns):
+                        return f"{alias}.{ref.column}"
+            return None
+        hits = []
+        for alias, table_name in self.aliases.items():
+            table = self.db.table(table_name)
+            if any(c.name == ref.column for c in table.schema.columns):
+                hits.append(alias)
+        if len(hits) > 1:
+            raise AnalysisError(f"ambiguous column reference {ref.column!r}")
+        if hits:
+            return f"{hits[0]}.{ref.column}"
+        return None
+
+
+class Analyzer:
+    """Lowers a parsed SELECT into a :class:`NestedQuery`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._used_aliases: set = set()
+
+    def analyze(self, stmt: A.SelectStmt) -> NestedQuery:
+        root = self._analyze_block(stmt, parent_scope=None, link=None)
+        return NestedQuery(root)
+
+    # ------------------------------------------------------------------ #
+
+    def _analyze_block(
+        self,
+        stmt: A.SelectStmt,
+        parent_scope: Optional[_Scope],
+        link: Optional[LinkSpec],
+    ) -> QueryBlock:
+        aliases: Dict[str, str] = {}
+        for tref in stmt.tables:
+            if not self.db.has_table(tref.name):
+                raise AnalysisError(f"unknown table {tref.name!r}")
+            alias = self._unique_alias(tref.effective_alias)
+            aliases[alias] = tref.name
+        scope = _Scope(aliases=aliases, db=self.db, parent=parent_scope)
+
+        select_refs = self._select_list(stmt, scope)
+
+        local: List[ex.Expr] = []
+        correlations: List[Correlation] = []
+        children: List[QueryBlock] = []
+        if stmt.where is not None:
+            for conjunct in _conjuncts(stmt.where):
+                self._classify(
+                    conjunct, scope, local, correlations, children
+                )
+
+        if (stmt.order_by or stmt.limit is not None) and parent_scope is not None:
+            raise AnalysisError(
+                "ORDER BY / LIMIT are only supported on the outermost query"
+            )
+        order_by: List[Tuple[str, bool]] = []
+        for item in stmt.order_by:
+            qualified, depth = scope.resolve(item.expr)
+            if depth != 0:
+                raise AnalysisError(
+                    f"ORDER BY item {item.expr.text!r} resolves in an "
+                    "enclosing block"
+                )
+            if qualified not in select_refs:
+                raise AnalysisError(
+                    f"ORDER BY item {item.expr.text!r} must appear in the "
+                    "SELECT list"
+                )
+            order_by.append((qualified, item.descending))
+
+        block = QueryBlock(
+            tables=aliases,
+            local_predicate=ex.conjoin(local) if local else None,
+            correlations=correlations,
+            link=link,
+            children=children,
+            select_refs=select_refs,
+            distinct=stmt.distinct,
+            order_by=order_by,
+            limit=stmt.limit,
+        )
+        return block
+
+    def _unique_alias(self, wanted: str) -> str:
+        alias = wanted
+        suffix = 2
+        while alias in self._used_aliases:
+            alias = f"{wanted}_{suffix}"
+            suffix += 1
+        self._used_aliases.add(alias)
+        return alias
+
+    def _select_list(self, stmt: A.SelectStmt, scope: _Scope) -> List[str]:
+        refs: List[str] = []
+        for item in stmt.items:
+            if item.star:
+                for alias, table_name in scope.aliases.items():
+                    for col in self.db.table(table_name).schema.columns:
+                        refs.append(f"{alias}.{col.name}")
+                continue
+            assert item.expr is not None
+            qualified, depth = scope.resolve(item.expr)
+            if depth != 0:
+                raise AnalysisError(
+                    f"SELECT item {item.expr.text!r} resolves in an enclosing "
+                    "block; correlated SELECT items are not supported"
+                )
+            refs.append(qualified)
+        return refs
+
+    # ------------------------------------------------------------------ #
+    # conjunct classification
+    # ------------------------------------------------------------------ #
+
+    def _classify(
+        self,
+        pred: A.Predicate,
+        scope: _Scope,
+        local: List[ex.Expr],
+        correlations: List[Correlation],
+        children: List[QueryBlock],
+    ) -> None:
+        if isinstance(pred, A.ExistsPred):
+            link = LinkSpec("not_exists" if pred.negated else "exists")
+            children.append(self._analyze_block(pred.subquery, scope, link))
+            return
+        if isinstance(pred, A.InSubqueryPred):
+            outer_ref = self._linking_column(pred.operand, scope)
+            inner_ref, child = self._subquery_column(pred.subquery, scope)
+            operator = "not_in" if pred.negated else "in"
+            theta = "<>" if pred.negated else "="
+            link = LinkSpec(operator, outer_ref, theta, inner_ref)
+            children.append(self._relink(child, link))
+            return
+        if isinstance(pred, A.QuantifiedPred):
+            outer_ref = self._linking_column(pred.operand, scope)
+            inner_ref, child = self._subquery_column(pred.subquery, scope)
+            link = LinkSpec(pred.quantifier, outer_ref, pred.op, inner_ref)
+            children.append(self._relink(child, link))
+            return
+        if isinstance(pred, A.NotPred):
+            if _contains_subquery(pred.operand):
+                raise AnalysisError(
+                    "NOT over a subquery predicate is outside the supported "
+                    "subset (rewrite as NOT EXISTS / NOT IN / negated theta)"
+                )
+            local.append(ex.Not(self._predicate_expr(pred.operand, scope)))
+            return
+        if _contains_subquery(pred):
+            raise AnalysisError(
+                "subqueries may only appear as top-level WHERE conjuncts "
+                "(EXISTS / IN / quantified comparison)"
+            )
+        # plain predicate: local or correlated
+        if isinstance(pred, A.ComparisonPred):
+            corr = self._try_correlation(pred, scope)
+            if corr is not None:
+                correlations.append(corr)
+                return
+        expr, max_depth = self._predicate_expr_depth(pred, scope)
+        if max_depth > 0:
+            raise AnalysisError(
+                f"correlated predicate {pred!r} is not a simple "
+                "column/column comparison; outside the supported subset"
+            )
+        local.append(expr)
+
+    def _relink(self, block: QueryBlock, link: LinkSpec) -> QueryBlock:
+        block.link = link
+        return block
+
+    def _linking_column(self, operand: A.ValueExpr, scope: _Scope) -> str:
+        if not isinstance(operand, A.ColumnRef):
+            raise AnalysisError(
+                "the linking attribute must be a plain column reference"
+            )
+        qualified, _depth = scope.resolve(operand)
+        return qualified
+
+    def _subquery_column(
+        self, stmt: A.SelectStmt, scope: _Scope
+    ) -> Tuple[str, QueryBlock]:
+        """Analyze a quantified/IN subquery; its single SELECT item is the
+        linked attribute."""
+        child = self._analyze_block(stmt, scope, link=None)
+        if len(child.select_refs) != 1:
+            raise AnalysisError(
+                "a subquery used with IN / SOME / ANY / ALL must select "
+                f"exactly one column, got {child.select_refs}"
+            )
+        return child.select_refs[0], child
+
+    def _try_correlation(
+        self, pred: A.ComparisonPred, scope: _Scope
+    ) -> Optional[Correlation]:
+        """Comparison between one inner and one outer column -> Correlation."""
+        if not (
+            isinstance(pred.left, A.ColumnRef)
+            and isinstance(pred.right, A.ColumnRef)
+        ):
+            return None
+        left_q, left_d = scope.resolve(pred.left)
+        right_q, right_d = scope.resolve(pred.right)
+        if left_d == 0 and right_d > 0:
+            from ..engine.types import flip_op
+
+            return Correlation(right_q, flip_op(pred.op), left_q)
+        if left_d > 0 and right_d == 0:
+            return Correlation(left_q, pred.op, right_q)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # expression lowering
+    # ------------------------------------------------------------------ #
+
+    def _value_expr_depth(
+        self, value: A.ValueExpr, scope: _Scope
+    ) -> Tuple[ex.Expr, int]:
+        if isinstance(value, A.Constant):
+            return ex.Literal(value.value), 0
+        if isinstance(value, A.ColumnRef):
+            qualified, depth = scope.resolve(value)
+            return ex.Col(qualified), depth
+        if isinstance(value, A.BinaryArith):
+            left, dl = self._value_expr_depth(value.left, scope)
+            right, dr = self._value_expr_depth(value.right, scope)
+            return ex.Arith(value.op, left, right), max(dl, dr)
+        raise AnalysisError(f"unsupported value expression {value!r}")
+
+    def _predicate_expr_depth(
+        self, pred: A.Predicate, scope: _Scope
+    ) -> Tuple[ex.Expr, int]:
+        if isinstance(pred, A.ComparisonPred):
+            left, dl = self._value_expr_depth(pred.left, scope)
+            right, dr = self._value_expr_depth(pred.right, scope)
+            return ex.Comparison(pred.op, left, right), max(dl, dr)
+        if isinstance(pred, A.BetweenPred):
+            operand, d0 = self._value_expr_depth(pred.operand, scope)
+            low, d1 = self._value_expr_depth(pred.low, scope)
+            high, d2 = self._value_expr_depth(pred.high, scope)
+            return ex.Between(operand, low, high), max(d0, d1, d2)
+        if isinstance(pred, A.IsNullPred):
+            operand, d = self._value_expr_depth(pred.operand, scope)
+            return ex.IsNull(operand, negated=pred.negated), d
+        if isinstance(pred, A.InListPred):
+            operand, d = self._value_expr_depth(pred.operand, scope)
+            items = []
+            for item in pred.items:
+                item_expr, di = self._value_expr_depth(item, scope)
+                items.append(item_expr)
+                d = max(d, di)
+            return ex.InList(operand, tuple(items), negated=pred.negated), d
+        if isinstance(pred, A.AndPred):
+            left, dl = self._predicate_expr_depth(pred.left, scope)
+            right, dr = self._predicate_expr_depth(pred.right, scope)
+            return ex.And(left, right), max(dl, dr)
+        if isinstance(pred, A.OrPred):
+            left, dl = self._predicate_expr_depth(pred.left, scope)
+            right, dr = self._predicate_expr_depth(pred.right, scope)
+            return ex.Or(left, right), max(dl, dr)
+        if isinstance(pred, A.NotPred):
+            inner, d = self._predicate_expr_depth(pred.operand, scope)
+            return ex.Not(inner), d
+        raise AnalysisError(f"unsupported predicate {pred!r}")
+
+    def _predicate_expr(self, pred: A.Predicate, scope: _Scope) -> ex.Expr:
+        expr, _depth = self._predicate_expr_depth(pred, scope)
+        return expr
+
+
+def _conjuncts(pred: A.Predicate) -> List[A.Predicate]:
+    if isinstance(pred, A.AndPred):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _contains_subquery(pred: A.Predicate) -> bool:
+    if isinstance(pred, (A.ExistsPred, A.InSubqueryPred, A.QuantifiedPred)):
+        return True
+    if isinstance(pred, (A.AndPred, A.OrPred)):
+        return _contains_subquery(pred.left) or _contains_subquery(pred.right)
+    if isinstance(pred, A.NotPred):
+        return _contains_subquery(pred.operand)
+    return False
+
+
+def analyze(stmt: A.SelectStmt, db: Database) -> NestedQuery:
+    """Lower a parsed statement into the normalized block model."""
+    return Analyzer(db).analyze(stmt)
+
+
+def compile_sql(text: str, db: Database) -> NestedQuery:
+    """Parse + analyze SQL text in one step."""
+    return analyze(parse(text), db)

@@ -1,0 +1,166 @@
+"""Abstract syntax tree for the SQL subset.
+
+The parser produces this surface AST; the analyzer lowers it onto the
+normalized :class:`~repro.core.blocks.NestedQuery` block model all the
+strategies consume.  Predicate nodes reuse the engine's expression kinds
+where possible; subquery-bearing predicates get dedicated node types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``table.column`` or a bare ``column``."""
+
+    table: Optional[str]
+    column: str
+
+    @property
+    def text(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal value: number, string or NULL/TRUE/FALSE."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class BinaryArith:
+    op: str
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+ValueExpr = Union[ColumnRef, Constant, BinaryArith]
+
+
+@dataclass(frozen=True)
+class ComparisonPred:
+    op: str
+    left: ValueExpr
+    right: ValueExpr
+
+
+@dataclass(frozen=True)
+class BetweenPred:
+    operand: ValueExpr
+    low: ValueExpr
+    high: ValueExpr
+
+
+@dataclass(frozen=True)
+class IsNullPred:
+    operand: ValueExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InListPred:
+    operand: ValueExpr
+    items: Tuple[ValueExpr, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class AndPred:
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class OrPred:
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class NotPred:
+    operand: "Predicate"
+
+
+@dataclass(frozen=True)
+class ExistsPred:
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InSubqueryPred:
+    """``expr [NOT] IN (subquery)``."""
+
+    operand: ValueExpr
+    subquery: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class QuantifiedPred:
+    """``expr θ SOME|ANY|ALL (subquery)``."""
+
+    operand: ValueExpr
+    op: str
+    quantifier: str  # "some" | "all"
+    subquery: "SelectStmt"
+
+
+Predicate = Union[
+    ComparisonPred,
+    BetweenPred,
+    IsNullPred,
+    InListPred,
+    AndPred,
+    OrPred,
+    NotPred,
+    ExistsPred,
+    InSubqueryPred,
+    QuantifiedPred,
+]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``name [AS] alias``."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry; ``star`` for ``SELECT *``."""
+
+    expr: Optional[ColumnRef]
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry: a column plus direction."""
+
+    expr: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A (possibly nested) SELECT statement."""
+
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[Predicate]
+    distinct: bool = False
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None

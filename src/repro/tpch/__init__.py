@@ -1,0 +1,38 @@
+"""TPC-H substrate: schemas, deterministic data generator, paper queries."""
+
+from .schema import PRIMARY_KEYS, TABLE_NAMES, columns_for
+from .datagen import BASE_ROWS, TpchConfig, build_paper_indexes, generate, rows_at
+from .validation import assert_valid, validate
+from .queries import (
+    PAPER_QUERIES,
+    QUERY3_VARIANTS,
+    count_quantity_block,
+    pick_availqty,
+    pick_date_window,
+    pick_size_window,
+    query1,
+    query2,
+    query3,
+)
+
+__all__ = [
+    "PRIMARY_KEYS",
+    "TABLE_NAMES",
+    "columns_for",
+    "BASE_ROWS",
+    "TpchConfig",
+    "build_paper_indexes",
+    "generate",
+    "rows_at",
+    "PAPER_QUERIES",
+    "QUERY3_VARIANTS",
+    "query1",
+    "query2",
+    "query3",
+    "pick_date_window",
+    "pick_size_window",
+    "pick_availqty",
+    "count_quantity_block",
+    "validate",
+    "assert_valid",
+]

@@ -1,0 +1,293 @@
+"""Deterministic synthetic TPC-H data generator.
+
+A scaled-down stand-in for dbgen: row counts follow the official TPC-H
+cardinalities times the scale factor (orders = 1 500 000 × SF, lineitem ≈
+4 × orders, part = 200 000 × SF, partsupp = 4 × part, ...), values follow
+the spec's distributions closely enough for the paper's workloads
+(uniform ``p_size`` in 1..50, ``ps_availqty`` in 1..9999, ``l_quantity``
+in 1..50, order dates uniform over 1992-01-01 .. 1998-08-02).  Everything
+derives from a seeded :class:`random.Random`, so a given (sf, seed) pair
+always produces the same database — benchmark series are reproducible.
+
+``inject_null_fraction`` optionally replaces that fraction of
+``l_extendedprice`` / ``ps_supplycost`` values with NULL: the paper's
+soundness arguments are about *potentially* NULL columns, and the
+correctness test-suite uses actually-NULL data to catch unsound rewrites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.catalog import Database
+from ..engine.types import NULL
+from .schema import PRIMARY_KEYS, columns_for
+
+#: official TPC-H cardinalities at scale factor 1
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_CONTAINERS = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"]
+_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"]
+_TYPES = ["ECONOMY", "STANDARD", "PROMO", "SMALL", "MEDIUM", "LARGE"]
+_DATE_START = 8035  # ordinal days offset base for 1992-01-01 (arbitrary epoch)
+_DATE_SPAN = 2405   # days between 1992-01-01 and 1998-08-02
+
+
+def _date(day_offset: int) -> str:
+    """ISO date string for 1992-01-01 + day_offset (lexicographic order
+    equals chronological order, so strings compare correctly)."""
+    import datetime
+
+    return (datetime.date(1992, 1, 1) + datetime.timedelta(days=day_offset)).isoformat()
+
+
+@dataclass
+class TpchConfig:
+    """Knobs for :func:`generate`."""
+
+    scale_factor: float = 0.001
+    seed: int = 42
+    #: declare NOT NULL on l_extendedprice / ps_supplycost (Query 1/2b hinge)
+    price_not_null: bool = False
+    #: fraction of the two price columns replaced by NULL (0 = spec data)
+    inject_null_fraction: float = 0.0
+    #: create the indexes the paper's experiments assume
+    build_indexes: bool = True
+
+
+def rows_at(sf: float, table: str) -> int:
+    """Scaled row count for *table* (min 1; nation/region never scale)."""
+    if table in ("region", "nation"):
+        return BASE_ROWS[table]
+    return max(1, int(BASE_ROWS[table] * sf))
+
+
+def generate(config: Optional[TpchConfig] = None, **kwargs) -> Database:
+    """Build a TPC-H database per *config* (kwargs override fields)."""
+    if config is None:
+        config = TpchConfig()
+    for key, value in kwargs.items():
+        if not hasattr(config, key):
+            raise TypeError(f"unknown TpchConfig field {key!r}")
+        setattr(config, key, value)
+
+    rng = random.Random(config.seed)
+    db = Database()
+    sf = config.scale_factor
+
+    n_region = rows_at(sf, "region")
+    n_nation = rows_at(sf, "nation")
+    n_supplier = rows_at(sf, "supplier")
+    n_customer = rows_at(sf, "customer")
+    n_part = rows_at(sf, "part")
+    n_partsupp_per_part = 4
+    n_orders = rows_at(sf, "orders")
+
+    # ---------------------------------------------------------------- #
+    db.create_table(
+        "region",
+        columns_for("region"),
+        [(k, _REGIONS[k % len(_REGIONS)], f"region {k}") for k in range(n_region)],
+        primary_key="r_regionkey",
+    )
+    db.create_table(
+        "nation",
+        columns_for("nation"),
+        [
+            (k, f"NATION#{k:02d}", k % n_region, f"nation {k}")
+            for k in range(n_nation)
+        ],
+        primary_key="n_nationkey",
+    )
+    db.create_table(
+        "supplier",
+        columns_for("supplier"),
+        [
+            (
+                k,
+                f"Supplier#{k:09d}",
+                f"addr {k}",
+                rng.randrange(n_nation),
+                f"{rng.randrange(10,35)}-555-{k:07d}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                f"supplier comment {k}",
+            )
+            for k in range(1, n_supplier + 1)
+        ],
+        primary_key="s_suppkey",
+    )
+    db.create_table(
+        "customer",
+        columns_for("customer"),
+        [
+            (
+                k,
+                f"Customer#{k:09d}",
+                f"addr {k}",
+                rng.randrange(n_nation),
+                f"{rng.randrange(10,35)}-555-{k:07d}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _SEGMENTS[rng.randrange(len(_SEGMENTS))],
+                f"customer comment {k}",
+            )
+            for k in range(1, n_customer + 1)
+        ],
+        primary_key="c_custkey",
+    )
+
+    # ---------------------------------------------------------------- #
+    part_rows = []
+    for k in range(1, n_part + 1):
+        part_rows.append(
+            (
+                k,
+                f"part {k}",
+                f"Manufacturer#{k % 5 + 1}",
+                f"Brand#{k % 25 + 1}",
+                _TYPES[rng.randrange(len(_TYPES))],
+                rng.randint(1, 50),
+                _CONTAINERS[rng.randrange(len(_CONTAINERS))],
+                round(900 + (k % 1000) + rng.uniform(0, 100), 2),
+                f"part comment {k}",
+            )
+        )
+    db.create_table(
+        "part",
+        columns_for("part", config.price_not_null),
+        part_rows,
+        primary_key="p_partkey",
+    )
+
+    def maybe_null(value):
+        if config.inject_null_fraction > 0 and rng.random() < config.inject_null_fraction:
+            return NULL
+        return value
+
+    partsupp_rows = []
+    ps_key = 0
+    for pk in range(1, n_part + 1):
+        for j in range(n_partsupp_per_part):
+            ps_key += 1
+            partsupp_rows.append(
+                (
+                    ps_key,
+                    pk,
+                    1 + (pk * n_partsupp_per_part + j) % n_supplier,
+                    rng.randint(1, 9999),
+                    # TPC-H spec uses uniform [1, 1000]; we widen to 2000 so
+                    # the paper's "p_retailprice < ANY/ALL ps_supplycost"
+                    # predicates have non-trivial selectivity at small scale
+                    # factors (retail prices sit in 900..2000).
+                    maybe_null(round(rng.uniform(1.0, 2000.0), 2)),
+                    f"partsupp comment {ps_key}",
+                )
+            )
+    db.create_table(
+        "partsupp",
+        columns_for("partsupp", config.price_not_null),
+        partsupp_rows,
+        primary_key="ps_key",
+    )
+
+    # ---------------------------------------------------------------- #
+    order_rows = []
+    lineitem_rows = []
+    l_key = 0
+    for ok in range(1, n_orders + 1):
+        order_date = rng.randrange(_DATE_SPAN - 151)
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        lines = []
+        for ln in range(1, n_lines + 1):
+            l_key += 1
+            partkey = rng.randint(1, n_part)
+            suppkey = 1 + (partkey * n_partsupp_per_part + rng.randrange(4)) % n_supplier
+            quantity = rng.randint(1, 50)
+            extended = round(quantity * rng.uniform(900.0, 1100.0) / 10, 2)
+            total += extended
+            ship = order_date + rng.randint(1, 121)
+            commit = order_date + rng.randint(30, 90)
+            receipt = ship + rng.randint(1, 30)
+            lines.append(
+                (
+                    l_key,
+                    ok,
+                    partkey,
+                    suppkey,
+                    ln,
+                    quantity,
+                    maybe_null(extended),
+                    round(rng.uniform(0.0, 0.1), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    "R" if rng.random() < 0.25 else "N",
+                    "O" if rng.random() < 0.5 else "F",
+                    _date(ship),
+                    _date(commit),
+                    _date(receipt),
+                    _MODES[rng.randrange(len(_MODES))],
+                    f"line comment {l_key}",
+                )
+            )
+        lineitem_rows.extend(lines)
+        order_rows.append(
+            (
+                ok,
+                rng.randint(1, n_customer),
+                "F" if rng.random() < 0.5 else "O",
+                round(total, 2),
+                _date(order_date),
+                _PRIORITIES[rng.randrange(len(_PRIORITIES))],
+                f"Clerk#{rng.randrange(1000):09d}",
+                0,
+                f"order comment {ok}",
+            )
+        )
+    db.create_table(
+        "orders",
+        columns_for("orders"),
+        order_rows,
+        primary_key="o_orderkey",
+    )
+    db.create_table(
+        "lineitem",
+        columns_for("lineitem", config.price_not_null),
+        lineitem_rows,
+        primary_key="l_key",
+    )
+
+    if config.build_indexes:
+        build_paper_indexes(db)
+    return db
+
+
+def build_paper_indexes(db: Database) -> None:
+    """Create the indexes Section 5 describes.
+
+    "B+ tree indexes on the primary key of each base table were
+    automatically built"; "Additional indexes on the foreign keys of
+    lineitem, l_partkey and l_suppkey, are created manually"; "we created
+    a combined index on (l_partkey, l_suppkey) and two single indexes".
+    """
+    for table, pk in PRIMARY_KEYS.items():
+        if db.has_table(table):
+            db.create_hash_index(table, [pk])
+    db.create_hash_index("lineitem", ["l_orderkey"])
+    db.create_hash_index("lineitem", ["l_partkey"])
+    db.create_hash_index("lineitem", ["l_suppkey"])
+    db.create_hash_index("lineitem", ["l_partkey", "l_suppkey"])
+    db.create_hash_index("partsupp", ["ps_partkey"])
+    db.create_hash_index("partsupp", ["ps_partkey", "ps_suppkey"])
+    db.create_hash_index("orders", ["o_orderkey"])

@@ -1,0 +1,129 @@
+"""TPC-H table schemas (the subset of columns the engine stores).
+
+Full eight-table TPC-H layout.  Two columns get configurable NOT NULL
+constraints because the paper's experiments hinge on them:
+
+* ``l_extendedprice`` — Query 1: "with a NOT NULL constraint on the
+  attribute l_extendedprice, System A directly performs an antijoin ...
+  if the NOT NULL constraint is dropped, even though there are no null
+  values, antijoin is not used";
+* ``ps_supplycost`` — Query 2b: same story.
+
+:func:`columns_for` returns :class:`~repro.engine.schema.Column` lists
+with the desired constraint setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..engine.schema import Column
+
+#: column name -> always-NOT-NULL flag; None marks the two configurable ones
+_TABLES: Dict[str, List[Tuple[str, object]]] = {
+    "region": [
+        ("r_regionkey", True),
+        ("r_name", True),
+        ("r_comment", False),
+    ],
+    "nation": [
+        ("n_nationkey", True),
+        ("n_name", True),
+        ("n_regionkey", True),
+        ("n_comment", False),
+    ],
+    "supplier": [
+        ("s_suppkey", True),
+        ("s_name", True),
+        ("s_address", False),
+        ("s_nationkey", True),
+        ("s_phone", False),
+        ("s_acctbal", False),
+        ("s_comment", False),
+    ],
+    "customer": [
+        ("c_custkey", True),
+        ("c_name", True),
+        ("c_address", False),
+        ("c_nationkey", True),
+        ("c_phone", False),
+        ("c_acctbal", False),
+        ("c_mktsegment", False),
+        ("c_comment", False),
+    ],
+    "part": [
+        ("p_partkey", True),
+        ("p_name", True),
+        ("p_mfgr", False),
+        ("p_brand", False),
+        ("p_type", False),
+        ("p_size", True),
+        ("p_container", False),
+        ("p_retailprice", True),
+        ("p_comment", False),
+    ],
+    "partsupp": [
+        ("ps_partkey", True),
+        ("ps_suppkey", True),
+        ("ps_availqty", True),
+        ("ps_supplycost", None),  # configurable (paper Query 2b)
+        ("ps_comment", False),
+    ],
+    "orders": [
+        ("o_orderkey", True),
+        ("o_custkey", True),
+        ("o_orderstatus", False),
+        ("o_totalprice", True),
+        ("o_orderdate", True),
+        ("o_orderpriority", True),
+        ("o_clerk", False),
+        ("o_shippriority", False),
+        ("o_comment", False),
+    ],
+    "lineitem": [
+        ("l_orderkey", True),
+        ("l_partkey", True),
+        ("l_suppkey", True),
+        ("l_linenumber", True),
+        ("l_quantity", True),
+        ("l_extendedprice", None),  # configurable (paper Query 1)
+        ("l_discount", False),
+        ("l_tax", False),
+        ("l_returnflag", False),
+        ("l_linestatus", False),
+        ("l_shipdate", True),
+        ("l_commitdate", True),
+        ("l_receiptdate", True),
+        ("l_shipmode", False),
+        ("l_comment", False),
+    ],
+}
+
+PRIMARY_KEYS: Dict[str, str] = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "orders": "o_orderkey",
+    # partsupp and lineitem have composite keys in TPC-H; the generator
+    # adds a synthetic single-column key for each (ps_key, l_key) so every
+    # table satisfies the paper's unique-non-null-key assumption.
+    "partsupp": "ps_key",
+    "lineitem": "l_key",
+}
+
+TABLE_NAMES = tuple(_TABLES)
+
+
+def columns_for(table: str, price_not_null: bool = False) -> List[Column]:
+    """Columns of *table*; configurable ones get *price_not_null*."""
+    columns = []
+    for name, flag in _TABLES[table]:
+        not_null = price_not_null if flag is None else bool(flag)
+        columns.append(Column(name, not_null=not_null))
+    if table == "partsupp":
+        columns.insert(0, Column("ps_key", not_null=True))
+    if table == "lineitem":
+        columns.insert(0, Column("l_key", not_null=True))
+    return columns

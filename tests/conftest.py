@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's running example and small databases."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine import Column, Database, NULL
+
+
+@pytest.fixture(scope="session")
+def paper_db() -> Database:
+    """The relations R, S, T of the paper's Figure 1 (Section 3).
+
+    R(A, B, C, D) with D the primary key; S(E, F, G, H, I) with I the
+    key; T(J, K, L) with L the key.  Values copied verbatim, including
+    the NULLs.
+    """
+    db = Database()
+    db.create_table(
+        "R",
+        [Column("A"), Column("B"), Column("C"), Column("D", not_null=True)],
+        [
+            (1, 2, 3, 1),
+            (2, 3, 2, 2),
+            (5, 2, 3, 3),
+            (NULL, NULL, 5, 4),
+        ],
+        primary_key="D",
+    )
+    db.create_table(
+        "S",
+        [
+            Column("E"),
+            Column("F"),
+            Column("G"),
+            Column("H"),
+            Column("I", not_null=True),
+        ],
+        [
+            (7, 5, 1, 5, 1),
+            (2, 5, 2, 2, 2),
+            (2, 5, 3, 4, 3),
+            (4, 6, 3, NULL, 4),
+        ],
+        primary_key="I",
+    )
+    db.create_table(
+        "T",
+        [Column("J"), Column("K"), Column("L", not_null=True)],
+        [
+            (3, 3, 1),
+            (NULL, 4, 2),
+            (2, 2, 3),
+        ],
+        primary_key="L",
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch() -> Database:
+    """A small deterministic TPC-H instance shared across tests."""
+    return repro.tpch.generate(
+        repro.tpch.TpchConfig(scale_factor=0.002, seed=1234)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_nulls() -> Database:
+    """Same as :func:`tiny_tpch` but with NULLs injected into the price
+    columns — the data classical rewrites get wrong."""
+    return repro.tpch.generate(
+        repro.tpch.TpchConfig(
+            scale_factor=0.002, seed=1234, inject_null_fraction=0.08
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_not_null() -> Database:
+    """Same as :func:`tiny_tpch` with NOT NULL declared on the price
+    columns (flips System A's plan, per the paper)."""
+    return repro.tpch.generate(
+        repro.tpch.TpchConfig(scale_factor=0.002, seed=1234, price_not_null=True)
+    )

@@ -1,0 +1,141 @@
+"""Unit tests for linking predicates (Definition 4) and their 3VL
+semantics — including every NULL corner the paper builds its case on."""
+
+import pytest
+
+from repro.core.linking import SetPredicate, evaluate_quantified
+from repro.engine.types import FALSE, NULL, TRUE, UNKNOWN
+from repro.errors import ExpressionError
+
+
+def members(*pairs):
+    """(value, pk) members; pk defaults to a live marker."""
+    out = []
+    for p in pairs:
+        if isinstance(p, tuple):
+            out.append(p)
+        else:
+            out.append((p, 1))
+    return out
+
+
+class TestConstruction:
+    def test_quantified_requires_theta(self):
+        with pytest.raises(ExpressionError):
+            SetPredicate("all")
+
+    def test_unknown_quantifier(self):
+        with pytest.raises(ExpressionError):
+            SetPredicate("most")
+
+    def test_describe(self):
+        assert "ALL" in SetPredicate("all", ">").describe()
+        assert "∅" in SetPredicate("exists").describe()
+
+
+class TestAllSemantics:
+    def test_vacuous_true_on_empty(self):
+        assert SetPredicate("all", ">").evaluate(5, []) is TRUE
+
+    def test_all_pass(self):
+        assert SetPredicate("all", ">").evaluate(5, members(1, 2, 3)) is TRUE
+
+    def test_one_fails(self):
+        assert SetPredicate("all", ">").evaluate(5, members(1, 9)) is FALSE
+
+    def test_paper_null_member_example(self):
+        """R.A = 5 vs S.B = {2, 3, 4, null}: 5 > ALL is UNKNOWN (Section 2)."""
+        pred = SetPredicate("all", ">")
+        assert pred.evaluate(5, members(2, 3, 4, NULL)) is UNKNOWN
+
+    def test_false_beats_unknown(self):
+        assert SetPredicate("all", ">").evaluate(5, members(NULL, 9)) is FALSE
+
+    def test_null_lhs_nonempty_unknown(self):
+        assert SetPredicate("all", ">").evaluate(NULL, members(1)) is UNKNOWN
+
+    def test_null_lhs_empty_still_true(self):
+        """Paper Example 1, tuples four and five: a NULL linking value
+        passes a negative predicate when the set is empty."""
+        assert SetPredicate("all", ">").evaluate(NULL, []) is TRUE
+
+
+class TestSomeSemantics:
+    def test_vacuous_false_on_empty(self):
+        assert SetPredicate("some", "=").evaluate(5, []) is FALSE
+
+    def test_one_match(self):
+        assert SetPredicate("some", "=").evaluate(5, members(1, 5)) is TRUE
+
+    def test_no_match(self):
+        assert SetPredicate("some", "=").evaluate(5, members(1, 2)) is FALSE
+
+    def test_null_member_unknown(self):
+        assert SetPredicate("some", "=").evaluate(5, members(1, NULL)) is UNKNOWN
+
+    def test_true_beats_unknown(self):
+        assert SetPredicate("some", "=").evaluate(5, members(NULL, 5)) is TRUE
+
+
+class TestExistsSemantics:
+    def test_nonempty(self):
+        assert SetPredicate("exists").evaluate(NULL, members(1)) is TRUE
+
+    def test_empty(self):
+        assert SetPredicate("exists").evaluate(NULL, []) is FALSE
+
+    def test_not_exists(self):
+        assert SetPredicate("not_exists").evaluate(NULL, []) is TRUE
+        assert SetPredicate("not_exists").evaluate(NULL, members(1)) is FALSE
+
+    def test_exists_is_two_valued_even_with_null_members(self):
+        assert SetPredicate("exists").evaluate(NULL, members(NULL)) is TRUE
+
+
+class TestPkMarkerFiltering:
+    """Members whose pk is NULL are empty markers from outer joins and
+    must be excluded before evaluation (paper Example 1)."""
+
+    def test_dead_members_ignored(self):
+        pred = SetPredicate("all", ">")
+        assert pred.evaluate(5, [(9, NULL)]) is TRUE  # set is empty
+
+    def test_dead_and_live_mixed(self):
+        pred = SetPredicate("all", ">")
+        assert pred.evaluate(5, [(9, NULL), (1, 7)]) is TRUE
+
+    def test_exists_sees_through_markers(self):
+        assert SetPredicate("exists").evaluate(NULL, [(NULL, NULL)]) is FALSE
+
+    def test_null_value_with_live_pk_counts(self):
+        """A genuine NULL member (live pk) differs from an empty marker:
+        this is exactly what distinguishes {NULL} from ∅."""
+        pred = SetPredicate("all", ">")
+        assert pred.evaluate(5, [(NULL, 3)]) is UNKNOWN
+
+
+class TestNegativity:
+    def test_is_negative(self):
+        assert SetPredicate("all", ">").is_negative
+        assert SetPredicate("not_exists").is_negative
+        assert not SetPredicate("some", "=").is_negative
+        assert not SetPredicate("exists").is_negative
+
+
+class TestEvaluateQuantified:
+    def test_direct_all(self):
+        assert evaluate_quantified(">", "all", 5, [1, 2]) is TRUE
+
+    def test_direct_some(self):
+        assert evaluate_quantified("=", "some", 5, [1, 5]) is TRUE
+
+    def test_unknown_quantifier(self):
+        with pytest.raises(ExpressionError):
+            evaluate_quantified("=", "exactly-one", 5, [5])
+
+    def test_not_in_equals_neq_all(self):
+        """NOT IN normalizes to <> ALL: x NOT IN {set with NULL} is never
+        TRUE unless the set is empty."""
+        assert evaluate_quantified("<>", "all", 5, [1, NULL]) is UNKNOWN
+        assert evaluate_quantified("<>", "all", 1, [1, NULL]) is FALSE
+        assert evaluate_quantified("<>", "all", 5, []) is TRUE

@@ -1,0 +1,125 @@
+"""Unit tests for nest / unnest (Definition 3)."""
+
+import pytest
+
+from repro.core.nest import nest, nest_sorted, unnest
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import NULL, row_sort_key
+from repro.errors import SchemaError
+
+
+def rel(rows):
+    return Relation(Schema.of("g", "h", "v", "w", table="t"), rows)
+
+
+DATA = rel(
+    [
+        (1, "x", 10, 100),
+        (1, "x", 20, 200),
+        (2, "y", 10, 100),
+        (3, "z", NULL, NULL),
+        (NULL, "n", 5, 50),
+    ]
+)
+
+
+class TestNest:
+    def test_groups(self):
+        out = nest(DATA, by=["t.g", "t.h"], keep=["t.v", "t.w"])
+        assert len(out) == 4
+        groups = {row[0]: row[2] for row in out.rows}
+        assert groups[1] == ((10, 100), (20, 200))
+        assert groups[2] == ((10, 100),)
+
+    def test_implicit_projection(self):
+        """Attributes outside N1 ∪ N2 are dropped (the paper's redefinition)."""
+        out = nest(DATA, by=["t.g"], keep=["t.v"])
+        assert [c.qualified for c in out.schema.atomic_columns] == ["t.g"]
+        assert out.schema.subschema("_nested").schema.atomic_schema().names == ("t.v",)
+
+    def test_null_keys_group_together(self):
+        out = nest(DATA, by=["t.g"], keep=["t.v"])
+        assert len(out) == 4  # groups: 1, 2, 3, NULL
+
+    def test_members_are_a_set(self):
+        """Definition 3: the nested value is a set — duplicates collapse."""
+        data = rel([(1, "x", 10, 1), (1, "x", 10, 2)])
+        out = nest(data, by=["t.g"], keep=["t.v"])
+        assert out.rows[0][1] == ((10,),)
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(SchemaError, match="disjoint"):
+            nest(DATA, by=["t.g"], keep=["t.g", "t.v"])
+
+    def test_custom_set_name(self):
+        out = nest(DATA, by=["t.g"], keep=["t.v"], set_name="bag")
+        assert out.schema.index_of("bag") == 1
+
+    def test_empty_input(self):
+        out = nest(rel([]), by=["t.g"], keep=["t.v"])
+        assert len(out) == 0
+
+
+class TestNestSorted:
+    def test_agrees_with_hash_nest(self):
+        a = nest(DATA, by=["t.g", "t.h"], keep=["t.v", "t.w"])
+        b = nest_sorted(DATA, by=["t.g", "t.h"], keep=["t.v", "t.w"])
+        norm_a = {
+            row[:2]: tuple(sorted(row[2], key=row_sort_key)) for row in a.rows
+        }
+        norm_b = {
+            row[:2]: tuple(sorted(row[2], key=row_sort_key)) for row in b.rows
+        }
+        # NULL keys: compare by rendered form to avoid identity pitfalls
+        assert len(norm_a) == len(norm_b) == len(a)
+        assert {str(k): str(v) for k, v in norm_a.items()} == {
+            str(k): str(v) for k, v in norm_b.items()
+        }
+
+    def test_groups_emitted_in_key_order(self):
+        out = nest_sorted(DATA, by=["t.g"], keep=["t.v"])
+        keys = [row[0] for row in out.rows]
+        assert keys[0] is NULL  # NULLs sort first
+        assert keys[1:] == [1, 2, 3]
+
+
+class TestUnnest:
+    def test_inverse_on_nonempty_groups(self):
+        nested = nest(DATA, by=["t.g", "t.h"], keep=["t.v", "t.w"])
+        flat = unnest(nested)
+        assert flat == rel(DATA.rows).project(["t.g", "t.h", "t.v", "t.w"])
+
+    def test_unnest_drops_empty_groups(self):
+        from repro.core.nested import NestedRelation
+
+        nested = nest(DATA, by=["t.g"], keep=["t.v"])
+        emptied = NestedRelation(
+            nested.schema, [(row[0], ()) for row in nested.rows]
+        )
+        assert len(unnest(emptied)) == 0
+
+    def test_unnest_unknown_attribute(self):
+        nested = nest(DATA, by=["t.g"], keep=["t.v"])
+        with pytest.raises(SchemaError):
+            unnest(nested, "nope")
+
+    def test_unnest_requires_set_attribute(self):
+        nested = nest(DATA, by=["t.g"], keep=["t.v"])
+        with pytest.raises(SchemaError):
+            unnest(nested, "t.g")
+
+
+class TestNestUnnestRoundTrip:
+    def test_roundtrip_with_unique_keys(self):
+        """With a key among the nesting attributes and no empty groups,
+        unnest(nest(r)) == r up to column order."""
+        data = rel(
+            [
+                (1, "a", 10, 1),
+                (2, "a", 20, 2),
+                (3, "b", 30, 3),
+            ]
+        )
+        nested = nest(data, by=["t.g", "t.h"], keep=["t.v", "t.w"])
+        assert unnest(nested) == data.project(["t.g", "t.h", "t.v", "t.w"])

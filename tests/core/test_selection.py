@@ -1,0 +1,132 @@
+"""Unit tests for linking selection and pseudo-selection (Definition 5)."""
+
+import pytest
+
+from repro.core.linking import SetPredicate
+from repro.core.nest import nest
+from repro.core.selection import linking_selection, pseudo_selection
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import NULL, is_null
+from repro.errors import SchemaError
+
+
+def joined(rows):
+    """outer (o.k, o.val) ⟕ inner (i.v, i.pk) — already flattened."""
+    return Relation(Schema.of("k", "val") .rename_table("o").concat(
+        Schema.of("v", "pk").rename_table("i")), rows)
+
+
+DATA = joined(
+    [
+        (1, 5, 2, 10),      # group 1: {2, 3}
+        (1, 5, 3, 11),
+        (2, 5, 9, 12),      # group 2: {9}
+        (3, 5, NULL, NULL),  # group 3: empty (padded by outer join)
+        (4, NULL, 7, 13),   # group 4: NULL linking value, {7}
+    ]
+)
+
+
+def nested():
+    return nest(DATA, by=["o.k", "o.val"], keep=["i.v", "i.pk"])
+
+
+class TestStrictSelection:
+    def test_all_predicate(self):
+        out = linking_selection(
+            nested(), SetPredicate("all", ">"), "o.val", "i.v", pk_ref="i.pk"
+        )
+        # group1: 5>ALL{2,3} T; group2: 5>ALL{9} F; group3: empty T;
+        # group4: NULL>ALL{7} U -> dropped
+        assert sorted(row[0] for row in out.rows) == [1, 3]
+
+    def test_some_predicate(self):
+        out = linking_selection(
+            nested(), SetPredicate("some", "<"), "o.val", "i.v", pk_ref="i.pk"
+        )
+        # 5<SOME{2,3} F; 5<SOME{9} T; empty F; NULL U
+        assert [row[0] for row in out.rows] == [2]
+
+    def test_exists(self):
+        out = linking_selection(
+            nested(), SetPredicate("exists"), None, None, pk_ref="i.pk"
+        )
+        assert sorted(row[0] for row in out.rows) == [1, 2, 4]
+
+    def test_not_exists(self):
+        out = linking_selection(
+            nested(), SetPredicate("not_exists"), None, None, pk_ref="i.pk"
+        )
+        assert [row[0] for row in out.rows] == [3]
+
+    def test_output_is_flat_projection(self):
+        out = linking_selection(
+            nested(), SetPredicate("exists"), None, None, pk_ref="i.pk"
+        )
+        assert out.schema.names == ("o.k", "o.val")
+
+
+class TestPseudoSelection:
+    def test_failing_rows_padded_not_dropped(self):
+        out = pseudo_selection(
+            nested(),
+            SetPredicate("all", ">"),
+            "o.val",
+            "i.v",
+            pk_ref="i.pk",
+            pad_refs=["o.val"],
+        )
+        assert len(out) == 4  # every group survives
+        by_k = {row[0]: row[1] for row in out.rows}
+        assert by_k[1] == 5          # passed: intact
+        assert is_null(by_k[2])      # failed: padded
+        assert by_k[3] == 5          # empty set: ALL passes
+        assert is_null(by_k[4])      # UNKNOWN: padded
+
+    def test_unpadded_attributes_survive_on_failure(self):
+        out = pseudo_selection(
+            nested(),
+            SetPredicate("all", ">"),
+            "o.val",
+            "i.v",
+            pk_ref="i.pk",
+            pad_refs=["o.val"],
+        )
+        ks = sorted(row[0] for row in out.rows)
+        assert ks == [1, 2, 3, 4]  # the non-padded attribute is intact
+
+    def test_padding_the_key_marks_emptiness_downstream(self):
+        """Padding a block's key makes the tuple a dead member for the
+        next nest level — the core trick for negative linking."""
+        out = pseudo_selection(
+            nested(),
+            SetPredicate("all", ">"),
+            "o.val",
+            "i.v",
+            pk_ref="i.pk",
+            pad_refs=["o.k", "o.val"],
+        )
+        padded = [row for row in out.rows if is_null(row[0])]
+        assert len(padded) == 2
+
+
+class TestValidation:
+    def test_missing_set_attribute(self):
+        flat = nest(DATA, by=["o.k", "o.val"], keep=["i.v", "i.pk"], set_name="grp")
+        with pytest.raises(SchemaError):
+            linking_selection(
+                flat, SetPredicate("exists"), None, None, pk_ref="i.pk"
+            )
+
+    def test_pk_must_live_in_set(self):
+        with pytest.raises(SchemaError):
+            linking_selection(
+                nested(), SetPredicate("exists"), None, None, pk_ref="o.k"
+            )
+
+    def test_linking_ref_must_be_atomic(self):
+        with pytest.raises(SchemaError):
+            linking_selection(
+                nested(), SetPredicate("all", ">"), "i.v", "i.v", pk_ref="i.pk"
+            )

@@ -1,0 +1,183 @@
+"""Unit tests for expression evaluation under three-valued logic."""
+
+import pytest
+
+from repro.engine.expressions import (
+    And,
+    Arith,
+    Between,
+    Col,
+    Comparison,
+    EvalContext,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    cmp,
+    conjoin,
+    eq,
+    split_conjuncts,
+    truth,
+)
+from repro.engine.schema import Schema
+from repro.engine.types import FALSE, NULL, TRUE, UNKNOWN
+from repro.errors import ExpressionError
+
+
+SCHEMA = Schema.of("a", "b", table="t")
+
+
+def ctx(a, b):
+    return EvalContext.single(SCHEMA, (a, b))
+
+
+class TestColumnResolution:
+    def test_lookup(self):
+        assert Col("t.a").evaluate(ctx(7, 8)) == 7
+
+    def test_bare_name(self):
+        assert Col("b").evaluate(ctx(7, 8)) == 8
+
+    def test_unresolved(self):
+        with pytest.raises(ExpressionError, match="unresolved"):
+            Col("t.z").evaluate(ctx(1, 2))
+
+    def test_inner_frame_shadows_outer(self):
+        outer = EvalContext.single(Schema.of("a", table="o"), (100,))
+        inner = outer.push(SCHEMA, (1, 2))
+        assert Col("a").evaluate(inner) == 1  # innermost wins (bare name)
+        assert Col("o.a").evaluate(inner) == 100
+
+    def test_correlation_reaches_outer_frame(self):
+        outer = EvalContext.single(Schema.of("x", table="o"), (42,))
+        inner = outer.push(SCHEMA, (1, 2))
+        assert Col("o.x").evaluate(inner) == 42
+
+    def test_resolvable(self):
+        c = ctx(1, 2)
+        assert c.resolvable("t.a")
+        assert not c.resolvable("nope")
+
+
+class TestComparisonExpr:
+    def test_true_false(self):
+        assert Comparison("<", Col("t.a"), Col("t.b")).evaluate(ctx(1, 2)) is TRUE
+        assert Comparison(">", Col("t.a"), Col("t.b")).evaluate(ctx(1, 2)) is FALSE
+
+    def test_null_gives_unknown(self):
+        assert Comparison("=", Col("t.a"), Literal(1)).evaluate(ctx(NULL, 2)) is UNKNOWN
+
+    def test_negated(self):
+        c = Comparison("<", Col("t.a"), Col("t.b"))
+        assert c.negated().op == ">="
+
+    def test_columns_collected(self):
+        c = Comparison("<", Col("t.a"), Col("t.b"))
+        assert c.columns() == ["t.a", "t.b"]
+
+
+class TestLogicalExpr:
+    def test_and_unknown_absorbs(self):
+        e = And(cmp("t.a", "=", 1), cmp("t.b", "=", 2))
+        assert e.evaluate(ctx(1, NULL)) is UNKNOWN
+        assert e.evaluate(ctx(0, NULL)) is FALSE
+
+    def test_or_unknown(self):
+        e = Or(cmp("t.a", "=", 1), cmp("t.b", "=", 2))
+        assert e.evaluate(ctx(1, NULL)) is TRUE
+        assert e.evaluate(ctx(0, NULL)) is UNKNOWN
+
+    def test_not_unknown(self):
+        e = Not(cmp("t.a", "=", 1))
+        assert e.evaluate(ctx(NULL, 0)) is UNKNOWN
+
+    def test_combinators(self):
+        e = cmp("t.a", "=", 1).and_(cmp("t.b", "=", 2))
+        assert e.evaluate(ctx(1, 2)) is TRUE
+        assert cmp("t.a", "=", 1).negate().evaluate(ctx(1, 0)) is FALSE
+
+
+class TestIsNullExpr:
+    def test_is_null_two_valued(self):
+        assert IsNull(Col("t.a")).evaluate(ctx(NULL, 1)) is TRUE
+        assert IsNull(Col("t.a")).evaluate(ctx(5, 1)) is FALSE
+
+    def test_is_not_null(self):
+        assert IsNull(Col("t.a"), negated=True).evaluate(ctx(NULL, 1)) is FALSE
+
+
+class TestBetweenExpr:
+    def test_inclusive(self):
+        e = Between(Col("t.a"), Literal(1), Literal(3))
+        assert e.evaluate(ctx(1, 0)) is TRUE
+        assert e.evaluate(ctx(3, 0)) is TRUE
+        assert e.evaluate(ctx(4, 0)) is FALSE
+
+    def test_null_operand(self):
+        e = Between(Col("t.a"), Literal(1), Literal(3))
+        assert e.evaluate(ctx(NULL, 0)) is UNKNOWN
+
+    def test_null_bound_partial(self):
+        # a BETWEEN null AND 3 with a=5: a>=null UNKNOWN, a<=3 FALSE -> FALSE
+        e = Between(Col("t.a"), Literal(NULL), Literal(3))
+        assert e.evaluate(ctx(5, 0)) is FALSE
+
+
+class TestInListExpr:
+    def test_membership(self):
+        e = InList(Col("t.a"), (Literal(1), Literal(2)))
+        assert e.evaluate(ctx(2, 0)) is TRUE
+        assert e.evaluate(ctx(3, 0)) is FALSE
+
+    def test_null_in_list_semantics(self):
+        """x NOT IN (1, NULL) is UNKNOWN unless x matches a literal."""
+        e = InList(Col("t.a"), (Literal(1), Literal(NULL)), negated=True)
+        assert e.evaluate(ctx(1, 0)) is FALSE
+        assert e.evaluate(ctx(2, 0)) is UNKNOWN
+
+
+class TestArithExpr:
+    def test_basic(self):
+        e = Arith("+", Col("t.a"), Literal(10))
+        assert e.evaluate(ctx(5, 0)) == 15
+
+    def test_null_propagates(self):
+        from repro.engine.types import is_null
+
+        e = Arith("*", Col("t.a"), Literal(10))
+        assert is_null(e.evaluate(ctx(NULL, 0)))
+
+    def test_division_by_zero_null(self):
+        from repro.engine.types import is_null
+
+        e = Arith("/", Literal(1), Literal(0))
+        assert is_null(e.evaluate(ctx(0, 0)))
+
+
+class TestTruthCoercion:
+    def test_null_value_is_unknown(self):
+        assert truth(Literal(NULL), ctx(0, 0)) is UNKNOWN
+
+    def test_bool_value(self):
+        assert truth(Literal(True), ctx(0, 0)) is TRUE
+
+    def test_non_bool_value_raises(self):
+        with pytest.raises(ExpressionError):
+            truth(Literal(5), ctx(0, 0))
+
+
+class TestConjunctHelpers:
+    def test_conjoin_empty_is_true(self):
+        assert truth(conjoin([]), ctx(0, 0)) is TRUE
+
+    def test_conjoin_single(self):
+        e = conjoin([cmp("t.a", "=", 1)])
+        assert e.evaluate(ctx(1, 0)) is TRUE
+
+    def test_split_roundtrip(self):
+        parts = [cmp("t.a", "=", 1), cmp("t.b", "=", 2), eq("t.a", "t.b")]
+        assert split_conjuncts(conjoin(parts)) == parts
+
+    def test_split_of_true_literal_is_empty(self):
+        assert split_conjuncts(conjoin([])) == []

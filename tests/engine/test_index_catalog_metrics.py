@@ -1,0 +1,164 @@
+"""Unit tests for indexes, the catalog, and cost instrumentation."""
+
+import pytest
+
+from repro.engine.catalog import Database
+from repro.engine.index import HashIndex, SortedIndex
+from repro.engine.metrics import Metrics, collect, current_metrics, timed
+from repro.engine.operators import Filter, RelationSource
+from repro.engine.expressions import cmp
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import NULL
+from repro.errors import CatalogError
+
+
+def rel():
+    return Relation(
+        Schema.of("k", "v", table="t"),
+        [(1, "a"), (1, "b"), (2, "c"), (NULL, "d"), (5, "e")],
+    )
+
+
+class TestHashIndex:
+    def test_probe(self):
+        idx = HashIndex(rel(), ["t.k"])
+        assert len(idx.probe([1])) == 2
+        assert idx.probe([9]) == []
+
+    def test_null_keys_not_indexed(self):
+        idx = HashIndex(rel(), ["t.k"])
+        assert idx.probe([NULL]) == []
+
+    def test_probe_ids(self):
+        idx = HashIndex(rel(), ["t.k"])
+        assert idx.probe_ids([2]) == [2]
+
+    def test_composite_key(self):
+        idx = HashIndex(rel(), ["t.k", "t.v"])
+        assert len(idx.probe([1, "a"])) == 1
+        assert idx.probe([1, "zzz"]) == []
+
+
+class TestSortedIndex:
+    def test_range(self):
+        idx = SortedIndex(rel(), "t.k")
+        assert len(idx.range(1, 2)) == 3
+        assert len(idx.range(low=2)) == 2
+        assert len(idx.range(high=1)) == 2
+
+    def test_exclusive_bounds(self):
+        idx = SortedIndex(rel(), "t.k")
+        assert len(idx.range(1, 2, low_inclusive=False)) == 1
+
+    def test_nulls_excluded(self):
+        idx = SortedIndex(rel(), "t.k")
+        assert len(idx) == 4
+
+
+class TestDatabase:
+    def make(self):
+        db = Database()
+        db.create_table(
+            "t", [Column("k", not_null=True), Column("v")], rel().rows, primary_key="k"
+        )
+        return db
+
+    def test_create_and_lookup(self):
+        db = self.make()
+        assert db.has_table("t")
+        assert len(db.relation("t")) == 5
+        assert db.table("t").primary_key == "k"
+
+    def test_columns_qualified_by_table_name(self):
+        db = self.make()
+        assert db.relation("t").schema.names == ("t.k", "t.v")
+
+    def test_duplicate_table(self):
+        db = self.make()
+        with pytest.raises(CatalogError):
+            db.create_table("t", [Column("x")], [])
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("missing")
+
+    def test_unknown_pk(self):
+        with pytest.raises(CatalogError):
+            Database().create_table("x", [Column("a")], [], primary_key="zzz")
+
+    def test_drop(self):
+        db = self.make()
+        db.drop_table("t")
+        assert not db.has_table("t")
+
+    def test_index_creation_idempotent(self):
+        db = self.make()
+        first = db.create_hash_index("t", ["k"])
+        second = db.create_hash_index("t", ["k"])
+        assert first is second
+
+    def test_covering_index_prefers_widest(self):
+        db = self.make()
+        db.create_hash_index("t", ["k"])
+        db.create_hash_index("t", ["k", "v"])
+        best = db.table("t").any_hash_index_covering(["k", "v"])
+        assert best is not None
+        assert best[1] == ("k", "v")
+
+    def test_covering_index_subset_only(self):
+        db = self.make()
+        db.create_hash_index("t", ["k", "v"])
+        assert db.table("t").any_hash_index_covering(["k"]) is None
+
+    def test_not_null_flag(self):
+        db = self.make()
+        assert db.table("t").not_null("k")
+        assert not db.table("t").not_null("v")
+
+    def test_summary_mentions_tables(self):
+        assert "t(" in self.make().summary()
+
+
+class TestMetrics:
+    def test_collect_scopes(self):
+        with collect() as m:
+            current_metrics().add("x", 3)
+        assert m.get("x") == 3
+        assert current_metrics().get("x") == 0 or current_metrics() is not m
+
+    def test_nested_scopes_isolated(self):
+        with collect() as outer:
+            current_metrics().add("a")
+            with collect() as inner:
+                current_metrics().add("a", 5)
+            assert inner.get("a") == 5
+        assert outer.get("a") == 1
+
+    def test_operators_charge_metrics(self):
+        r = rel()
+        with collect() as m:
+            Filter(r, cmp("t.k", "=", 1)).materialize()
+        assert m.get("rows_scanned") == 5
+        assert m.get("rows_out") == 2
+        assert m.get("predicate_evals") == 5
+
+    def test_merged_and_total(self):
+        a = Metrics({"x": 1})
+        b = Metrics({"x": 2, "y": 3})
+        merged = a.merged(b)
+        assert merged.get("x") == 3
+        assert merged.total() == 6
+
+    def test_timed(self):
+        result = timed(lambda: RelationSource(rel()).materialize())
+        assert result.seconds >= 0
+        assert result.metrics.get("rows_scanned") == 5
+        assert len(result.value) == 5
+
+    def test_index_probe_charged(self):
+        idx = HashIndex(rel(), ["t.k"])
+        with collect() as m:
+            idx.probe([1])
+        assert m.get("index_probes") == 1
+        assert m.get("index_rows_fetched") == 2

@@ -1,0 +1,103 @@
+"""Unit tests for grouping, aggregation and Boolean aggregates."""
+
+import pytest
+
+from repro.engine.expressions import Col, Comparison, Literal
+from repro.engine.operators import AggSpec, GroupAggregate, scalar_aggregate
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import NULL, is_null
+from repro.errors import ExecutionError
+
+
+def rel(rows):
+    return Relation(Schema.of("g", "v", table="t"), rows)
+
+
+DATA = rel([(1, 10), (1, 20), (1, NULL), (2, 5), (3, NULL)])
+
+
+def run(group_refs, specs, data=DATA):
+    return GroupAggregate(data, group_refs, specs).run()
+
+
+class TestBasicAggregates:
+    def test_count_ignores_nulls(self):
+        out = run(["t.g"], [AggSpec("count", "t.v", name="c")])
+        by_group = {row[0]: row[1] for row in out.rows}
+        assert by_group == {1: 2, 2: 1, 3: 0}
+
+    def test_count_star_counts_rows(self):
+        out = run(["t.g"], [AggSpec("count_star", name="c")])
+        by_group = {row[0]: row[1] for row in out.rows}
+        assert by_group == {1: 3, 2: 1, 3: 1}
+
+    def test_sum_min_max_avg(self):
+        out = run(
+            ["t.g"],
+            [
+                AggSpec("sum", "t.v", name="s"),
+                AggSpec("min", "t.v", name="mn"),
+                AggSpec("max", "t.v", name="mx"),
+                AggSpec("avg", "t.v", name="av"),
+            ],
+        )
+        row1 = next(r for r in out.rows if r[0] == 1)
+        assert row1[1:] == (30, 10, 20, 15.0)
+
+    def test_all_null_group_yields_null(self):
+        out = run(["t.g"], [AggSpec("max", "t.v", name="m")])
+        row3 = next(r for r in out.rows if r[0] == 3)
+        assert is_null(row3[1])
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            run(["t.g"], [AggSpec("median", "t.v", name="m")])
+
+
+class TestGrouping:
+    def test_null_group_key(self):
+        data = rel([(NULL, 1), (NULL, 2), (1, 3)])
+        out = GroupAggregate(data, ["t.g"], [AggSpec("count_star", name="c")]).run()
+        assert len(out) == 2
+
+    def test_no_grouping_single_row(self):
+        out = run([], [AggSpec("count_star", name="c")])
+        assert len(out) == 1
+        assert out.rows[0][0] == 5
+
+    def test_group_order_is_first_seen(self):
+        out = run(["t.g"], [AggSpec("count_star", name="c")])
+        assert [row[0] for row in out.rows] == [1, 2, 3]
+
+
+class TestBooleanAggregates:
+    def test_bool_and_three_valued(self):
+        pred = Comparison(">", Col("t.v"), Literal(0))
+        out = run(["t.g"], [AggSpec("bool_and", predicate=pred, name="b")])
+        by_group = {row[0]: row[1] for row in out.rows}
+        assert is_null(by_group[1])  # TRUE & TRUE & UNKNOWN
+        assert by_group[2] is True
+        assert is_null(by_group[3])
+
+    def test_bool_or_three_valued(self):
+        pred = Comparison(">", Col("t.v"), Literal(15))
+        out = run(["t.g"], [AggSpec("bool_or", predicate=pred, name="b")])
+        by_group = {row[0]: row[1] for row in out.rows}
+        assert by_group[1] is True  # 20 > 15 dominates the UNKNOWN
+        assert by_group[2] is False
+        assert is_null(by_group[3])
+
+    def test_bool_agg_requires_predicate(self):
+        with pytest.raises(ExecutionError):
+            run(["t.g"], [AggSpec("bool_and", name="b")])
+
+
+class TestScalarAggregate:
+    def test_on_rows(self):
+        assert scalar_aggregate(DATA, AggSpec("count", "t.v")) == 3
+
+    def test_on_empty_relation(self):
+        empty = rel([])
+        assert scalar_aggregate(empty, AggSpec("count", "t.v")) == 0
+        assert is_null(scalar_aggregate(empty, AggSpec("max", "t.v")))

@@ -1,0 +1,63 @@
+"""Unit tests for union / intersect / difference."""
+
+import pytest
+
+from repro.engine.operators import Difference, Intersect, Union
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import NULL
+from repro.errors import SchemaError
+
+
+def rel(rows):
+    return Relation(Schema.of("a", table="t"), rows)
+
+
+A = rel([(1,), (2,), (2,), (NULL,)])
+B = rel([(2,), (3,), (NULL,)])
+
+
+class TestUnion:
+    def test_dedupes(self):
+        out = Union(A, B).materialize()
+        assert len(out) == 4  # {1, 2, NULL, 3}
+
+    def test_schema_from_left(self):
+        assert Union(A, B).schema.names == ("t.a",)
+
+
+class TestIntersect:
+    def test_common_rows(self):
+        out = Intersect(A, B).materialize()
+        assert len(out) == 2  # {2, NULL} — NULLs group together in set ops
+
+    def test_empty(self):
+        out = Intersect(rel([(9,)]), B).materialize()
+        assert len(out) == 0
+
+
+class TestDifference:
+    def test_left_minus_right(self):
+        out = Difference(A, B).materialize()
+        assert out.rows == [(1,)]
+
+    def test_difference_is_set_semantics(self):
+        out = Difference(rel([(1,), (1,)]), rel([])).materialize()
+        assert len(out) == 1
+
+
+class TestCompat:
+    def test_arity_mismatch(self):
+        wide = Relation(Schema.of("a", "b", table="w"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            Union(A, wide)
+
+
+class TestAlgebraicLaws:
+    def test_a_minus_b_union_intersect_is_a_set(self):
+        minus = set(Difference(A, B).materialize().sorted().rows)
+        inter = set(Intersect(A, B).materialize().sorted().rows)
+        a_set = {row for row in A.distinct().sorted().rows if row[0] is not NULL}
+        # NULL handling: NULL appears in intersect (groups together)
+        recombined = {r for r in (minus | inter)}
+        assert len(recombined) == len(A.distinct())

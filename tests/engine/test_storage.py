@@ -1,0 +1,95 @@
+"""Unit tests for CSV persistence."""
+
+import os
+
+import pytest
+
+import repro
+from repro.engine import Column, Database, NULL
+from repro.engine.storage import load_database, save_database
+from repro.errors import CatalogError
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.create_table(
+        "t",
+        [Column("k", not_null=True), Column("name"), Column("price"), Column("flag")],
+        [
+            (1, "widget", 9.99, True),
+            (2, NULL, 10, False),
+            (3, "", NULL, NULL),
+            (4, "123", 0.5, True),  # numeric-looking string
+            (5, "it's", -3, False),
+        ],
+        primary_key="k",
+    )
+    d.create_table("empty", [Column("x")], [])
+    d.create_hash_index("t", ["k"])
+    d.create_hash_index("t", ["k", "name"])
+    d.create_sorted_index("t", "price")
+    return d
+
+
+class TestRoundTrip:
+    def test_rows_and_schema(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.relation("t") == db.relation("t")
+        assert loaded.relation("t").schema.names == db.relation("t").schema.names
+
+    def test_constraints_and_pk(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("t").primary_key == "k"
+        assert loaded.table("t").not_null("k")
+        assert not loaded.table("t").not_null("name")
+
+    def test_indexes_rebuilt(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("t").hash_index_on(["k"]) is not None
+        assert loaded.table("t").hash_index_on(["k", "name"]) is not None
+        assert "price" in loaded.table("t").sorted_indexes
+
+    def test_empty_table(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert len(loaded.relation("empty")) == 0
+
+    def test_value_fidelity(self, db, tmp_path):
+        """NULL vs empty string vs numeric string vs bool all survive."""
+        save_database(db, str(tmp_path))
+        rows = {r[0]: r for r in load_database(str(tmp_path)).relation("t").rows}
+        assert rows[2][1] is NULL
+        assert rows[3][1] == ""
+        assert rows[4][1] == "123" and isinstance(rows[4][1], str)
+        assert rows[1][3] is True
+        assert isinstance(rows[2][2], int) and rows[2][2] == 10
+
+    def test_tpch_roundtrip_queries_agree(self, tmp_path):
+        original = repro.tpch.generate(
+            repro.tpch.TpchConfig(scale_factor=0.001, seed=3)
+        )
+        save_database(original, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        sql = repro.tpch.query1("1992-01-01", "1995-01-01")
+        assert repro.run_sql(sql, loaded) == repro.run_sql(sql, original)
+
+
+class TestErrors:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(CatalogError, match="_catalog"):
+            load_database(str(tmp_path))
+
+    def test_header_mismatch_detected(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        path = os.path.join(str(tmp_path), "t.csv")
+        with open(path) as handle:
+            lines = handle.readlines()
+        lines[0] = "wrong,header,entirely,yes\n"
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CatalogError, match="header"):
+            load_database(str(tmp_path))

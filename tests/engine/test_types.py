@@ -1,0 +1,211 @@
+"""Unit tests for the SQL value model and three-valued logic."""
+
+import pytest
+
+from repro.engine.types import (
+    FALSE,
+    NULL,
+    TRUE,
+    UNKNOWN,
+    TriBool,
+    flip_op,
+    group_key,
+    is_null,
+    negate_op,
+    row_group_key,
+    row_sort_key,
+    sort_key,
+    sql_compare,
+    tri_all,
+    tri_any,
+)
+from repro.errors import TypeError_
+
+
+class TestNull:
+    def test_singleton(self):
+        from repro.engine.types import _SqlNull
+
+        assert _SqlNull() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_falsy(self):
+        assert not NULL
+
+
+class TestTriBool:
+    def test_and_truth_table(self):
+        assert (TRUE & TRUE) is TRUE
+        assert (TRUE & FALSE) is FALSE
+        assert (TRUE & UNKNOWN) is UNKNOWN
+        assert (FALSE & UNKNOWN) is FALSE
+        assert (UNKNOWN & UNKNOWN) is UNKNOWN
+        assert (FALSE & FALSE) is FALSE
+
+    def test_or_truth_table(self):
+        assert (TRUE | FALSE) is TRUE
+        assert (TRUE | UNKNOWN) is TRUE
+        assert (FALSE | UNKNOWN) is UNKNOWN
+        assert (FALSE | FALSE) is FALSE
+        assert (UNKNOWN | UNKNOWN) is UNKNOWN
+
+    def test_not(self):
+        assert (~TRUE) is FALSE
+        assert (~FALSE) is TRUE
+        assert (~UNKNOWN) is UNKNOWN
+
+    def test_is_true_only_for_true(self):
+        assert TRUE.is_true()
+        assert not FALSE.is_true()
+        assert not UNKNOWN.is_true()
+
+    def test_from_bool(self):
+        assert TriBool.from_bool(True) is TRUE
+        assert TriBool.from_bool(False) is FALSE
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, TRUE),
+            ("=", 1, 2, FALSE),
+            ("<>", 1, 2, TRUE),
+            ("!=", 1, 1, FALSE),
+            ("<", 1, 2, TRUE),
+            ("<=", 2, 2, TRUE),
+            (">", 3, 2, TRUE),
+            (">=", 1, 2, FALSE),
+            ("=", "a", "a", TRUE),
+            ("<", "a", "b", TRUE),
+            ("=", 1, 1.0, TRUE),
+            ("<", 1, 1.5, TRUE),
+        ],
+    )
+    def test_basic(self, op, left, right, expected):
+        assert sql_compare(op, left, right) is expected
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_null_always_unknown(self, op):
+        assert sql_compare(op, NULL, 1) is UNKNOWN
+        assert sql_compare(op, 1, NULL) is UNKNOWN
+        assert sql_compare(op, NULL, NULL) is UNKNOWN
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(TypeError_):
+            sql_compare("<", "a", 1)
+
+    def test_bool_vs_int_raise(self):
+        with pytest.raises(TypeError_):
+            sql_compare("=", True, 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(TypeError_):
+            sql_compare("~", 1, 2)
+
+
+class TestQuantifierHelpers:
+    def test_tri_all_vacuous_true(self):
+        assert tri_all([]) is TRUE
+
+    def test_tri_any_vacuous_false(self):
+        assert tri_any([]) is FALSE
+
+    def test_tri_all_false_dominates(self):
+        assert tri_all([TRUE, UNKNOWN, FALSE]) is FALSE
+
+    def test_tri_all_unknown_without_false(self):
+        assert tri_all([TRUE, UNKNOWN, TRUE]) is UNKNOWN
+
+    def test_tri_any_true_dominates(self):
+        assert tri_any([FALSE, UNKNOWN, TRUE]) is TRUE
+
+    def test_tri_any_unknown_without_true(self):
+        assert tri_any([FALSE, UNKNOWN]) is UNKNOWN
+
+    def test_paper_example_all_with_null(self):
+        """Paper Section 2: with R.A = 5 and S.B = {2, 3, 4, null},
+        ``5 > ALL {2,3,4,null}`` must be UNKNOWN, not TRUE."""
+        outcomes = [sql_compare(">", 5, v) for v in (2, 3, 4, NULL)]
+        assert tri_all(outcomes) is UNKNOWN
+
+    def test_tri_all_short_circuits_on_false(self):
+        def gen():
+            yield FALSE
+            raise AssertionError("must not be consumed")
+
+        assert tri_all(gen()) is FALSE
+
+    def test_tri_any_short_circuits_on_true(self):
+        def gen():
+            yield TRUE
+            raise AssertionError("must not be consumed")
+
+        assert tri_any(gen()) is TRUE
+
+
+class TestOperatorAlgebra:
+    @pytest.mark.parametrize(
+        "op,neg", [("=", "<>"), ("<>", "="), ("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")]
+    )
+    def test_negate(self, op, neg):
+        assert negate_op(op) == neg
+
+    @pytest.mark.parametrize(
+        "op,flipped", [("=", "="), ("<>", "<>"), ("<", ">"), ("<=", ">="), (">", "<"), (">=", "<=")]
+    )
+    def test_flip(self, op, flipped):
+        assert flip_op(op) == flipped
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("pair", [(1, 2), (2, 2), (3, 2)])
+    def test_negation_complements(self, op, pair):
+        a, b = pair
+        direct = sql_compare(op, a, b)
+        negated = sql_compare(negate_op(op), a, b)
+        assert direct is not negated
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("pair", [(1, 2), (2, 2), (3, 2)])
+    def test_flip_swaps_operands(self, op, pair):
+        a, b = pair
+        assert sql_compare(op, a, b) is sql_compare(flip_op(op), b, a)
+
+
+class TestGroupingKeys:
+    def test_null_groups_with_null(self):
+        assert group_key(NULL) == group_key(NULL)
+
+    def test_null_distinct_from_string_null(self):
+        assert group_key(NULL) != group_key("null")
+
+    def test_numeric_unification(self):
+        assert group_key(1) == group_key(1.0)
+
+    def test_bool_distinct_from_int(self):
+        assert group_key(True) != group_key(1)
+
+    def test_row_key(self):
+        assert row_group_key((1, NULL)) == row_group_key((1.0, NULL))
+        assert row_group_key((1, 2)) != row_group_key((2, 1))
+
+    def test_sort_key_total_order(self):
+        values = [NULL, 3, "b", 1.5, "a", NULL, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is NULL and ordered[1] is NULL
+        nums = [v for v in ordered if isinstance(v, (int, float))]
+        assert nums == sorted(nums)
+
+    def test_row_sort_key_nulls_first(self):
+        rows = [(1, 2), (NULL, 5), (1, NULL)]
+        ordered = sorted(rows, key=row_sort_key)
+        assert ordered[0] == (NULL, 5)
+        assert ordered[1] == (1, NULL)

@@ -1,0 +1,83 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT Select select") == [("kw", "select")] * 3
+
+    def test_identifiers_keep_case(self):
+        assert kinds("MyTable") == [("ident", "MyTable")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [("number", "42"), ("number", "3.14")]
+
+    def test_qualified_name_not_a_decimal(self):
+        toks = kinds("t.a")
+        assert toks == [("ident", "t"), ("op", "."), ("ident", "a")]
+
+    def test_number_then_dot_ident(self):
+        toks = kinds("1.x")
+        assert toks[0] == ("number", "1")
+
+    def test_strings(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_string_escape_doubled_quote(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("<= <> >= < >") == [
+            ("op", "<="),
+            ("op", "<>"),
+            ("op", ">="),
+            ("op", "<"),
+            ("op", ">"),
+        ]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError, match="illegal"):
+            tokenize("select @")
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\n 1") == [("kw", "select"), ("number", "1")]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        toks = tokenize("select\nfrom")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+
+    def test_token_helpers(self):
+        tok = tokenize("select")[0]
+        assert tok.is_kw("select") and not tok.is_kw("from")
+        assert "select" in repr(tok)
+
+
+class TestRealQueries:
+    def test_paper_query_tokens(self):
+        text = """
+        select o_orderkey from orders
+        where o_totalprice > all (select l_extendedprice from lineitem
+                                  where l_orderkey = o_orderkey)
+        """
+        toks = tokenize(text)
+        values = [t.value for t in toks if t.kind == "kw"]
+        assert values.count("select") == 2
+        assert "all" in values

@@ -1,0 +1,95 @@
+"""Tests for ORDER BY / LIMIT support."""
+
+import pytest
+
+import repro
+from repro.engine import Column, Database, NULL
+from repro.errors import AnalysisError, ParseError
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.create_table(
+        "t",
+        [Column("k", not_null=True), Column("v"), Column("g")],
+        [(1, 30, "b"), (2, 10, "a"), (3, 20, "b"), (4, NULL, "a")],
+        primary_key="k",
+    )
+    d.create_table(
+        "u",
+        [Column("k", not_null=True), Column("tk")],
+        [(1, 1), (2, 3)],
+        primary_key="k",
+    )
+    return d
+
+
+class TestParsing:
+    def test_order_and_limit_parsed(self):
+        from repro.sql.parser import parse
+
+        stmt = parse("select a from t order by a desc, b asc limit 3")
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 3
+
+    def test_limit_requires_integer(self):
+        from repro.sql.parser import parse
+
+        with pytest.raises(ParseError, match="integer"):
+            parse("select a from t limit 2.5")
+
+
+class TestExecution:
+    def test_order_ascending_nulls_first(self, db):
+        out = repro.run_sql("select k, v from t order by v", db)
+        assert [r[0] for r in out.rows] == [4, 2, 3, 1]
+
+    def test_order_descending(self, db):
+        out = repro.run_sql("select k, v from t order by v desc", db)
+        assert [r[0] for r in out.rows] == [1, 3, 2, 4]
+
+    def test_multi_key_order(self, db):
+        out = repro.run_sql("select g, v, k from t order by g, v desc", db)
+        assert [r[2] for r in out.rows] == [2, 4, 1, 3]
+
+    def test_limit(self, db):
+        out = repro.run_sql("select k, v from t order by v desc limit 2", db)
+        assert [r[0] for r in out.rows] == [1, 3]
+
+    def test_limit_zero(self, db):
+        out = repro.run_sql("select k from t limit 0", db)
+        assert len(out) == 0
+
+    def test_limit_beyond_cardinality(self, db):
+        out = repro.run_sql("select k from t limit 100", db)
+        assert len(out) == 4
+
+    @pytest.mark.parametrize(
+        "strategy",
+        ["nested-iteration", "nested-relational", "nested-relational-optimized",
+         "system-a-native"],
+    )
+    def test_applies_to_every_strategy(self, db, strategy):
+        sql = (
+            "select k, v from t where exists (select * from u where u.tk = t.k) "
+            "order by v desc limit 1"
+        )
+        out = repro.run_sql(sql, db, strategy=strategy)
+        assert out.rows == [(1, 30)]
+
+
+class TestRejections:
+    def test_order_in_subquery_rejected(self, db):
+        sql = (
+            "select k from t where k in "
+            "(select tk from u order by tk)"
+        )
+        with pytest.raises(AnalysisError, match="outermost"):
+            repro.run_sql(sql, db)
+
+    def test_order_item_must_be_selected(self, db):
+        with pytest.raises(AnalysisError, match="SELECT list"):
+            repro.run_sql("select k from t order by v", db)

@@ -1,0 +1,211 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast as A
+from repro.sql.parser import parse
+
+
+class TestSelectShape:
+    def test_items_and_tables(self):
+        stmt = parse("select a, t.b from t")
+        assert len(stmt.items) == 2
+        assert stmt.items[0].expr == A.ColumnRef(None, "a")
+        assert stmt.items[1].expr == A.ColumnRef("t", "b")
+        assert stmt.tables == (A.TableRef("t", None),)
+
+    def test_star(self):
+        stmt = parse("select * from t")
+        assert stmt.items[0].star
+
+    def test_distinct(self):
+        assert parse("select distinct a from t").distinct
+
+    def test_aliases(self):
+        stmt = parse("select a from t as x, u y")
+        assert stmt.tables[0].effective_alias == "x"
+        assert stmt.tables[1].effective_alias == "y"
+
+    def test_no_where(self):
+        assert parse("select a from t").where is None
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("select a from t junk extra ,")
+
+
+class TestPredicates:
+    def where(self, text):
+        return parse(f"select a from t where {text}").where
+
+    def test_comparison(self):
+        p = self.where("a < 5")
+        assert isinstance(p, A.ComparisonPred)
+        assert p.op == "<"
+
+    def test_neq_alias(self):
+        assert self.where("a != 5").op == "<>"
+
+    def test_and_or_precedence(self):
+        p = self.where("a = 1 or b = 2 and c = 3")
+        assert isinstance(p, A.OrPred)
+        assert isinstance(p.right, A.AndPred)
+
+    def test_parenthesized(self):
+        p = self.where("(a = 1 or b = 2) and c = 3")
+        assert isinstance(p, A.AndPred)
+        assert isinstance(p.left, A.OrPred)
+
+    def test_not(self):
+        p = self.where("not a = 1")
+        assert isinstance(p, A.NotPred)
+
+    def test_between(self):
+        p = self.where("a between 1 and 3")
+        assert isinstance(p, A.BetweenPred)
+
+    def test_is_null(self):
+        assert self.where("a is null") == A.IsNullPred(
+            A.ColumnRef(None, "a"), negated=False
+        )
+        assert self.where("a is not null").negated
+
+    def test_in_list(self):
+        p = self.where("a in (1, 2, 3)")
+        assert isinstance(p, A.InListPred)
+        assert len(p.items) == 3
+
+    def test_not_in_list(self):
+        assert self.where("a not in (1)").negated
+
+
+class TestSubqueryPredicates:
+    def where(self, text):
+        return parse(f"select a from t where {text}").where
+
+    def test_exists(self):
+        p = self.where("exists (select * from u)")
+        assert isinstance(p, A.ExistsPred) and not p.negated
+
+    def test_not_exists(self):
+        p = self.where("not exists (select * from u)")
+        assert isinstance(p, A.ExistsPred) and p.negated
+
+    def test_in_subquery(self):
+        p = self.where("a in (select b from u)")
+        assert isinstance(p, A.InSubqueryPred) and not p.negated
+
+    def test_not_in_subquery(self):
+        p = self.where("a not in (select b from u)")
+        assert isinstance(p, A.InSubqueryPred) and p.negated
+
+    @pytest.mark.parametrize("word,quant", [("any", "some"), ("some", "some"), ("all", "all")])
+    def test_quantified(self, word, quant):
+        p = self.where(f"a > {word} (select b from u)")
+        assert isinstance(p, A.QuantifiedPred)
+        assert p.quantifier == quant
+        assert p.op == ">"
+
+    def test_nested_two_levels(self):
+        p = self.where(
+            "a > all (select b from u where exists (select * from v where v.x = u.b))"
+        )
+        inner = p.subquery.where
+        assert isinstance(inner, A.ExistsPred)
+
+    def test_conjunction_of_subqueries(self):
+        p = self.where(
+            "exists (select * from u) and not exists (select * from v)"
+        )
+        assert isinstance(p, A.AndPred)
+        assert isinstance(p.left, A.ExistsPred)
+        assert isinstance(p.right, A.ExistsPred) and p.right.negated
+
+
+class TestValues:
+    def value(self, text):
+        pred = parse(f"select a from t where a = {text}").where
+        return pred.right
+
+    def test_negative_number(self):
+        assert self.value("-5") == A.Constant(-5)
+
+    def test_float(self):
+        assert self.value("2.5") == A.Constant(2.5)
+
+    def test_string(self):
+        assert self.value("'abc'") == A.Constant("abc")
+
+    def test_null_true_false(self):
+        from repro.engine.types import NULL
+
+        assert self.value("null") == A.Constant(NULL)
+        assert self.value("true") == A.Constant(True)
+        assert self.value("false") == A.Constant(False)
+
+    def test_arithmetic_precedence(self):
+        v = self.value("1 + 2 * 3")
+        assert isinstance(v, A.BinaryArith) and v.op == "+"
+        assert isinstance(v.right, A.BinaryArith) and v.right.op == "*"
+
+    def test_parenthesized_value(self):
+        v = self.value("(1 + 2) * 3")
+        assert v.op == "*"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "update t set a = 1",
+            "select from t",
+            "select a from",
+            "select a from t where",
+            "select a from t where a >",
+            "select a from t where a in (",
+            "select a from t where exists select * from u",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_line(self):
+        try:
+            parse("select a\nfrom t\nwhere a >")
+        except ParseError as e:
+            assert e.line >= 1
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestPaperQueries:
+    def test_query_q_parses(self):
+        from tests.core.test_paper_example import QUERY_Q
+
+        stmt = parse(QUERY_Q)
+        outer = stmt.where
+        # R.A > 1 AND R.B NOT IN (...)
+        assert isinstance(outer, A.AndPred)
+        not_in = outer.right
+        assert isinstance(not_in, A.InSubqueryPred) and not_in.negated
+        inner = not_in.subquery.where
+        # three conjuncts: S.F=5, R.D=S.G, S.H > ALL (...)
+        def flatten(p):
+            if isinstance(p, A.AndPred):
+                return flatten(p.left) + flatten(p.right)
+            return [p]
+
+        parts = flatten(inner)
+        assert len(parts) == 3
+        assert isinstance(parts[2], A.QuantifiedPred)
+        assert parts[2].quantifier == "all"
+
+    def test_tpch_builders_parse(self):
+        from repro.tpch import query1, query2, query3
+
+        parse(query1("1993-01-01", "1994-01-01"))
+        parse(query2("any", 1, 10, 500, 25))
+        for v in "abc":
+            parse(query3("all", "not exists", v, 1, 10, 500, 25))

@@ -1,0 +1,118 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStrategies:
+    def test_lists_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "nested-relational" in out
+        assert "system-a-native" in out
+        assert "auto" in out
+
+
+class TestGenerateAndRun:
+    def test_generate_then_run_from_csv(self, tmp_path, capsys):
+        data_dir = str(tmp_path / "data")
+        assert main(["generate", "--sf", "0.001", "--out", data_dir]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "run",
+                "select o_orderkey from orders where o_totalprice > 50000",
+                "--data",
+                data_dir,
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "row(s)" in out
+        assert "agrees" in out
+
+    def test_run_against_generated_tpch(self, capsys):
+        code = main(
+            [
+                "run",
+                "select p_partkey, p_name from part where p_size >= 48",
+                "--tpch",
+                "0.001",
+                "--strategy",
+                "nested-relational",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "part.p_partkey" in out
+
+    def test_run_nested_query_with_check(self, capsys):
+        sql = (
+            "select o_orderkey, o_orderpriority from orders "
+            "where o_totalprice > all (select l_extendedprice from lineitem "
+            "where l_orderkey = o_orderkey)"
+        )
+        code = main(["run", sql, "--tpch", "0.001", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agrees" in out
+
+    def test_run_from_file(self, tmp_path, capsys):
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text("select n_name from nation where n_nationkey < 3")
+        code = main(["run", "--file", str(sql_file), "--tpch", "0.001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 row(s)" in out
+
+    def test_missing_sql_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--tpch", "0.001"])
+
+
+class TestExplain:
+    def test_explain_nested_relational(self, capsys):
+        sql = (
+            "select o_orderkey from orders where o_totalprice > all "
+            "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+        )
+        code = main(["explain", sql, "--tpch", "0.001",
+                     "--strategy", "nested-relational"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T1: orders" in out
+        assert "υ" in out  # a nest operator in the plan
+        assert "ALL" in out
+
+    def test_explain_system_a(self, capsys):
+        sql = (
+            "select o_orderkey from orders where o_totalprice > all "
+            "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+        )
+        code = main(["explain", sql, "--tpch", "0.001",
+                     "--strategy", "system-a-native"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nested-iteration" in out
+
+    def test_explain_auto_names_choice(self, capsys):
+        sql = "select o_orderkey from orders where exists (select * from lineitem where l_orderkey = o_orderkey)"
+        code = main(["explain", sql, "--tpch", "0.001", "--strategy", "auto"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "auto ->" in out
+
+
+class TestBench:
+    def test_single_figure(self, capsys):
+        code = main(["bench", "--figure", "fig4", "--sf", "0.001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "F4" in out
+        assert "system-a-native" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--figure", "fig99", "--sf", "0.001"])

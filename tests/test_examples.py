@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs cleanly and reports agreement."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestQuickstart:
+    def test_runs_and_agrees(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "MISMATCH" not in proc.stdout
+        assert "agrees with oracle" in proc.stdout
+        assert "Temp2" in proc.stdout or "nest by" in proc.stdout
+
+
+class TestNullSemantics:
+    def test_demonstrates_unsoundness(self):
+        proc = run_example("null_semantics.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "guarded strategy refuses" in proc.stdout
+        assert "wrongly included" in proc.stdout
+        assert "(correct)" in proc.stdout
+
+
+class TestTpchSubqueries:
+    def test_all_strategies_agree(self):
+        proc = run_example("tpch_subqueries.py", "0.001")
+        assert proc.returncode == 0, proc.stderr
+        assert "WRONG" not in proc.stdout
+        assert "All strategies agreed" in proc.stdout
+        # every paper query family appears
+        for label in ("Query 1", "Query 2a", "Query 2b", "Query 3a(",
+                      "Query 3b(", "Query 3c("):
+            assert label in proc.stdout
+
+
+class TestStrategyExplorer:
+    def test_covers_shapes_without_wrong_answers(self):
+        proc = run_example("strategy_explorer.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "WRONG" not in proc.stdout
+        assert "auto picks" in proc.stdout
+        assert "tree query" in proc.stdout

@@ -1,0 +1,78 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.harness import Experiment, SeriesPoint, StrategyMeasurement
+from repro.bench.plot import render_chart
+
+
+def make_experiment(values_by_strategy, labels=None):
+    n = len(next(iter(values_by_strategy.values())))
+    labels = labels or [f"p{i}" for i in range(n)]
+    exp = Experiment("TEST", "synthetic")
+    for i in range(n):
+        point = SeriesPoint(label=labels[i], block_sizes=(i,), intermediate_rows=i)
+        for name, values in values_by_strategy.items():
+            point.measurements[name] = StrategyMeasurement(
+                strategy=name,
+                seconds=values[i] / 1000.0,
+                result_rows=1,
+                metrics={"rows_scanned": values[i]},
+            )
+        exp.points.append(point)
+    return exp
+
+
+class TestRenderChart:
+    def test_contains_legend_and_labels(self):
+        exp = make_experiment({"a-strategy": [10, 20], "b-strategy": [5, 6]})
+        text = render_chart(exp, metric="cost")
+        assert "legend:" in text
+        assert "a-strategy" in text and "b-strategy" in text
+        assert "p0" in text and "p1" in text
+
+    def test_growth_places_glyphs_on_distinct_rows(self):
+        exp = make_experiment({"grows": [10, 1000]})
+        text = render_chart(exp, metric="cost", height=10)
+        rows_with_glyph = [
+            i
+            for i, line in enumerate(text.splitlines())
+            if "|" in line and "*" in line.split("|", 1)[1]
+        ]
+        assert len(rows_with_glyph) == 2
+        assert rows_with_glyph[0] < rows_with_glyph[1]  # larger value higher
+
+    def test_log_scale_automatic(self):
+        exp = make_experiment({"wide": [1, 10_000]})
+        assert "log10" in render_chart(exp, metric="cost")
+        narrow = make_experiment({"narrow": [100, 110]})
+        assert "log10" not in render_chart(narrow, metric="cost")
+
+    def test_explicit_linear_scale(self):
+        exp = make_experiment({"wide": [1, 10_000]})
+        assert "log10" not in render_chart(exp, metric="cost", log_scale=False)
+
+    def test_metric_variants(self):
+        exp = make_experiment({"s": [10, 20]})
+        for metric in ("seconds", "cost", "rows", "rows_scanned"):
+            assert "TEST" in render_chart(exp, metric=metric)
+
+    def test_empty_metric_handled(self):
+        exp = make_experiment({"s": [10, 20]})
+        out = render_chart(exp, metric="nonexistent_counter")
+        assert "no data" in out
+
+    def test_coincident_series_both_visible(self):
+        exp = make_experiment({"one": [50, 50], "two": [50, 50]})
+        text = render_chart(exp, metric="cost")
+        assert "*" in text and "o" in text
+
+
+class TestCliChart:
+    def test_bench_chart_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "--figure", "fig4", "--sf", "0.001", "--chart"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend:" in out
