@@ -30,6 +30,7 @@ from . import core
 from . import sql
 from . import baselines
 from . import tpch
+from . import fuzz
 from .engine import (
     Column,
     Database,
@@ -81,6 +82,7 @@ __all__ = [
     "sql",
     "baselines",
     "tpch",
+    "fuzz",
     "NULL",
     "is_null",
     "Column",

@@ -117,22 +117,42 @@ class SystemAEmulationStrategy:
             return SEMIJOIN, f"positive operator {link.operator.upper()}"
         if link.operator == "not_exists":
             return ANTIJOIN, "NOT EXISTS"
-        # ALL / NOT IN: need NOT NULL on the linked attribute.
-        assert link.inner_ref is not None
+        # ALL / NOT IN: the antijoin on the negated comparison is only
+        # sound when neither side of the theta can be NULL.  A NULL linked
+        # value makes every comparison UNKNOWN, and a NULL *linking* value
+        # makes ``x <> ALL {..}`` UNKNOWN over a non-empty inner set — the
+        # antijoin would keep such rows, so both need NOT NULL.
+        assert link.inner_ref is not None and link.outer_ref is not None
         alias, _, column = link.inner_ref.rpartition(".")
         table_name = child.tables.get(alias)
         if table_name is None:
             return NESTED_ITERATION, "linked attribute outside the block"
-        if db.table(table_name).schema.column(column).not_null:
+        if not db.table(table_name).schema.column(column).not_null:
             return (
-                ANTIJOIN_NEGATED,
-                f"{link.operator.upper()} with NOT NULL {link.inner_ref}",
+                NESTED_ITERATION,
+                f"{link.operator.upper()} with NULLable linked attribute "
+                f"{link.inner_ref}",
+            )
+        if not self._column_not_null(link.outer_ref, query, db):
+            return (
+                NESTED_ITERATION,
+                f"{link.operator.upper()} with NULLable linking attribute "
+                f"{link.outer_ref}",
             )
         return (
-            NESTED_ITERATION,
-            f"{link.operator.upper()} with NULLable linked attribute "
-            f"{link.inner_ref}",
+            ANTIJOIN_NEGATED,
+            f"{link.operator.upper()} with NOT NULL {link.inner_ref}",
         )
+
+    @staticmethod
+    def _column_not_null(ref: str, query: NestedQuery, db: Database) -> bool:
+        """Whether the column behind a qualified ref carries NOT NULL."""
+        alias, _, column = ref.rpartition(".")
+        for block in query.root.walk():
+            table_name = block.tables.get(alias)
+            if table_name is not None:
+                return db.table(table_name).schema.column(column).not_null
+        return False
 
     @staticmethod
     def _self_contained(child: QueryBlock, query: NestedQuery) -> Optional[str]:

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run --file q.sql --tpch 0.002 --strategy auto
     python -m repro explain "select ..." --tpch 0.002 --strategy system-a-native
     python -m repro bench --figure fig4 --sf 0.005         # one paper figure
+    python -m repro fuzz --iterations 500 --seed 42        # differential fuzz
     python -m repro strategies                             # list strategies
 
 Databases come either from a CSV directory written by ``generate`` /
@@ -149,6 +150,78 @@ def cmd_strategies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import (
+        DifferentialRunner,
+        FuzzConfig,
+        MutatedLinkStrategy,
+        run_fuzz,
+    )
+
+    from .core.planner import available_strategies
+
+    strategies = None
+    if args.strategies:
+        strategies = tuple(
+            name.strip() for name in args.strategies.split(",") if name.strip()
+        )
+        # "auto" is a planner policy, not an executable strategy: fuzzing
+        # it would just re-test whichever strategy it delegates to.
+        known = set(available_strategies()) - {"auto"}
+        unknown = [name for name in strategies if name not in known]
+        if unknown:
+            print(
+                "error: unknown strategy name(s) for fuzz: "
+                + ", ".join(unknown)
+                + "\navailable: "
+                + ", ".join(sorted(known)),
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = FuzzConfig(
+            iterations=args.iterations,
+            seed=args.seed,
+            max_depth=args.depth,
+            null_rate=args.null_rate,
+            max_rows=args.max_rows,
+            strategies=strategies,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    extra = [MutatedLinkStrategy()] if args.inject_bug else []
+    runner = DifferentialRunner(
+        strategies=config.strategies, extra_strategies=extra
+    )
+
+    def progress(i: int, report) -> None:
+        if not args.quiet and (i + 1) % 100 == 0:
+            print(
+                f"... {i + 1}/{config.iterations} cases, "
+                f"{report.strategy_checks} strategy checks"
+            )
+
+    outcome = run_fuzz(
+        config,
+        runner=runner,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    print(outcome.report.summary())
+    if outcome.ok:
+        return 0
+    failure = outcome.shrunk_failure or outcome.report.failures[0]
+    print()
+    print("minimized failure:" if outcome.shrunk_case else "failure:")
+    print(failure.describe())
+    if outcome.corpus_path:
+        print(f"\nregression written to {outcome.corpus_path}")
+        print("re-run it with: python -m pytest " + outcome.corpus_path)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart", action="store_true",
                    help="also draw ASCII charts")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz every strategy against the oracle",
+    )
+    p.add_argument("--iterations", type=int, default=500,
+                   help="number of random (query, database) cases")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed; (seed, iteration) reproduces a case")
+    p.add_argument("--depth", type=int, default=3,
+                   help="maximum subquery nesting depth (1-4)")
+    p.add_argument("--null-rate", type=float, default=0.25, dest="null_rate",
+                   help="per-cell NULL probability in generated data")
+    p.add_argument("--max-rows", type=int, default=8, dest="max_rows",
+                   help="maximum rows per generated table")
+    p.add_argument("--strategies",
+                   help="comma-separated strategy names (default: all)")
+    p.add_argument("--corpus-dir", default="tests/fuzz_corpus",
+                   help="where minimized failures are written as pytest files")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report the raw failing case without minimizing")
+    p.add_argument("--inject-bug", action="store_true", dest="inject_bug",
+                   help="self-test: add a deliberately broken strategy and "
+                        "verify the fuzzer catches it")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("strategies", help="list strategy names")
     p.set_defaults(func=cmd_strategies)

@@ -325,29 +325,54 @@ def _pushdown_apply(
     tuple and apply the linking selection — strict, since bottom-up
     evaluation always works on the currently-outermost unfinished link."""
     metrics = current_metrics()
-    nested = nest(child_rel, list(inner_keys), list(keep))
+    # Distinct correlations may bind the same inner column (``s.b = r.a
+    # AND s.b = r.k``); nest by each inner column once, and when probing
+    # require every outer value bound to that column to agree.
+    unique_inner: List[str] = []
+    outer_groups: List[List[str]] = []
+    for o, i in zip(outer_keys, inner_keys):
+        if i in unique_inner:
+            outer_groups[unique_inner.index(i)].append(o)
+        else:
+            unique_inner.append(i)
+            outer_groups.append([o])
+    # The linked attribute may itself be a correlation key (e.g.
+    # ``... = SOME (select s.b ... where s.b = r.a)``): it then lives in
+    # the nesting attributes, not the nested set — nest demands the two
+    # be disjoint — and every member of a group shares its key value.
+    nest_keep = [r for r in keep if r not in unique_inner]
+    nested = nest(child_rel, unique_inner, nest_keep)
     group_pos = nested.schema.index_of("_nested")
-    by_positions = [nested.schema.index_of(r) for r in inner_keys]
+    by_positions = [nested.schema.index_of(r) for r in unique_inner]
     sub_schema = nested.schema.subschema("_nested").schema.to_flat()
-    val_pos = (
-        sub_schema.index_of(link.inner_ref) if link.inner_ref is not None else None
-    )
+    val_pos = None
+    val_key_idx = None
+    if link.inner_ref is not None:
+        if link.inner_ref in unique_inner:
+            val_key_idx = unique_inner.index(link.inner_ref)
+        else:
+            val_pos = sub_schema.index_of(link.inner_ref)
     pk_pos = sub_schema.index_of(pk_ref)
 
     from ..engine.types import row_group_key
 
     groups: Dict[tuple, list] = {}
     for row in nested.rows:
-        key = row_group_key(tuple(row[p] for p in by_positions))
+        key_vals = tuple(row[p] for p in by_positions)
+        key = row_group_key(key_vals)
+        if val_key_idx is not None:
+            value_of = lambda member: key_vals[val_key_idx]
+        elif val_pos is not None:
+            value_of = lambda member: member[val_pos]
+        else:
+            value_of = lambda member: NULL
         groups[key] = [
-            (
-                (member[val_pos] if val_pos is not None else NULL),
-                member[pk_pos],
-            )
-            for member in row[group_pos]
+            (value_of(member), member[pk_pos]) for member in row[group_pos]
         ]
 
-    outer_positions = parent_rel.schema.indices_of(outer_keys)
+    outer_positions = [
+        [parent_rel.schema.index_of(o) for o in group] for group in outer_groups
+    ]
     lhs_pos = (
         parent_rel.schema.index_of(link.outer_ref)
         if link.outer_ref is not None
@@ -357,11 +382,20 @@ def _pushdown_apply(
     for row in parent_rel.rows:
         metrics.add("hash_probes")
         metrics.add("linking_evals")
-        key_vals = tuple(row[p] for p in outer_positions)
-        if any(is_null(v) for v in key_vals):
+        key_vals = []
+        unmatched = False
+        for plist in outer_positions:
+            vals = [row[p] for p in plist]
+            if any(is_null(v) for v in vals) or any(
+                v != vals[0] for v in vals[1:]
+            ):
+                unmatched = True
+                break
+            key_vals.append(vals[0])
+        if unmatched:
             members: list = []
         else:
-            members = groups.get(row_group_key(key_vals), [])
+            members = groups.get(row_group_key(tuple(key_vals)), [])
         lhs = row[lhs_pos] if lhs_pos is not None else NULL
         if predicate.evaluate(lhs, members).is_true():
             out_rows.append(row)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional, Union
 
 from ..errors import PlanError
 from ..engine.catalog import Database
+from ..engine.metrics import current_metrics
 from ..engine.relation import Relation
 from .blocks import NestedQuery
 from .compute import NestedRelationalStrategy
@@ -100,8 +101,9 @@ def execute(
         impl = choose_strategy(query) if strategy == "auto" else make_strategy(strategy)
     else:
         impl = strategy
-    result = impl.execute(query, db)
-    return _finalize(result, query)
+    result = _finalize(impl.execute(query, db), query)
+    current_metrics().add("rows_produced", len(result))
+    return result
 
 
 def _finalize(result: Relation, query: NestedQuery) -> Relation:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 #: weights for :meth:`Metrics.weighted_cost`: an index probe costs a
@@ -65,6 +65,31 @@ class Metrics:
         for k, v in other.counters.items():
             out.add(k, v)
         return out
+
+    def invariant_violations(
+        self, result_cardinality: Optional[int] = None
+    ) -> List[str]:
+        """Sanity-check the counter bundle, returning violation messages.
+
+        Every counter must be non-negative (operators only ever *add*
+        work).  When *result_cardinality* is given it is checked against
+        the ``rows_produced`` counter the planner charges once per
+        finished execution — the fuzzer runs every strategy under a fresh
+        :func:`collect` scope and uses this to catch strategies that
+        drop or duplicate result rows relative to what they report.
+        """
+        violations = []
+        for name, value in sorted(self.counters.items()):
+            if value < 0:
+                violations.append(f"counter {name!r} is negative ({value})")
+        if result_cardinality is not None:
+            produced = self.get("rows_produced")
+            if produced != result_cardinality:
+                violations.append(
+                    f"rows_produced={produced} but the result has "
+                    f"{result_cardinality} row(s)"
+                )
+        return violations
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.counters)

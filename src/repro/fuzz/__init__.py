@@ -1,0 +1,124 @@
+"""Randomized differential fuzzing of the subquery strategies.
+
+This package is the standing correctness gate for the engine: it
+generates random multi-level subquery queries (every linking operator,
+linear and tree shapes, correlated and not) over random NULL-heavy
+databases, runs every registered strategy against the tuple-iteration
+oracle, and — on the first disagreement — minimizes the failing
+(query, database) pair and freezes it as a self-contained pytest
+regression under ``tests/fuzz_corpus/``.
+
+Entry points:
+
+* ``repro fuzz`` — the CLI command (see :mod:`repro.cli`);
+* :func:`run_fuzz` — the same loop as a library call;
+* :class:`DifferentialRunner` / :class:`QueryGenerator` /
+  :func:`random_database_spec` — the pieces, for targeted tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .datagen import DatabaseSpec, TableSpec, random_database_spec
+from .generator import FuzzConfig, QueryGenerator, case_rng
+from .runner import (
+    ALWAYS_STRATEGIES,
+    DEFAULT_STRATEGIES,
+    GUARDED_STRATEGIES,
+    ORACLE,
+    DifferentialRunner,
+    Failure,
+    FuzzCase,
+    FuzzReport,
+    MutatedLinkStrategy,
+    generate_case,
+    mutate_first_link,
+)
+from .shrink import is_interesting, shrink_case
+from .corpus import (
+    applicable_strategies,
+    case_digest,
+    corpus_module_source,
+    write_corpus_file,
+)
+
+
+@dataclass
+class FuzzOutcome:
+    """What a full fuzz-shrink-report cycle produced."""
+
+    report: FuzzReport
+    shrunk_case: Optional[FuzzCase] = None
+    shrunk_failure: Optional[Failure] = None
+    corpus_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    runner: Optional[DifferentialRunner] = None,
+    corpus_dir: Optional[str] = None,
+    shrink: bool = True,
+    progress=None,
+) -> FuzzOutcome:
+    """Fuzz; on failure, minimize and (optionally) write a corpus file.
+
+    This is the whole pipeline behind ``repro fuzz``: generate cases from
+    ``(config.seed, iteration)``, differentially check them, stop at the
+    first failure, shrink it, and freeze the minimized pair under
+    *corpus_dir* as a pytest regression.
+    """
+    if runner is None:
+        runner = DifferentialRunner(strategies=config.strategies)
+    report = runner.run(config, progress=progress)
+    outcome = FuzzOutcome(report=report)
+    if report.ok or not report.failures:
+        return outcome
+
+    failure = report.failures[0]
+    if shrink and is_interesting(failure):
+        case, failure = shrink_case(failure.case, runner.check_case)
+        outcome.shrunk_case = case
+    else:
+        case = failure.case
+        outcome.shrunk_case = case
+    outcome.shrunk_failure = failure
+    if corpus_dir is not None:
+        outcome.corpus_path = write_corpus_file(
+            case, corpus_dir, failure=failure
+        )
+    return outcome
+
+
+__all__ = [
+    "ALWAYS_STRATEGIES",
+    "DEFAULT_STRATEGIES",
+    "GUARDED_STRATEGIES",
+    "ORACLE",
+    "DatabaseSpec",
+    "DifferentialRunner",
+    "Failure",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzOutcome",
+    "FuzzReport",
+    "MutatedLinkStrategy",
+    "QueryGenerator",
+    "TableSpec",
+    "applicable_strategies",
+    "case_digest",
+    "case_rng",
+    "corpus_module_source",
+    "generate_case",
+    "is_interesting",
+    "mutate_first_link",
+    "random_database_spec",
+    "run_fuzz",
+    "shrink_case",
+    "write_corpus_file",
+]

@@ -1,0 +1,187 @@
+"""Freezing fuzz cases as self-contained pytest regressions.
+
+A corpus file needs nothing but ``repro`` itself: it embeds the SQL
+text, rebuilds the database from literal rows, and asserts that every
+(applicable) strategy agrees with the nested-iteration oracle.  Checked
+into ``tests/fuzz_corpus/``, these run under plain ``pytest`` with no
+fuzzer involvement — the corpus is the fuzzer's long-term memory of
+every bug it ever caught, plus a seeded set of representative cases.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional, Sequence
+
+from ..engine.types import is_null
+from ..errors import ReproError
+from ..sql.analyzer import compile_sql
+from .runner import (
+    ALWAYS_STRATEGIES,
+    GUARDED_STRATEGIES,
+    Failure,
+    FuzzCase,
+    _applies,
+)
+from ..core.planner import make_strategy
+
+_TEMPLATE = '''"""{title}
+
+{provenance}
+Replay:  PYTHONPATH=src python -m repro fuzz --seed {seed} --iterations {replay_iterations}
+"""
+
+import repro
+from repro.engine import NULL, Column, Database
+
+SQL = (
+{sql_literal}
+)
+
+STRATEGIES = [
+{strategies}
+]
+
+
+def build_db():
+    db = Database()
+{tables}
+    return db
+
+
+def test_all_strategies_agree_with_oracle():
+    db = build_db()
+    query = repro.compile_sql(SQL, db)
+    oracle = repro.execute(query, db, strategy="nested-iteration").sorted()
+    for strategy in STRATEGIES:
+        result = repro.execute(query, db, strategy=strategy).sorted()
+        assert result == oracle, f"{{strategy}} disagrees with the oracle"
+'''
+
+
+def _pyvalue(value: object) -> str:
+    if is_null(value):
+        return "NULL"
+    return repr(value)
+
+
+def _sql_literal(sql: str, width: int = 68) -> str:
+    """The SQL string as an implicitly concatenated literal block."""
+    words = sql.split(" ")
+    lines: list = []
+    current = ""
+    for word in words:
+        if current and len(current) + 1 + len(word) > width:
+            lines.append(current)
+            current = word
+        else:
+            current = f"{current} {word}" if current else word
+    if current:
+        lines.append(current)
+    out = []
+    for i, line in enumerate(lines):
+        trailing = " " if i < len(lines) - 1 else ""
+        out.append(f'    "{line}{trailing}"')
+    return "\n".join(out)
+
+
+def applicable_strategies(case: FuzzCase) -> list:
+    """Strategy names that accept this case (guarded ones filtered)."""
+    db = case.db_spec.build()
+    query = compile_sql(case.sql, db)
+    names = list(ALWAYS_STRATEGIES)
+    for name in GUARDED_STRATEGIES:
+        if _applies(make_strategy(name), query, db):
+            names.append(name)
+    return names
+
+
+def corpus_module_source(
+    case: FuzzCase,
+    failure: Optional[Failure] = None,
+    title: Optional[str] = None,
+    strategies: Optional[Sequence[str]] = None,
+) -> str:
+    """Render *case* as the source of a self-contained pytest module."""
+    if strategies is None:
+        strategies = applicable_strategies(case)
+    if title is None:
+        title = "Fuzzer regression (minimized by repro.fuzz)."
+    if failure is not None:
+        provenance = (
+            f"Origin: strategy {failure.strategy!r} {failure.kind} — "
+            f"{failure.detail}\n"
+            f"Found at seed={case.seed} iteration={case.iteration}, then "
+            "minimized.\n"
+        )
+    else:
+        provenance = (
+            f"Deterministic generator output (seed={case.seed} "
+            f"iteration={case.iteration}), checked in as a corpus seed.\n"
+        )
+
+    table_lines = []
+    for table in case.db_spec.tables:
+        rows = ",\n".join(
+            "            (" + ", ".join(_pyvalue(v) for v in row) + ")"
+            for row in table.rows
+        )
+        rows_block = f"[\n{rows},\n        ]" if table.rows else "[]"
+        table_lines.append(
+            f'    db.create_table(\n'
+            f'        "{table.name}",\n'
+            f'        [Column("k", not_null=True), Column("a"), Column("b")],\n'
+            f"        {rows_block},\n"
+            f'        primary_key="k",\n'
+            f"    )"
+        )
+
+    return _TEMPLATE.format(
+        title=title,
+        provenance=provenance,
+        seed=case.seed,
+        replay_iterations=case.iteration + 1,
+        sql_literal=_sql_literal(case.sql),
+        strategies="\n".join(f'    "{name}",' for name in strategies),
+        tables="\n".join(table_lines),
+    )
+
+
+def case_digest(case: FuzzCase) -> str:
+    payload = case.sql + "|" + repr(
+        [(t.name, t.rows) for t in case.db_spec.tables]
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()[:10]
+
+
+def write_corpus_file(
+    case: FuzzCase,
+    directory: str,
+    failure: Optional[Failure] = None,
+    name: Optional[str] = None,
+    title: Optional[str] = None,
+    strategies: Optional[Sequence[str]] = None,
+) -> str:
+    """Write the regression module under *directory*; returns its path.
+
+    The directory is created (with an ``__init__.py`` so pytest package
+    collection keeps working) if it does not exist.
+    """
+    os.makedirs(directory, exist_ok=True)
+    init_path = os.path.join(directory, "__init__.py")
+    if not os.path.exists(init_path):
+        with open(init_path, "w") as handle:
+            handle.write('"""Checked-in fuzzer regressions (repro.fuzz)."""\n')
+    if name is None:
+        name = f"test_fuzz_{case_digest(case)}.py"
+    if not name.startswith("test_"):
+        raise ReproError(f"corpus file name {name!r} must start with 'test_'")
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        handle.write(
+            corpus_module_source(
+                case, failure=failure, title=title, strategies=strategies
+            )
+        )
+    return path

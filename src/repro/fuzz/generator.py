@@ -1,0 +1,310 @@
+"""Random subquery generation directly over :mod:`repro.sql.ast`.
+
+The generator produces multi-level nested SELECT statements inside the
+paper's supported subset (subqueries only as top-level WHERE conjuncts,
+correlated predicates as simple column/column comparisons) but otherwise
+as adversarial as that subset allows:
+
+* every linking operator — ``EXISTS / NOT EXISTS / IN / NOT IN /
+  θ SOME / θ ALL`` with all six comparison thetas;
+* linear chains *and* tree shapes (a block carrying two subqueries);
+* correlations to the adjacent block **and** to non-adjacent ancestors
+  (the paper's Query 3 shape, which defeats classical unnesting);
+* nesting depth up to :attr:`FuzzConfig.max_depth` (capped at 4);
+* local predicates mixing comparisons, BETWEEN, IS [NOT] NULL, IN-lists,
+  OR and NOT — including comparisons against a literal NULL.
+
+Aliases ``b0, b1, ...`` are assigned per block so every column reference
+is unambiguous and the analyzer's scope resolution is exercised across
+block boundaries.  All randomness flows through the caller-provided
+``random.Random`` so a (seed, iteration) pair reproduces a case exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sql import ast as A
+from ..engine.types import NULL
+from .datagen import ALL_COLUMNS, DatabaseSpec, PK_COLUMN, VALUE_COLUMNS
+
+#: Linking operator families the generator draws from.
+LINK_KINDS = ("exists", "not_exists", "in", "not_in", "some", "all")
+THETAS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzzing run (CLI flags map onto these)."""
+
+    iterations: int = 500
+    seed: int = 0
+    #: maximum nesting depth (1 = one subquery level); capped at 4.
+    max_depth: int = 3
+    #: per-cell NULL probability in generated value columns.
+    null_rate: float = 0.25
+    #: maximum rows per generated table.
+    max_rows: int = 8
+    n_tables: int = 4
+    domain: Tuple[int, int] = (-3, 3)
+    #: probability that a block with depth budget spawns two subqueries.
+    tree_probability: float = 0.2
+    #: probability that a subquery block is correlated with an ancestor.
+    correlation_probability: float = 0.8
+    #: probability of an extra local predicate per block.
+    local_probability: float = 0.4
+    distinct_probability: float = 0.15
+    #: probability the root block joins two tables.
+    two_table_root_probability: float = 0.2
+    #: strategy names to check (None = the runner's default set).
+    strategies: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.max_depth <= 4):
+            raise ValueError("max_depth must be between 1 and 4")
+        if not (0.0 <= self.null_rate <= 1.0):
+            raise ValueError("null_rate must be a probability")
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+
+
+class QueryGenerator:
+    """Generates random nested SELECT statements against a
+    :class:`~repro.fuzz.datagen.DatabaseSpec`."""
+
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+
+    def generate(self, rng: random.Random, spec: DatabaseSpec) -> A.SelectStmt:
+        """One random query; depth is drawn from [1, max_depth]."""
+        counter = [0]
+        depth = rng.randint(1, self.config.max_depth)
+        return self._select(
+            rng, spec, counter, outer_aliases=(), budget=depth, root=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # block construction
+    # ------------------------------------------------------------------ #
+
+    def _select(
+        self,
+        rng: random.Random,
+        spec: DatabaseSpec,
+        counter: List[int],
+        outer_aliases: Tuple[str, ...],
+        budget: int,
+        root: bool,
+        star_ok: bool = False,
+    ) -> A.SelectStmt:
+        cfg = self.config
+
+        def fresh_alias() -> str:
+            alias = f"b{counter[0]}"
+            counter[0] += 1
+            return alias
+
+        aliases = [fresh_alias()]
+        tables = [A.TableRef(rng.choice(spec.tables).name, aliases[0])]
+        if root and rng.random() < cfg.two_table_root_probability:
+            aliases.append(fresh_alias())
+            tables.append(A.TableRef(rng.choice(spec.tables).name, aliases[1]))
+
+        conjuncts: List[A.Predicate] = []
+        if len(aliases) == 2:
+            # join predicate between the two root tables
+            conjuncts.append(
+                A.ComparisonPred(
+                    rng.choice(("=", "=", "=", "<>")),
+                    self._col(rng, aliases[0]),
+                    self._col(rng, aliases[1]),
+                )
+            )
+        if outer_aliases and rng.random() < cfg.correlation_probability:
+            conjuncts.append(self._correlation(rng, aliases, outer_aliases))
+            # occasionally a second correlation (possibly to a different
+            # ancestor — the non-adjacent shape)
+            if rng.random() < 0.2:
+                conjuncts.append(self._correlation(rng, aliases, outer_aliases))
+        if rng.random() < cfg.local_probability:
+            conjuncts.append(self._local_predicate(rng, aliases))
+
+        # subquery links
+        if budget > 0:
+            n_children = 1
+            if rng.random() < cfg.tree_probability:
+                n_children = 2
+            for child in range(n_children):
+                child_budget = budget - 1
+                if child == 1:
+                    # the second branch of a tree may be shallower
+                    child_budget = rng.randint(0, budget - 1)
+                conjuncts.append(
+                    self._link(
+                        rng,
+                        spec,
+                        counter,
+                        my_aliases=tuple(aliases),
+                        outer_aliases=outer_aliases,
+                        budget=child_budget,
+                    )
+                )
+
+        where = self._conjoin(conjuncts) if conjuncts else None
+
+        if star_ok and rng.random() < 0.5:
+            items: Tuple[A.SelectItem, ...] = (A.SelectItem(expr=None, star=True),)
+        elif root:
+            items = tuple(
+                A.SelectItem(expr=A.ColumnRef(alias, col))
+                for alias, col in self._root_select(rng, aliases)
+            )
+        else:
+            items = (A.SelectItem(expr=self._col(rng, rng.choice(aliases))),)
+
+        distinct = root and rng.random() < cfg.distinct_probability
+        return A.SelectStmt(
+            items=items,
+            tables=tuple(tables),
+            where=where,
+            distinct=distinct,
+        )
+
+    def _root_select(
+        self, rng: random.Random, aliases: Sequence[str]
+    ) -> List[Tuple[str, str]]:
+        """Root SELECT list: the first table's pk plus maybe a value col."""
+        out = [(aliases[0], PK_COLUMN)]
+        if rng.random() < 0.5:
+            out.append((rng.choice(list(aliases)), rng.choice(VALUE_COLUMNS)))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # predicate pieces
+    # ------------------------------------------------------------------ #
+
+    def _col(self, rng: random.Random, alias: str) -> A.ColumnRef:
+        return A.ColumnRef(alias, rng.choice(ALL_COLUMNS))
+
+    def _value_col(self, rng: random.Random, alias: str) -> A.ColumnRef:
+        return A.ColumnRef(alias, rng.choice(VALUE_COLUMNS))
+
+    def _constant(self, rng: random.Random) -> A.Constant:
+        if rng.random() < 0.1:
+            return A.Constant(NULL)
+        lo, hi = self.config.domain
+        return A.Constant(rng.randint(lo, hi))
+
+    def _correlation(
+        self,
+        rng: random.Random,
+        my_aliases: Sequence[str],
+        outer_aliases: Sequence[str],
+    ) -> A.Predicate:
+        """inner-column θ ancestor-column, in either orientation."""
+        inner = self._col(rng, rng.choice(list(my_aliases)))
+        outer = self._col(rng, rng.choice(list(outer_aliases)))
+        # equality dominates (the realistic correlation), but non-equality
+        # correlations are exactly where nest push-down must be careful
+        op = rng.choice(("=", "=", "=", "=", "<>", "<", ">="))
+        if rng.random() < 0.5:
+            return A.ComparisonPred(op, inner, outer)
+        return A.ComparisonPred(op, outer, inner)
+
+    def _local_predicate(
+        self, rng: random.Random, aliases: Sequence[str]
+    ) -> A.Predicate:
+        alias = rng.choice(list(aliases))
+        kind = rng.random()
+        if kind < 0.35:
+            return A.ComparisonPred(
+                rng.choice(THETAS), self._col(rng, alias), self._constant(rng)
+            )
+        if kind < 0.5:
+            # column/column comparison within the block
+            return A.ComparisonPred(
+                rng.choice(THETAS),
+                self._col(rng, alias),
+                self._col(rng, rng.choice(list(aliases))),
+            )
+        if kind < 0.65:
+            return A.IsNullPred(
+                self._value_col(rng, alias), negated=rng.random() < 0.5
+            )
+        if kind < 0.78:
+            lo, hi = sorted(
+                (
+                    rng.randint(*self.config.domain),
+                    rng.randint(*self.config.domain),
+                )
+            )
+            return A.BetweenPred(
+                self._col(rng, alias), A.Constant(lo), A.Constant(hi)
+            )
+        if kind < 0.9:
+            items = tuple(
+                self._constant(rng) for _ in range(rng.randint(1, 3))
+            )
+            return A.InListPred(
+                self._col(rng, alias), items, negated=rng.random() < 0.5
+            )
+        simple = A.ComparisonPred(
+            rng.choice(THETAS), self._col(rng, alias), self._constant(rng)
+        )
+        other = A.ComparisonPred(
+            rng.choice(THETAS), self._col(rng, alias), self._constant(rng)
+        )
+        if rng.random() < 0.5:
+            return A.OrPred(simple, other)
+        return A.NotPred(simple)
+
+    def _link(
+        self,
+        rng: random.Random,
+        spec: DatabaseSpec,
+        counter: List[int],
+        my_aliases: Tuple[str, ...],
+        outer_aliases: Tuple[str, ...],
+        budget: int,
+    ) -> A.Predicate:
+        """A subquery-bearing conjunct linking this block to a child."""
+        kind = rng.choice(LINK_KINDS)
+        sub = self._select(
+            rng,
+            spec,
+            counter,
+            outer_aliases=outer_aliases + my_aliases,
+            budget=budget,
+            root=False,
+            star_ok=kind in ("exists", "not_exists"),
+        )
+        if kind in ("exists", "not_exists"):
+            return A.ExistsPred(subquery=sub, negated=kind == "not_exists")
+        # the linking attribute lives in the immediate parent block
+        operand = self._col(rng, rng.choice(my_aliases))
+        if kind in ("in", "not_in"):
+            return A.InSubqueryPred(
+                operand=operand, subquery=sub, negated=kind == "not_in"
+            )
+        return A.QuantifiedPred(
+            operand=operand,
+            op=rng.choice(THETAS),
+            quantifier=kind,
+            subquery=sub,
+        )
+
+    @staticmethod
+    def _conjoin(conjuncts: Sequence[A.Predicate]) -> A.Predicate:
+        out = conjuncts[0]
+        for pred in conjuncts[1:]:
+            out = A.AndPred(out, pred)
+        return out
+
+
+def case_rng(seed: int, iteration: int) -> random.Random:
+    """The per-iteration RNG: seeded from a string so the stream is stable
+    across Python versions and the (seed, iteration) pair fully determines
+    the case."""
+    return random.Random(f"repro-fuzz:{seed}:{iteration}")

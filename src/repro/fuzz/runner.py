@@ -1,0 +1,396 @@
+"""The differential oracle: every strategy vs. tuple-iteration semantics.
+
+For each generated (query, database) pair the runner executes every
+registered strategy and compares its result — as a bag, order-ignored —
+against the ``nested-iteration`` oracle, which implements SQL semantics
+by direct per-tuple evaluation.  Strategies with applicability guards
+(bottom-up linear evaluation, the positive rewrite, the classical
+unnesting and aggregate-rewrite baselines) are checked only on the
+queries they accept, mirroring how the auto planner would route them.
+
+Each execution also runs under a fresh metrics scope and is checked
+against the engine's counter invariants (non-negative counters,
+``rows_produced`` = result cardinality) so a strategy that silently
+miscounts work is flagged even when its rows are right.
+
+The runner reports the *first* failing (case, strategy) pair; the
+shrinker then minimizes it and the corpus writer freezes it as a
+self-contained pytest regression under ``tests/fuzz_corpus/``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.blocks import NestedQuery
+from ..core.planner import execute, make_strategy
+from ..engine.catalog import Database
+from ..engine.metrics import collect
+from ..engine.relation import Relation
+from ..engine.types import negate_op
+from ..errors import ReproError
+from ..sql import ast as A
+from ..sql.analyzer import compile_sql
+from ..sql.unparse import render_sql
+from .datagen import DatabaseSpec, random_database_spec
+from .generator import FuzzConfig, QueryGenerator, case_rng
+
+#: The correctness oracle every strategy is compared against.
+ORACLE = "nested-iteration"
+
+#: Strategies that accept every query in the generator's subset.
+ALWAYS_STRATEGIES = (
+    "nested-relational",
+    "nested-relational-sorted",
+    "nested-relational-optimized",
+    "system-a-native",
+    "auto",
+)
+
+#: Strategies with an ``applicable`` guard, checked only when they apply.
+GUARDED_STRATEGIES = (
+    "nested-relational-bottomup",
+    "nested-relational-positive-rewrite",
+    "classical-unnesting",
+    "count-rewrite",
+    "boolean-aggregate",
+    "aggregate-rewrite",
+)
+
+DEFAULT_STRATEGIES = ALWAYS_STRATEGIES + GUARDED_STRATEGIES
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (query, database) pair plus its provenance."""
+
+    stmt: A.SelectStmt
+    db_spec: DatabaseSpec
+    seed: int = 0
+    iteration: int = 0
+
+    @property
+    def sql(self) -> str:
+        return render_sql(self.stmt)
+
+    def describe(self) -> str:
+        return f"seed={self.seed} iteration={self.iteration}\n  {self.sql}\n  {self.db_spec.describe()}"
+
+
+@dataclass
+class Failure:
+    """A strategy disagreeing with the oracle (or crashing, or breaking a
+    metrics invariant) on one case."""
+
+    case: FuzzCase
+    strategy: str
+    kind: str  # "disagreement" | "error" | "metrics" | "compile-error"
+    detail: str
+    expected: Optional[Relation] = None
+    actual: Optional[Relation] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"strategy {self.strategy!r}: {self.kind}",
+            f"  {self.detail}",
+            f"  case: {self.case.describe()}",
+        ]
+        if self.expected is not None:
+            lines.append(f"  oracle rows:   {sorted_rows(self.expected)}")
+        if self.actual is not None:
+            lines.append(f"  strategy rows: {sorted_rows(self.actual)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a whole fuzzing run."""
+
+    iterations: int = 0
+    cases_run: int = 0
+    strategy_checks: int = 0
+    skipped_inapplicable: int = 0
+    failures: List[Failure] = field(default_factory=list)
+    elapsed: float = 0.0
+    operator_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        ops = " ".join(
+            f"{op}={n}" for op, n in sorted(self.operator_histogram.items())
+        )
+        return (
+            f"{verdict}: {self.cases_run} case(s), "
+            f"{self.strategy_checks} strategy check(s), "
+            f"{self.skipped_inapplicable} inapplicable skip(s) "
+            f"in {self.elapsed:.1f}s\n  linking operators seen: {ops}"
+        )
+
+
+def sorted_rows(relation: Relation) -> List[tuple]:
+    return relation.sorted().rows
+
+
+def _applies(impl: object, query: NestedQuery, db: Database) -> bool:
+    """Normalize the two ``applicable`` protocols in the codebase:
+    ``applicable(query) -> bool`` and
+    ``applicable(query, db) -> Optional[str]`` (None = applicable)."""
+    guard = getattr(impl, "applicable", None)
+    if guard is None:
+        return True
+    try:
+        verdict = guard(query, db)
+    except TypeError:
+        verdict = guard(query)
+    if verdict is None:
+        return True
+    if isinstance(verdict, str):
+        return False
+    return bool(verdict)
+
+
+class DifferentialRunner:
+    """Executes strategies against the oracle, case by case."""
+
+    def __init__(
+        self,
+        strategies: Optional[Sequence[str]] = None,
+        extra_strategies: Sequence[object] = (),
+        check_metrics: bool = True,
+    ):
+        self.strategies = tuple(strategies or DEFAULT_STRATEGIES)
+        #: objects with ``name`` and ``execute(query, db)`` — used to
+        #: inject deliberately broken strategies for self-tests.
+        self.extra_strategies = tuple(extra_strategies)
+        self.check_metrics = check_metrics
+        self.last_report: Optional[FuzzReport] = None
+
+    # ------------------------------------------------------------------ #
+    # one case
+    # ------------------------------------------------------------------ #
+
+    def check_case(
+        self, case: FuzzCase, report: Optional[FuzzReport] = None
+    ) -> Optional[Failure]:
+        """Run every strategy on *case*; the first failure, or None.
+
+        The query is compiled from its rendered SQL text — the exact
+        artifact a corpus file replays — so unparser or parser drift
+        surfaces here rather than in a checked-in regression.
+        """
+        db = case.db_spec.build()
+        try:
+            query = compile_sql(case.sql, db)
+        except ReproError as exc:
+            return Failure(
+                case, "<compile>", "compile-error",
+                f"generated SQL failed to compile: {exc}",
+            )
+
+        oracle_failure, expected = self._run_one(case, query, db, ORACLE)
+        if oracle_failure is not None:
+            return oracle_failure
+        assert expected is not None
+
+        for name in self.strategies:
+            if name in GUARDED_STRATEGIES and not _applies(
+                make_strategy(name), query, db
+            ):
+                if report is not None:
+                    report.skipped_inapplicable += 1
+                continue
+            failure = self._check_one(case, query, db, name, expected, report)
+            if failure is not None:
+                return failure
+
+        for impl in self.extra_strategies:
+            name = getattr(impl, "name", type(impl).__name__)
+            failure = self._check_one(
+                case, query, db, name, expected, report, impl=impl
+            )
+            if failure is not None:
+                return failure
+        return None
+
+    def _check_one(
+        self,
+        case: FuzzCase,
+        query: NestedQuery,
+        db: Database,
+        name: str,
+        expected: Relation,
+        report: Optional[FuzzReport],
+        impl: Optional[object] = None,
+    ) -> Optional[Failure]:
+        failure, result = self._run_one(
+            case, query, db, name, impl=impl, check_produced=impl is None
+        )
+        if failure is not None:
+            return failure
+        assert result is not None
+        if report is not None:
+            report.strategy_checks += 1
+        if result != expected:
+            return Failure(
+                case, name, "disagreement",
+                f"{len(result)} row(s) vs oracle's {len(expected)}",
+                expected=expected, actual=result,
+            )
+        return None
+
+    def _run_one(
+        self,
+        case: FuzzCase,
+        query: NestedQuery,
+        db: Database,
+        name: str,
+        impl: Optional[object] = None,
+        check_produced: bool = True,
+    ) -> Tuple[Optional[Failure], Optional[Relation]]:
+        """Execute one strategy under a fresh metrics scope."""
+        try:
+            with collect() as metrics:
+                if impl is not None:
+                    result = impl.execute(query, db)
+                else:
+                    result = execute(query, db, strategy=name)
+        except ReproError as exc:
+            return (
+                Failure(case, name, "error", f"raised {type(exc).__name__}: {exc}"),
+                None,
+            )
+        if self.check_metrics:
+            violations = metrics.invariant_violations(
+                result_cardinality=len(result) if check_produced else None
+            )
+            if violations:
+                return (
+                    Failure(case, name, "metrics", "; ".join(violations)),
+                    None,
+                )
+        return None, result
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        config: FuzzConfig,
+        fail_fast: bool = True,
+        progress: Optional[Callable[[int, FuzzReport], None]] = None,
+    ) -> FuzzReport:
+        """Fuzz for ``config.iterations`` cases; stop at the first failure
+        unless *fail_fast* is False."""
+        generator = QueryGenerator(config)
+        report = FuzzReport(iterations=config.iterations)
+        start = time.perf_counter()
+        for i in range(config.iterations):
+            case = generate_case(config, i, generator)
+            _count_operators(case.stmt, report.operator_histogram)
+            failure = self.check_case(case, report)
+            report.cases_run += 1
+            if failure is not None:
+                report.failures.append(failure)
+                if fail_fast:
+                    break
+            if progress is not None:
+                progress(i, report)
+        report.elapsed = time.perf_counter() - start
+        self.last_report = report
+        return report
+
+
+def generate_case(
+    config: FuzzConfig, iteration: int, generator: Optional[QueryGenerator] = None
+) -> FuzzCase:
+    """Deterministically generate case *iteration* of a seeded run."""
+    generator = generator or QueryGenerator(config)
+    rng = case_rng(config.seed, iteration)
+    spec = random_database_spec(
+        rng,
+        n_tables=config.n_tables,
+        max_rows=config.max_rows,
+        null_rate=config.null_rate,
+        domain=config.domain,
+    )
+    stmt = generator.generate(rng, spec)
+    return FuzzCase(stmt=stmt, db_spec=spec, seed=config.seed, iteration=iteration)
+
+
+def _count_operators(stmt: A.SelectStmt, histogram: Dict[str, int]) -> None:
+    def visit(pred: Optional[A.Predicate]) -> None:
+        if pred is None:
+            return
+        if isinstance(pred, (A.AndPred, A.OrPred)):
+            visit(pred.left)
+            visit(pred.right)
+        elif isinstance(pred, A.NotPred):
+            visit(pred.operand)
+        elif isinstance(pred, A.ExistsPred):
+            histogram_key = "not_exists" if pred.negated else "exists"
+            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
+            visit(pred.subquery.where)
+        elif isinstance(pred, A.InSubqueryPred):
+            histogram_key = "not_in" if pred.negated else "in"
+            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
+            visit(pred.subquery.where)
+        elif isinstance(pred, A.QuantifiedPred):
+            histogram_key = f"{pred.op} {pred.quantifier}"
+            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
+            visit(pred.subquery.where)
+
+    visit(stmt.where)
+
+
+# ---------------------------------------------------------------------- #
+# bug injection (self-test of the whole fuzz pipeline)
+# ---------------------------------------------------------------------- #
+
+
+def mutate_first_link(query: NestedQuery) -> NestedQuery:
+    """A deep copy of *query* with its first linking predicate broken.
+
+    Quantified links get their theta negated (``= SOME`` -> ``<> SOME``);
+    IN / NOT IN swap polarity; EXISTS / NOT EXISTS swap polarity.  This is
+    exactly the class of bug the differential oracle exists to catch.
+    """
+    root = copy.deepcopy(query.root)
+    for block in root.walk():
+        link = block.link
+        if link is None:
+            continue
+        if link.operator == "exists":
+            block.link = dc_replace(link, operator="not_exists")
+        elif link.operator == "not_exists":
+            block.link = dc_replace(link, operator="exists")
+        elif link.operator == "in":
+            block.link = dc_replace(link, operator="not_in", theta="<>")
+        elif link.operator == "not_in":
+            block.link = dc_replace(link, operator="in", theta="=")
+        else:  # some / all
+            assert link.theta is not None
+            block.link = dc_replace(link, theta=negate_op(link.theta))
+        break
+    return NestedQuery(root)
+
+
+class MutatedLinkStrategy:
+    """A deliberately buggy strategy: evaluates the query with one linking
+    predicate mutated.  Used by ``repro fuzz --inject-bug`` and the test
+    suite to prove the fuzzer catches and shrinks real disagreements."""
+
+    name = "nested-relational[mutated-link]"
+
+    def __init__(self, base: str = "nested-relational"):
+        self.base = base
+
+    def execute(self, query: NestedQuery, db: Database) -> Relation:
+        return execute(mutate_first_link(query), db, strategy=self.base)

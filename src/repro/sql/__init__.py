@@ -3,6 +3,7 @@
 from .lexer import Token, tokenize
 from .parser import Parser, parse
 from .analyzer import Analyzer, analyze, compile_sql
+from .unparse import render_sql
 
 __all__ = [
     "Token",
@@ -12,4 +13,5 @@ __all__ = [
     "Analyzer",
     "analyze",
     "compile_sql",
+    "render_sql",
 ]

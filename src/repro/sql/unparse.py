@@ -1,0 +1,121 @@
+"""AST -> SQL text rendering (the parser's inverse).
+
+The fuzzer generates queries directly as :mod:`repro.sql.ast` trees;
+``render_sql`` turns them back into text so that failing cases can be
+reported, minimized and checked into ``tests/fuzz_corpus/`` as plain SQL
+strings.  The output is guaranteed to re-parse to an equal AST (see
+``tests/sql/test_unparse.py`` for the round-trip property).
+
+Only constructs the parser can produce are supported; anything else
+raises :class:`~repro.errors.ReproError` so generator drift is caught
+immediately rather than silently emitting unparseable corpus files.
+"""
+
+from __future__ import annotations
+
+from ..engine.types import is_null
+from ..errors import ReproError
+from . import ast as A
+
+
+def render_sql(stmt: A.SelectStmt) -> str:
+    """Render a :class:`~repro.sql.ast.SelectStmt` as parseable SQL text."""
+    parts = ["select"]
+    if stmt.distinct:
+        parts.append("distinct")
+    parts.append(", ".join(_select_item(item) for item in stmt.items))
+    parts.append("from")
+    parts.append(", ".join(_table_ref(t) for t in stmt.tables))
+    if stmt.where is not None:
+        parts.append("where")
+        parts.append(_predicate(stmt.where))
+    if stmt.order_by:
+        parts.append("order by")
+        parts.append(
+            ", ".join(
+                item.expr.text + (" desc" if item.descending else "")
+                for item in stmt.order_by
+            )
+        )
+    if stmt.limit is not None:
+        parts.append(f"limit {stmt.limit}")
+    return " ".join(parts)
+
+
+def _select_item(item: A.SelectItem) -> str:
+    if item.star:
+        return "*"
+    assert item.expr is not None
+    return item.expr.text
+
+
+def _table_ref(tref: A.TableRef) -> str:
+    if tref.alias:
+        return f"{tref.name} {tref.alias}"
+    return tref.name
+
+
+def _value(expr: A.ValueExpr) -> str:
+    if isinstance(expr, A.ColumnRef):
+        return expr.text
+    if isinstance(expr, A.Constant):
+        return _constant(expr.value)
+    if isinstance(expr, A.BinaryArith):
+        # parenthesize both sides: correct for every precedence mix, and
+        # the parser discards parens so round-tripping stays exact
+        return f"({_value(expr.left)} {expr.op} {_value(expr.right)})"
+    raise ReproError(f"cannot render value expression {expr!r}")
+
+
+def _constant(value: object) -> str:
+    if is_null(value):
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise ReproError(f"cannot render constant {value!r}")
+
+
+def _predicate(pred: A.Predicate, parent: str = "or") -> str:
+    """Render a predicate; *parent* is the tightest enclosing connective
+    ("or" < "and" < "not") and decides whether parentheses are needed."""
+    if isinstance(pred, A.OrPred):
+        text = f"{_predicate(pred.left, 'or')} or {_predicate(pred.right, 'or')}"
+        return f"({text})" if parent in ("and", "not") else text
+    if isinstance(pred, A.AndPred):
+        text = f"{_predicate(pred.left, 'and')} and {_predicate(pred.right, 'and')}"
+        return f"({text})" if parent == "not" else text
+    if isinstance(pred, A.NotPred):
+        return f"not {_predicate(pred.operand, 'not')}"
+    if isinstance(pred, A.ComparisonPred):
+        return f"{_value(pred.left)} {pred.op} {_value(pred.right)}"
+    if isinstance(pred, A.BetweenPred):
+        return (
+            f"{_value(pred.operand)} between "
+            f"{_value(pred.low)} and {_value(pred.high)}"
+        )
+    if isinstance(pred, A.IsNullPred):
+        negation = "is not null" if pred.negated else "is null"
+        return f"{_value(pred.operand)} {negation}"
+    if isinstance(pred, A.InListPred):
+        items = ", ".join(_value(v) for v in pred.items)
+        keyword = "not in" if pred.negated else "in"
+        return f"{_value(pred.operand)} {keyword} ({items})"
+    if isinstance(pred, A.ExistsPred):
+        keyword = "not exists" if pred.negated else "exists"
+        return f"{keyword} ({render_sql(pred.subquery)})"
+    if isinstance(pred, A.InSubqueryPred):
+        keyword = "not in" if pred.negated else "in"
+        return f"{_value(pred.operand)} {keyword} ({render_sql(pred.subquery)})"
+    if isinstance(pred, A.QuantifiedPred):
+        return (
+            f"{_value(pred.operand)} {pred.op} {pred.quantifier} "
+            f"({render_sql(pred.subquery)})"
+        )
+    raise ReproError(f"cannot render predicate {pred!r}")

@@ -114,6 +114,64 @@ class TestPkMarkerFiltering:
         assert pred.evaluate(5, [(NULL, 3)]) is UNKNOWN
 
 
+#: Every linking operator, as (quantifier, theta) for SetPredicate.
+#: IN is = SOME and NOT IN is <> ALL after normalization; the θ SOME/ALL
+#: rows use a non-equality theta so the matrix covers both spellings.
+ALL_OPERATORS = [
+    pytest.param("exists", None, id="EXISTS"),
+    pytest.param("not_exists", None, id="NOT-EXISTS"),
+    pytest.param("some", "=", id="IN"),
+    pytest.param("all", "<>", id="NOT-IN"),
+    pytest.param("some", "<", id="theta-SOME"),
+    pytest.param("all", ">=", id="theta-ALL"),
+]
+
+
+class TestEmptyVersusNullOnlySet:
+    """The distinction the pk-is-NULL convention exists to preserve:
+    after a left outer join, an empty inner set {B}=∅ arrives as a single
+    dead member (pk NULL) while a genuine {NULL} set has a live pk.  The
+    two must evaluate differently for every linking operator — collapsing
+    them is exactly the classical COUNT-rewrite bug (paper Section 2)."""
+
+    EMPTY_SHAPES = [[], [(NULL, NULL)], [(7, NULL), (NULL, NULL)]]
+
+    @pytest.mark.parametrize("quantifier,theta", ALL_OPERATORS)
+    @pytest.mark.parametrize("lhs", [5, NULL], ids=["lhs=5", "lhs=NULL"])
+    def test_empty_set_is_decided_two_valued(self, quantifier, theta, lhs):
+        """Over ∅ every operator is decided — TRUE for the negative ones
+        (vacuous ALL / NOT EXISTS), FALSE for the positive ones — even
+        when the linking value itself is NULL (paper Example 1)."""
+        pred = SetPredicate(quantifier, theta)
+        expected = TRUE if pred.is_negative else FALSE
+        for shape in self.EMPTY_SHAPES:
+            assert pred.evaluate(lhs, shape) is expected
+
+    @pytest.mark.parametrize("quantifier,theta", ALL_OPERATORS)
+    def test_null_only_set_differs_from_empty(self, quantifier, theta):
+        """{NULL} (live pk) is NOT the empty set: EXISTS/NOT EXISTS see a
+        member, and every quantified comparison against it is UNKNOWN."""
+        pred = SetPredicate(quantifier, theta)
+        null_only = [(NULL, 1)]
+        if quantifier == "exists":
+            assert pred.evaluate(5, null_only) is TRUE
+        elif quantifier == "not_exists":
+            assert pred.evaluate(5, null_only) is FALSE
+        else:
+            assert pred.evaluate(5, null_only) is UNKNOWN
+            assert pred.evaluate(NULL, null_only) is UNKNOWN
+        # ... and never equals the ∅ outcome
+        assert pred.evaluate(5, null_only) is not pred.evaluate(5, [])
+
+    @pytest.mark.parametrize("quantifier,theta", ALL_OPERATORS)
+    def test_dead_markers_never_change_live_outcome(self, quantifier, theta):
+        """Adding outer-join padding members to a live set is a no-op."""
+        pred = SetPredicate(quantifier, theta)
+        live = [(2, 1), (NULL, 2)]
+        padded = live + [(NULL, NULL), (9, NULL)]
+        assert pred.evaluate(4, padded) is pred.evaluate(4, live)
+
+
 class TestNegativity:
     def test_is_negative(self):
         assert SetPredicate("all", ">").is_negative

@@ -162,3 +162,63 @@ class TestMetrics:
             idx.probe([1])
         assert m.get("index_probes") == 1
         assert m.get("index_rows_fetched") == 2
+
+
+class TestMetricsInvariants:
+    """The structural invariants the fuzzer checks on every case: no
+    counter ever goes negative, and the planner charges ``rows_produced``
+    exactly once with the result cardinality."""
+
+    def test_clean_metrics_have_no_violations(self):
+        assert Metrics({"rows_scanned": 3}).invariant_violations() == []
+
+    def test_negative_counter_reported(self):
+        bad = Metrics({"rows_out": -1, "rows_scanned": 2})
+        violations = bad.invariant_violations()
+        assert len(violations) == 1
+        assert "rows_out" in violations[0]
+
+    def test_rows_produced_mismatch_reported(self):
+        m = Metrics({"rows_produced": 4})
+        assert m.invariant_violations(result_cardinality=4) == []
+        violations = m.invariant_violations(result_cardinality=2)
+        assert violations and "rows_produced" in violations[0]
+
+    def test_planner_charges_rows_produced(self):
+        import repro
+
+        db = Database()
+        db.create_table(
+            "t", [Column("k", not_null=True), Column("v")], rel().rows,
+            primary_key="k",
+        )
+        q = repro.compile_sql("select t.k from t where t.k > 1", db)
+        with collect() as m:
+            result = repro.execute(q, db, strategy="nested-relational")
+        assert m.get("rows_produced") == len(result)
+        assert m.invariant_violations(result_cardinality=len(result)) == []
+
+    def test_invariants_hold_on_fuzzed_strategies(self):
+        """Every strategy execution over a handful of generated cases
+        keeps all counters non-negative and rows_produced consistent —
+        the same check ``repro fuzz`` applies per strategy run."""
+        import repro
+        from repro.fuzz import DEFAULT_STRATEGIES, FuzzConfig, generate_case
+        from repro.fuzz.runner import GUARDED_STRATEGIES, _applies
+        from repro.core.planner import make_strategy
+
+        config = FuzzConfig(iterations=6, seed=20, max_depth=2)
+        for i in range(config.iterations):
+            case = generate_case(config, i)
+            db = case.db_spec.build()
+            query = repro.compile_sql(case.sql, db)
+            for name in ("nested-iteration",) + DEFAULT_STRATEGIES:
+                if name in GUARDED_STRATEGIES and not _applies(
+                    make_strategy(name), query, db
+                ):
+                    continue
+                with collect() as m:
+                    result = repro.execute(query, db, strategy=name)
+                assert m.invariant_violations(
+                    result_cardinality=len(result)
+                ) == [], (name, case.sql)

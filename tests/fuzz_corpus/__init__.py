@@ -1,0 +1,1 @@
+"""Checked-in fuzzer regressions (repro.fuzz)."""

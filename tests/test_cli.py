@@ -105,6 +105,58 @@ class TestExplain:
         assert "auto ->" in out
 
 
+class TestFuzz:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "30",
+                "--seed", "3",
+                "--quiet",
+                "--corpus-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK: 30 case(s)" in out
+        assert "linking operators seen" in out
+        # nothing failed, so nothing was frozen
+        assert not list(tmp_path.glob("test_fuzz_*.py"))
+
+    def test_inject_bug_caught_and_frozen(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "500",
+                "--seed", "42",
+                "--quiet",
+                "--inject-bug",
+                "--corpus-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "mutated-link" in out
+        assert "minimized failure" in out
+        assert "regression written to" in out
+        assert list(tmp_path.glob("test_fuzz_*.py"))
+
+    def test_strategy_subset_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "10",
+                "--seed", "1",
+                "--strategies", "nested-relational,system-a-native",
+                "--quiet",
+                "--corpus-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK: 10 case(s)" in out
+
+
 class TestBench:
     def test_single_figure(self, capsys):
         code = main(["bench", "--figure", "fig4", "--sf", "0.001"])

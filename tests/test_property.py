@@ -289,6 +289,25 @@ def two_level_query(draw):
     return f"select r.k from r where {link_text(op1, lhs, sub1)}"
 
 
+#: Non-equality thetas for quantified links: the cases where Kim-style
+#: COUNT rewrites and MAX/MIN rewrites are most fragile under NULLs.
+NONEQ_THETAS = ["<", ">=", "<>"]
+
+
+@st.composite
+def noneq_quantified_query(draw):
+    """``A θ SOME/ALL (subquery)`` with θ drawn from <, >=, <> only."""
+    theta = draw(st.sampled_from(NONEQ_THETAS))
+    quantifier = draw(st.sampled_from(["some", "all", "any"]))
+    corr = draw(st.sampled_from(["s.rk = r.k", "s.w < r.b", ""]))
+    where_inner = f"where {corr}" if corr else ""
+    lhs = draw(st.sampled_from(["r.a", "r.b"]))
+    return (
+        f"select r.k from r where {lhs} {theta} {quantifier} "
+        f"(select s.v from s {where_inner})"
+    )
+
+
 COMMON_SETTINGS = settings(
     max_examples=40,
     deadline=None,
@@ -323,6 +342,27 @@ class TestStrategiesAgainstOracle:
             "auto",
         ):
             assert repro.execute(q, db, strategy=strategy).sorted() == oracle, strategy
+
+    @COMMON_SETTINGS
+    @given(db=random_database(), sql=noneq_quantified_query())
+    def test_noneq_some_all(self, db, sql):
+        """θ SOME/ALL with non-equality comparators: the quantified cases
+        where a wrong NULL treatment shows up as < vs >= asymmetries."""
+        from repro.core.optimized import BottomUpLinearStrategy
+
+        q = repro.compile_sql(sql, db)
+        oracle = repro.execute(q, db, strategy="nested-iteration").sorted()
+        for strategy in (
+            "nested-relational",
+            "nested-relational-sorted",
+            "nested-relational-optimized",
+            "system-a-native",
+            "auto",
+        ):
+            assert repro.execute(q, db, strategy=strategy).sorted() == oracle, strategy
+        bottom_up = BottomUpLinearStrategy()
+        if bottom_up.applicable(q):
+            assert bottom_up.execute(q, db).sorted() == oracle, "bottom-up"
 
     @COMMON_SETTINGS
     @given(db=random_database(), sql=one_level_query())
