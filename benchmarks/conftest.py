@@ -5,18 +5,69 @@ Scale is controlled by the ``REPRO_BENCH_SF`` environment variable
 paper's series shapes are visible, small enough that the whole benchmark
 suite finishes in minutes on a laptop.  Set it to 0.02 or higher for
 slower, higher-resolution runs.
+
+Setting ``REPRO_TRACE_DIR`` additionally captures one per-operator
+execution trace per (query, strategy) measurement — in a separate,
+untimed run, so benchmark numbers are unaffected — and writes each
+figure's results as a ``BENCH_<figure>.json`` artifact into that
+directory.  Validate the artifacts with ``scripts/validate_trace.py``.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 
 import pytest
 
 import repro
-from repro.bench import default_db
+import repro.bench
+from repro.bench import capturing_traces, default_db, write_bench_artifact
 
 BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.005"))
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
+
+# The figure entry points whose results become BENCH_*.json artifacts.
+_ARTIFACT_FIGURES = {
+    "figure4_query1": "fig4",
+    "figure5_query2a": "fig5",
+    "figure6_query2b": "fig6",
+    "figure7_query3a": "fig7",
+    "figure8_query3b": "fig8",
+    "figure9_query3c": "fig9",
+}
+
+
+def _emitting(func, figure_name):
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        result = func(*args, **kwargs)
+        experiments = (
+            list(result.values()) if isinstance(result, dict) else [result]
+        )
+        write_bench_artifact(figure_name, experiments, TRACE_DIR, BENCH_SF)
+        return result
+
+    return wrapper
+
+
+if TRACE_DIR:
+    # conftest imports before the test modules, so rebinding here is
+    # seen by their `from repro.bench import figureN_...` imports.
+    for _attr, _figure in _ARTIFACT_FIGURES.items():
+        setattr(
+            repro.bench, _attr, _emitting(getattr(repro.bench, _attr), _figure)
+        )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _trace_capture():
+    """Attach traces to all measurements when REPRO_TRACE_DIR is set."""
+    if not TRACE_DIR:
+        yield
+        return
+    with capturing_traces():
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -54,6 +54,7 @@ from .core import (
     available_strategies,
     choose_strategy,
     execute,
+    execute_traced,
     linking_selection,
     nest,
     nest_sorted,
@@ -108,6 +109,7 @@ __all__ = [
     "available_strategies",
     "choose_strategy",
     "execute",
+    "execute_traced",
     "compile_sql",
     "parse",
     "run_sql",

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import PlanError, UnsoundRewriteError
 from ..engine.catalog import Database
 from ..engine.metrics import current_metrics
+from ..engine.trace import CONTRACT_FILTERING, current_tracer
 from ..engine.relation import Relation, Row
 from ..engine.types import NULL, is_null, row_group_key, sql_compare
 from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
@@ -135,6 +136,12 @@ class AggregateRewriteStrategy:
         metrics = current_metrics()
 
         # group the child: correlation key -> (count, max, min) over non-NULLs
+        tracer = current_tracer()
+        span = (
+            tracer.open("agg-filter", kind="phase", contract=CONTRACT_FILTERING)
+            if tracer is not None
+            else None
+        )
         groups: Dict[tuple, List] = {}
         for row in child_rel.rows:
             metrics.add("rows_scanned")
@@ -174,4 +181,8 @@ class AggregateRewriteStrategy:
                 continue
             if sql_compare(theta, row[lhs_pos], bound).is_true():
                 out_rows.append(row)
+        if span is not None:
+            span.add("rows_in", len(rel.rows))
+            span.add("rows_out", len(out_rows))
+            tracer.close(span)
         return Relation(rel.schema, out_rows)

@@ -33,6 +33,7 @@ from ..errors import PlanError
 from ..engine.catalog import Database
 from ..engine.expressions import EvalContext, conjoin
 from ..engine.metrics import current_metrics
+from ..engine.trace import CONTRACT_FILTERING, current_tracer
 from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
 from ..engine.relation import Relation, Row
 from ..engine.types import NULL, TriBool, is_null, sql_compare
@@ -121,6 +122,12 @@ class CountRewriteStrategy:
         reps: Dict[tuple, Row] = {}
         order: List[tuple] = []
         theta = link.effective_theta
+        tracer = current_tracer()
+        span = (
+            tracer.open("count-filter", kind="phase", contract=CONTRACT_FILTERING)
+            if tracer is not None
+            else None
+        )
         for row in joined.rows:
             metrics.add("rows_scanned")
             key = row_group_key(row[:parent_width])
@@ -149,6 +156,10 @@ class CountRewriteStrategy:
             metrics.add("linking_evals")
             if _passes(link, cnt_true, cnt_false, cnt_unknown, present):
                 out_rows.append(reps[key])
+        if span is not None:
+            span.add("rows_in", len(joined.rows))
+            span.add("rows_out", len(out_rows))
+            tracer.close(span)
         return Relation(parent_rel.schema, out_rows)
 
 

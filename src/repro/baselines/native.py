@@ -52,6 +52,7 @@ from ..engine.index import HashIndex
 from ..engine.metrics import current_metrics
 from ..engine.operators import AntiJoin, Filter, SemiJoin, as_relation
 from ..engine.relation import Relation, Row
+from ..engine.trace import CONTRACT_FILTERING, op_span
 from ..engine.types import NULL, TriBool, negate_op, tri_all, tri_any
 from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
 from ..core.reduce import ReducedBlock, reduce_all
@@ -309,11 +310,19 @@ class SystemAEmulationStrategy:
     ) -> Relation:
         out_rows: List[Row] = []
         metrics = current_metrics()
-        for row in rel.rows:
-            metrics.add("rows_scanned")
-            ctx = EvalContext.single(rel.schema, row)
-            if self._link_holds(child, ctx, query, db).is_true():
-                out_rows.append(row)
+        with op_span(
+            "nested-iteration-probe",
+            contract=CONTRACT_FILTERING,
+            block=child.index,
+        ) as span:
+            for row in rel.rows:
+                metrics.add("rows_scanned")
+                ctx = EvalContext.single(rel.schema, row)
+                if self._link_holds(child, ctx, query, db).is_true():
+                    out_rows.append(row)
+            if span is not None:
+                span.add("rows_in", len(rel.rows))
+                span.add("rows_out", len(out_rows))
         return Relation(rel.schema, out_rows)
 
     def _link_holds(

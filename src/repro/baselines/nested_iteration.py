@@ -23,6 +23,7 @@ from ..engine.catalog import Database
 from ..engine.expressions import EvalContext
 from ..engine.metrics import current_metrics
 from ..engine.relation import Relation, Row
+from ..engine.trace import CONTRACT_FILTERING, op_span
 from ..engine.types import NULL, TriBool, tri_all, tri_any
 from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
 from ..core.reduce import ReducedBlock, reduce_all
@@ -40,11 +41,15 @@ class NestedIterationStrategy:
         ctx = EvalContext()
         out_rows: List[Row] = []
         select_idx = root_rel.schema.indices_of(root.select_refs)
-        for row in root_rel.rows:
-            current_metrics().add("rows_scanned")
-            row_ctx = ctx.push(root_rel.schema, row)
-            if self._passes_links(root, row_ctx, reduced):
-                out_rows.append(tuple(row[i] for i in select_idx))
+        with op_span("tuple-iteration", contract=CONTRACT_FILTERING) as span:
+            for row in root_rel.rows:
+                current_metrics().add("rows_scanned")
+                row_ctx = ctx.push(root_rel.schema, row)
+                if self._passes_links(root, row_ctx, reduced):
+                    out_rows.append(tuple(row[i] for i in select_idx))
+            if span is not None:
+                span.add("rows_in", len(root_rel.rows))
+                span.add("rows_out", len(out_rows))
         out = Relation(root_rel.schema.project(root.select_refs), out_rows)
         if root.distinct:
             out = out.distinct()

@@ -5,9 +5,11 @@ from .harness import (
     SeriesPoint,
     StrategyMeasurement,
     block_sizes,
+    capturing_traces,
     intermediate_result_size,
     measure_strategy,
     run_point,
+    write_bench_artifact,
 )
 from .plot import render_chart
 from .figures import (
@@ -31,7 +33,9 @@ __all__ = [
     "block_sizes",
     "intermediate_result_size",
     "measure_strategy",
+    "capturing_traces",
     "run_point",
+    "write_bench_artifact",
     "PAPER_STRATEGIES",
     "default_db",
     "figure4_query1",

@@ -17,12 +17,14 @@ records both.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro
 from ..engine.catalog import Database
 from ..engine.metrics import Metrics, collect
+from ..engine.trace import tracing
 from ..core.blocks import NestedQuery
 from ..core.planner import make_strategy
 from ..core.reduce import reduce_all
@@ -36,6 +38,9 @@ class StrategyMeasurement:
     seconds: float
     result_rows: int
     metrics: Dict[str, int]
+    #: serialized execution trace (``Trace.to_dict``); only populated
+    #: inside a :func:`capturing_traces` scope
+    trace: Optional[Dict] = None
 
     @property
     def cost(self) -> int:
@@ -115,6 +120,33 @@ class Experiment:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the ``BENCH_<figure>.json`` artifact):
+        per-point, per-strategy seconds/cost/rows/metrics plus the
+        per-operator trace when captured."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "points": [
+                {
+                    "label": point.label,
+                    "block_sizes": list(point.block_sizes),
+                    "intermediate_rows": point.intermediate_rows,
+                    "measurements": {
+                        name: {
+                            "seconds": m.seconds,
+                            "cost": m.cost,
+                            "result_rows": m.result_rows,
+                            "metrics": dict(m.metrics),
+                            "trace": m.trace,
+                        }
+                        for name, m in point.measurements.items()
+                    },
+                }
+                for point in self.points
+            ],
+        }
+
     def speedup(self, baseline: str, contender: str) -> List[float]:
         """Per-point wall-time ratio baseline/contender (>1 = contender wins)."""
         out = []
@@ -126,6 +158,54 @@ class Experiment:
             else:
                 out.append(b.seconds / c.seconds)
         return out
+
+
+# When true, measure_strategy attaches a serialized execution trace to
+# each measurement via one extra (untimed) traced run.
+_capture_traces = False
+
+
+@contextmanager
+def capturing_traces():
+    """Attach per-operator traces to measurements taken inside the scope.
+
+    The traced run is separate from the timed runs, so trace capture
+    never perturbs the reported wall times.
+    """
+    global _capture_traces
+    previous = _capture_traces
+    _capture_traces = True
+    try:
+        yield
+    finally:
+        _capture_traces = previous
+
+
+def write_bench_artifact(
+    name: str,
+    experiments: Sequence["Experiment"],
+    directory: str,
+    scale_factor: Optional[float] = None,
+) -> str:
+    """Write a ``BENCH_<name>.json`` artifact and return its path.
+
+    The payload bundles every experiment of one figure (variants a/b/c
+    of Figures 7-9 share one file); measurements carry per-operator
+    traces when taken inside a :func:`capturing_traces` scope.
+    """
+    import json
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "figure": name,
+        "scale_factor": scale_factor,
+        "experiments": [e.to_dict() for e in experiments],
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
 
 
 def measure_strategy(
@@ -146,11 +226,19 @@ def measure_strategy(
             metrics_snapshot = m.snapshot()
             result_rows = len(result)
     assert best is not None
+    trace_dict: Optional[Dict] = None
+    if _capture_traces:
+        from ..core.planner import execute
+
+        with tracing() as trace:
+            execute(query, db, strategy=strategy_name)
+        trace_dict = trace.to_dict()
     return StrategyMeasurement(
         strategy=strategy_name,
         seconds=best,
         result_rows=result_rows,
         metrics=metrics_snapshot,
+        trace=trace_dict,
     )
 
 

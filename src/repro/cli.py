@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import repro
 from .core.explain import explain as explain_plan
+from .core.explain import explain_analyze
 from .core.planner import available_strategies
 from .engine.catalog import Database
 from .engine.metrics import collect
@@ -70,13 +71,32 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .engine.trace import render_trace, tracing
+
     db = _load_db(args)
     sql = _read_sql(args)
     query = repro.compile_sql(sql, db)
+    trace = None
     with collect() as metrics:
         start = time.perf_counter()
-        result = repro.execute(query, db, strategy=args.strategy)
+        if args.trace:
+            with tracing() as trace:
+                result = repro.execute(query, db, strategy=args.strategy)
+        else:
+            result = repro.execute(query, db, strategy=args.strategy)
         elapsed = time.perf_counter() - start
+    if trace is not None:
+        rendered = (
+            trace.to_json() if args.trace == "json"
+            else render_trace(trace)
+        )
+        if args.trace_out:
+            with open(args.trace_out, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"trace written to {args.trace_out}")
+        else:
+            print(rendered)
+            print()
     print(result.to_table(max_rows=args.limit))
     print(
         f"\n{len(result)} row(s) in {elapsed:.4f}s "
@@ -99,6 +119,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
     print(repro.TreeExpression(query).render())
     print()
     print(explain_plan(query, db, strategy=args.strategy))
+    if args.analyze:
+        print()
+        print(
+            explain_analyze(
+                query, db, strategy=args.strategy, timings=not args.no_timings
+            )
+        )
     return 0
 
 
@@ -113,34 +140,45 @@ _FIGURES = {
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import contextlib
+
     from . import bench
+    from .bench.harness import capturing_traces, write_bench_artifact
 
     db = bench.default_db(sf=args.sf, seed=args.seed)
     if args.figure == "all":
         names = list(_FIGURES) + ["t-ir"]
     else:
         names = [args.figure]
-    for name in names:
-        if name == "t-ir":
-            from .bench.figures import format_profiles, text_intermediate_results
+    trace_dir = getattr(args, "trace_dir", None)
+    capture = capturing_traces() if trace_dir else contextlib.nullcontext()
+    with capture:
+        for name in names:
+            if name == "t-ir":
+                from .bench.figures import format_profiles, text_intermediate_results
 
-            print(format_profiles(text_intermediate_results(db)))
-            continue
-        if name not in _FIGURES:
-            raise SystemExit(
-                f"unknown figure {name!r}; choose from {sorted(_FIGURES)} or 'all'"
-            )
-        result = getattr(bench, _FIGURES[name])(db)
-        experiments = result.values() if isinstance(result, dict) else [result]
-        for experiment in experiments:
-            print(experiment.format_table("seconds"))
-            print(experiment.format_table("cost"))
-            if args.chart:
-                from .bench.plot import render_chart
+                print(format_profiles(text_intermediate_results(db)))
+                continue
+            if name not in _FIGURES:
+                raise SystemExit(
+                    f"unknown figure {name!r}; choose from {sorted(_FIGURES)} or 'all'"
+                )
+            result = getattr(bench, _FIGURES[name])(db)
+            experiments = result.values() if isinstance(result, dict) else [result]
+            for experiment in experiments:
+                print(experiment.format_table("seconds"))
+                print(experiment.format_table("cost"))
+                if args.chart:
+                    from .bench.plot import render_chart
 
+                    print()
+                    print(render_chart(experiment, metric="cost"))
                 print()
-                print(render_chart(experiment, metric="cost"))
-            print()
+            if trace_dir:
+                path = write_bench_artifact(
+                    name, list(experiments), trace_dir, args.sf
+                )
+                print(f"wrote {path}")
     return 0
 
 
@@ -154,6 +192,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import (
         DifferentialRunner,
         FuzzConfig,
+        MiscountingSpanStrategy,
         MutatedLinkStrategy,
         run_fuzz,
     )
@@ -191,6 +230,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     extra = [MutatedLinkStrategy()] if args.inject_bug else []
+    if args.inject_trace_bug:
+        extra.append(MiscountingSpanStrategy())
     runner = DifferentialRunner(
         strategies=config.strategies, extra_strategies=extra
     )
@@ -255,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="max rows to print")
             p.add_argument("--check", action="store_true",
                            help="verify against the tuple-iteration oracle")
+            p.add_argument("--trace", choices=("json", "text"),
+                           help="record an execution trace and print it "
+                                "(or write it with --trace-out)")
+            p.add_argument("--trace-out", dest="trace_out",
+                           help="write the trace to this file instead of stdout")
+        else:
+            p.add_argument("--analyze", action="store_true",
+                           help="execute the query and annotate the plan with "
+                                "per-operator row counts and wall times")
+            p.add_argument("--no-timings", action="store_true", dest="no_timings",
+                           help="omit wall times from --analyze output "
+                                "(deterministic)")
         p.set_defaults(func=func)
 
     p = sub.add_parser("bench", help="regenerate a paper figure")
@@ -264,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2005)
     p.add_argument("--chart", action="store_true",
                    help="also draw ASCII charts")
+    p.add_argument("--trace-dir", dest="trace_dir",
+                   help="capture per-operator execution traces and write "
+                        "BENCH_<figure>.json files into this directory")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -289,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-bug", action="store_true", dest="inject_bug",
                    help="self-test: add a deliberately broken strategy and "
                         "verify the fuzzer catches it")
+    p.add_argument("--inject-trace-bug", action="store_true",
+                   dest="inject_trace_bug",
+                   help="self-test: add a strategy whose results are right "
+                        "but whose operator spans miscount rows; the trace "
+                        "invariants must catch it")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_fuzz)
 

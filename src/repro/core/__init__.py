@@ -22,7 +22,13 @@ from .optimized import (
     OptimizedNestedRelationalStrategy,
     PositiveRewriteStrategy,
 )
-from .planner import available_strategies, choose_strategy, execute, make_strategy
+from .planner import (
+    available_strategies,
+    choose_strategy,
+    execute,
+    execute_traced,
+    make_strategy,
+)
 
 __all__ = [
     "Correlation",
@@ -54,5 +60,6 @@ __all__ = [
     "available_strategies",
     "choose_strategy",
     "execute",
+    "execute_traced",
     "make_strategy",
 ]

@@ -39,6 +39,7 @@ from ..engine.catalog import Database
 from ..engine.expressions import conjoin
 from ..engine.metrics import current_metrics
 from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
+from ..engine.trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
 from ..engine.relation import Relation
 from ..engine.types import NULL, is_null
 from .blocks import LinkSpec, NestedQuery, QueryBlock
@@ -234,16 +235,25 @@ class NestedRelationalStrategy:
             if owner.get(ref) == node.index
         ]
         out_rows = []
-        for row in rel.rows:
-            metrics.add("linking_evals")
-            lhs = row[lhs_pos] if lhs_pos is not None else NULL
-            if predicate.evaluate(lhs, members).is_true():
-                out_rows.append(row)
-            elif not strict:
-                padded = list(row)
-                for i in node_attr_positions:
-                    padded[i] = NULL
-                out_rows.append(tuple(padded))
+        with op_span(
+            "uncorrelated-link",
+            contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+            pred=predicate.describe(),
+        ) as span:
+            for row in rel.rows:
+                metrics.add("linking_evals")
+                lhs = row[lhs_pos] if lhs_pos is not None else NULL
+                if predicate.evaluate(lhs, members).is_true():
+                    out_rows.append(row)
+                elif not strict:
+                    metrics.add("null_padded_rows")
+                    padded = list(row)
+                    for i in node_attr_positions:
+                        padded[i] = NULL
+                    out_rows.append(tuple(padded))
+            if span is not None:
+                span.add("rows_in", len(rel.rows))
+                span.add("rows_out", len(out_rows))
         return Relation(rel.schema, out_rows)
 
 

@@ -159,3 +159,31 @@ def explain(
             "re-evaluate every subquery under the current bindings"
         )
     raise PlanError(f"no explainer for strategy {strategy!r}")
+
+
+def explain_analyze(
+    query: NestedQuery,
+    db: Database,
+    strategy: str = "auto",
+    timings: bool = True,
+) -> str:
+    """EXPLAIN ANALYZE: run the query and render the annotated span tree.
+
+    Executes *query* under a tracing scope and returns the plan as it
+    actually ran — one line per operator span with input/output row
+    counts, operator-specific counters (hash-table sizes, peak group
+    cardinality, null-padded rows, ...) and, unless *timings* is False
+    (useful for deterministic golden files), inclusive wall-clock times.
+    """
+    from ..engine.metrics import collect
+    from ..engine.trace import render_trace
+    from .planner import execute_traced
+
+    with collect() as metrics:
+        result, trace = execute_traced(query, db, strategy=strategy)
+    lines = [f"EXPLAIN ANALYZE (strategy={strategy})"]
+    lines.append(render_trace(trace, timings=timings))
+    lines.append(
+        f"{len(result)} row(s); weighted cost {metrics.weighted_cost()}"
+    )
+    return "\n".join(lines)

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
 from ..engine.metrics import current_metrics
+from ..engine.trace import CONTRACT_FILTERING, op_span
 from ..engine.relation import Relation, Row
 from ..engine.schema import Column, Schema
 from ..engine.types import row_group_key, row_sort_key
@@ -70,6 +71,30 @@ def nest(
     tuples, Definition 3); groups preserve first-seen order so results
     are deterministic.
     """
+    with op_span(
+        "nest", contract=CONTRACT_FILTERING, impl="hash", by=",".join(by)
+    ) as span:
+        result = _nest_hash(relation, by, keep, set_name)
+        _note_nest(span, relation, result)
+    return result
+
+
+def _note_nest(span, relation: Relation, result: NestedRelation) -> None:
+    """Record row counts and the peak group cardinality on a nest span."""
+    if span is None:
+        return
+    span.add("rows_in", len(relation.rows))
+    span.add("rows_out", len(result.rows))
+    if result.rows:
+        span.set_max("peak_group", max(len(r[-1]) for r in result.rows))
+
+
+def _nest_hash(
+    relation: Relation,
+    by: Sequence[str],
+    keep: Sequence[str],
+    set_name: str,
+) -> NestedRelation:
     by_idx, keep_idx, out_schema, _sub = _plan(relation, by, keep, set_name)
     metrics = current_metrics()
     groups: Dict[tuple, List[Row]] = {}
@@ -109,6 +134,20 @@ def nest_sorted(
     key order).  This is the implementation the paper's experiments used
     inside stored procedures.
     """
+    with op_span(
+        "nest", contract=CONTRACT_FILTERING, impl="sorted", by=",".join(by)
+    ) as span:
+        result = _nest_sorted(relation, by, keep, set_name)
+        _note_nest(span, relation, result)
+    return result
+
+
+def _nest_sorted(
+    relation: Relation,
+    by: Sequence[str],
+    keep: Sequence[str],
+    set_name: str,
+) -> NestedRelation:
     by_idx, keep_idx, out_schema, _sub = _plan(relation, by, keep, set_name)
     metrics = current_metrics()
     rows = sorted(
@@ -167,9 +206,13 @@ def unnest(nested: NestedRelation, set_name: str = DEFAULT_SET_NAME) -> Relation
     )
     metrics = current_metrics()
     rows: List[Row] = []
-    for row in nested.rows:
-        prefix = tuple(row[i] for i, _c in atomic)
-        for member in row[sub_pos]:
-            metrics.add("rows_unnested")
-            rows.append(prefix + tuple(member))
+    with op_span("unnest", set=set_name) as span:
+        for row in nested.rows:
+            prefix = tuple(row[i] for i, _c in atomic)
+            for member in row[sub_pos]:
+                metrics.add("rows_unnested")
+                rows.append(prefix + tuple(member))
+        if span is not None:
+            span.add("rows_in", len(nested.rows))
+            span.add("rows_out", len(rows))
     return Relation(out_schema, rows)

@@ -48,6 +48,7 @@ from ..engine.operators import (
     as_relation,
 )
 from ..engine.relation import Relation
+from ..engine.trace import CONTRACT_FILTERING, op_span
 from ..engine.types import NULL, is_null, row_sort_key
 from .blocks import LinkSpec, NestedQuery, QueryBlock
 from .compute import NestedRelationalStrategy, set_predicate_for, _subtree_uncorrelated
@@ -126,6 +127,23 @@ def _single_pass(
     block l+1 is evaluated for the group's block-(l) tuple; the outcome
     (dead/alive) propagates upward as a member of level l-1.
     """
+    with op_span(
+        "single-pass-link",
+        contract=CONTRACT_FILTERING,
+        levels=len(chain) - 1,
+    ) as span:
+        out = _single_pass_scan(chain, reduced, joined)
+        if span is not None:
+            span.add("rows_in", len(joined.rows))
+            span.add("rows_out", len(out))
+    return out
+
+
+def _single_pass_scan(
+    chain: List[QueryBlock],
+    reduced: Dict[int, ReducedBlock],
+    joined: Relation,
+) -> List[tuple]:
     metrics = current_metrics()
     k = len(chain)
     if k == 1:
@@ -324,6 +342,32 @@ def _pushdown_apply(
     """Nest the child by its correlated attributes, then probe per parent
     tuple and apply the linking selection — strict, since bottom-up
     evaluation always works on the currently-outermost unfinished link."""
+    with op_span(
+        "nest-pushdown-link",
+        kind="phase",
+        contract=CONTRACT_FILTERING,
+        pred=predicate.describe(),
+    ) as span:
+        out_rows = _pushdown_probe(
+            parent_rel, child_rel, outer_keys, inner_keys, keep,
+            predicate, link, pk_ref,
+        )
+        if span is not None:
+            span.add("rows_in", len(parent_rel.rows))
+            span.add("rows_out", len(out_rows))
+    return Relation(parent_rel.schema, out_rows)
+
+
+def _pushdown_probe(
+    parent_rel: Relation,
+    child_rel: Relation,
+    outer_keys: Sequence[str],
+    inner_keys: Sequence[str],
+    keep: Sequence[str],
+    predicate: SetPredicate,
+    link: LinkSpec,
+    pk_ref: str,
+) -> List[tuple]:
     metrics = current_metrics()
     # Distinct correlations may bind the same inner column (``s.b = r.a
     # AND s.b = r.k``); nest by each inner column once, and when probing
@@ -399,7 +443,7 @@ def _pushdown_apply(
         lhs = row[lhs_pos] if lhs_pos is not None else NULL
         if predicate.evaluate(lhs, members).is_true():
             out_rows.append(row)
-    return Relation(parent_rel.schema, out_rows)
+    return out_rows
 
 
 class PositiveRewriteStrategy:

@@ -23,6 +23,7 @@ from ..errors import PlanError
 from ..engine.catalog import Database
 from ..engine.metrics import current_metrics
 from ..engine.relation import Relation
+from ..engine.trace import current_tracer
 from .blocks import NestedQuery
 from .compute import NestedRelationalStrategy
 from .optimized import (
@@ -101,9 +102,34 @@ def execute(
         impl = choose_strategy(query) if strategy == "auto" else make_strategy(strategy)
     else:
         impl = strategy
-    result = _finalize(impl.execute(query, db), query)
-    current_metrics().add("rows_produced", len(result))
+    tracer = current_tracer()
+    if tracer is None:
+        result = _finalize(impl.execute(query, db), query)
+        current_metrics().add("rows_produced", len(result))
+        return result
+    name = getattr(impl, "name", type(impl).__name__)
+    with tracer.span("execute", {"strategy": name}, kind="root") as span:
+        result = _finalize(impl.execute(query, db), query)
+        current_metrics().add("rows_produced", len(result))
+        span.add("rows_out", len(result))
     return result
+
+
+def execute_traced(
+    query: NestedQuery,
+    db: Database,
+    strategy: Union[str, object] = "auto",
+):
+    """Like :func:`execute`, but also return the execution trace.
+
+    Runs under a fresh :func:`~repro.engine.trace.tracing` scope and
+    returns ``(result, trace)``.
+    """
+    from ..engine.trace import tracing
+
+    with tracing() as trace:
+        result = execute(query, db, strategy=strategy)
+    return result, trace
 
 
 def _finalize(result: Relation, query: NestedQuery) -> Relation:

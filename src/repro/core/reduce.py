@@ -31,6 +31,7 @@ from ..engine.expressions import (
     split_conjuncts,
 )
 from ..engine.operators import Filter, HashJoin, NestedLoopJoin, as_relation
+from ..engine.trace import op_span
 from ..engine.relation import Relation
 from ..engine.schema import Column, Schema
 from .blocks import NestedQuery, QueryBlock
@@ -58,7 +59,14 @@ def rid_name(block: QueryBlock) -> str:
 
 def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
     """Compute T_i = σ_Δi(R_i) and attach the synthetic rid column."""
-    joined = _join_block_tables(block, db)
+    with op_span(
+        f"reduce[T{block.index}]",
+        kind="phase",
+        tables=",".join(block.alias_list),
+    ) as span:
+        joined = _join_block_tables(block, db)
+        if span is not None:
+            span.add("rows_out", len(joined.rows))
     rid = rid_name(block)
     schema = Schema(tuple(joined.schema.columns) + (Column(rid, not_null=True),))
     rows = [row + (i,) for i, row in enumerate(joined.rows)]

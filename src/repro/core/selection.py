@@ -32,6 +32,11 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
 from ..engine.metrics import current_metrics
+from ..engine.trace import (
+    CONTRACT_FILTERING,
+    CONTRACT_PRESERVING,
+    op_span,
+)
 from ..engine.relation import Relation, Row
 from ..engine.schema import Schema
 from ..engine.types import NULL, SqlValue, is_null
@@ -92,13 +97,21 @@ def linking_selection(
     )
     metrics = current_metrics()
     out_rows: List[Row] = []
-    for row in nested.rows:
-        metrics.add("linking_evals")
-        flat = tuple(row[i] for i in atomic)
-        members = _members(row[set_pos], linked_pos, pk_pos)
-        lhs = flat[linking_pos] if linking_pos is not None else NULL
-        if predicate.evaluate(lhs, members).is_true():
-            out_rows.append(flat)
+    with op_span(
+        "linking-selection",
+        contract=CONTRACT_FILTERING,
+        pred=predicate.describe(),
+    ) as span:
+        for row in nested.rows:
+            metrics.add("linking_evals")
+            flat = tuple(row[i] for i in atomic)
+            members = _members(row[set_pos], linked_pos, pk_pos)
+            lhs = flat[linking_pos] if linking_pos is not None else NULL
+            if predicate.evaluate(lhs, members).is_true():
+                out_rows.append(flat)
+        if span is not None:
+            span.add("rows_in", len(nested.rows))
+            span.add("rows_out", len(out_rows))
     return Relation(out_schema, out_rows)
 
 
@@ -124,19 +137,29 @@ def pseudo_selection(
     pad_positions = set(out_schema.indices_of(pad_refs))
     metrics = current_metrics()
     out_rows: List[Row] = []
-    for row in nested.rows:
-        metrics.add("linking_evals")
-        flat = tuple(row[i] for i in atomic)
-        members = _members(row[set_pos], linked_pos, pk_pos)
-        lhs = flat[linking_pos] if linking_pos is not None else NULL
-        if predicate.evaluate(lhs, members).is_true():
-            out_rows.append(flat)
-        else:
-            out_rows.append(
-                tuple(
-                    NULL if i in pad_positions else v for i, v in enumerate(flat)
+    with op_span(
+        "pseudo-selection",
+        contract=CONTRACT_PRESERVING,
+        pred=predicate.describe(),
+        pads=",".join(pad_refs),
+    ) as span:
+        for row in nested.rows:
+            metrics.add("linking_evals")
+            flat = tuple(row[i] for i in atomic)
+            members = _members(row[set_pos], linked_pos, pk_pos)
+            lhs = flat[linking_pos] if linking_pos is not None else NULL
+            if predicate.evaluate(lhs, members).is_true():
+                out_rows.append(flat)
+            else:
+                metrics.add("null_padded_rows")
+                out_rows.append(
+                    tuple(
+                        NULL if i in pad_positions else v for i, v in enumerate(flat)
+                    )
                 )
-            )
+        if span is not None:
+            span.add("rows_in", len(nested.rows))
+            span.add("rows_out", len(out_rows))
     return Relation(out_schema, out_rows)
 
 

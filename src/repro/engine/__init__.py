@@ -44,6 +44,17 @@ from .expressions import (
 from .catalog import Database, Table
 from .index import HashIndex, SortedIndex
 from .metrics import Metrics, collect, current_metrics, timed
+from .trace import (
+    Span,
+    Trace,
+    Tracer,
+    current_tracer,
+    reconcile_with_metrics,
+    render_trace,
+    trace_invariant_violations,
+    tracing,
+    validate_trace_dict,
+)
 
 __all__ = [
     "NULL",
@@ -86,4 +97,13 @@ __all__ = [
     "collect",
     "current_metrics",
     "timed",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_tracer",
+    "reconcile_with_metrics",
+    "render_trace",
+    "trace_invariant_violations",
+    "tracing",
+    "validate_trace_dict",
 ]

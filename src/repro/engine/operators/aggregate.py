@@ -22,6 +22,7 @@ from ...errors import ExecutionError
 from ..expressions import EvalContext, Expr, truth
 from ..metrics import current_metrics
 from ..relation import Relation, Row
+from ..trace import CONTRACT_FILTERING, op_span
 from ..schema import Column, Schema
 from ..types import FALSE, NULL, TRUE, UNKNOWN, SqlValue, TriBool, is_null, row_group_key
 
@@ -88,6 +89,19 @@ class GroupAggregate:
         self.outer_ctx = outer_ctx or EvalContext()
 
     def run(self) -> Relation:
+        with op_span(
+            "GroupAggregate",
+            contract=CONTRACT_FILTERING,
+            by=",".join(self.group_refs) or "()",
+            aggs=",".join(a.func for a in self.aggs),
+        ) as span:
+            result = self._run()
+            if span is not None:
+                span.add("rows_in", len(self.source.rows))
+                span.add("rows_out", len(result.rows))
+        return result
+
+    def _run(self) -> Relation:
         metrics = current_metrics()
         schema = self.source.schema
         group_idx = schema.indices_of(self.group_refs)

@@ -7,16 +7,29 @@ benchmark harness can report machine-independent costs.
 
 Operators may be iterated only once unless noted; call :meth:`materialize`
 to pin results.
+
+Tracing: subclasses implement :meth:`_iterate`; the base ``__iter__``
+dispatches to it directly when tracing is off (one ``is None`` check of
+overhead) and wraps it in a :class:`~repro.engine.trace.Span` recording
+``rows_in``/``rows_out`` when a :func:`~repro.engine.trace.tracing`
+context is active.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ...errors import ExecutionError
 from ..metrics import current_metrics
 from ..relation import Relation, Row
 from ..schema import Schema
+from ..trace import CONTRACT_PRESERVING, Span, Tracer, current_tracer
+
+
+def _count_rows_in(source, span: Span) -> Iterator[Row]:
+    for row in source:
+        span.add("rows_in")
+        yield row
 
 
 class Operator:
@@ -25,8 +38,49 @@ class Operator:
     #: output schema; subclasses set this in __init__
     schema: Schema
 
+    #: cardinality contract checked by the trace invariants
+    #: (one of the ``repro.engine.trace.CONTRACT_*`` values, or None)
+    trace_contract: Optional[str] = None
+
+    #: the open span while this operator is being traced
+    _span: Optional[Span] = None
+
     def __iter__(self) -> Iterator[Row]:
+        tracer = current_tracer()
+        if tracer is None:
+            return self._iterate()
+        return self._traced_iter(tracer)
+
+    def _iterate(self) -> Iterator[Row]:
         raise NotImplementedError
+
+    def trace_attrs(self) -> Dict[str, Any]:
+        """Short, deterministic attributes shown on the span's plan line."""
+        return {}
+
+    def _traced_iter(self, tracer: Tracer) -> Iterator[Row]:
+        span = tracer.open(
+            type(self).__name__, self.trace_attrs(), contract=self.trace_contract
+        )
+        self._span = span
+        try:
+            for row in self._iterate():
+                span.add("rows_out")
+                yield row
+        finally:
+            self._span = None
+            tracer.close(span)
+
+    def _input(self, source) -> Iterator[Row]:
+        """Wrap an input iterable so consumed rows count as ``rows_in``.
+
+        Returns *source* untouched when this operator is not being
+        traced, so the disabled path adds no per-row work.
+        """
+        span = self._span
+        if span is None:
+            return source
+        return _count_rows_in(source, span)
 
     def materialize(self) -> Relation:
         """Drain the operator into a :class:`Relation`."""
@@ -39,13 +93,19 @@ class Operator:
 class RelationSource(Operator):
     """Adapts a materialized :class:`Relation` into the operator protocol."""
 
+    trace_contract = CONTRACT_PRESERVING
+
     def __init__(self, relation: Relation):
         self.relation = relation
         self.schema = relation.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def trace_attrs(self) -> Dict[str, Any]:
+        tables = {c.table for c in self.schema.columns if c.table}
+        return {"table": "/".join(sorted(tables))} if tables else {}
+
+    def _iterate(self) -> Iterator[Row]:
         metrics = current_metrics()
-        for row in self.relation.rows:
+        for row in self._input(self.relation.rows):
             metrics.add("rows_scanned")
             yield row
 

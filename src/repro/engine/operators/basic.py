@@ -15,11 +15,17 @@ from ..metrics import current_metrics
 from ..relation import Relation, Row
 from ..schema import Column, Schema
 from ..types import row_group_key, row_sort_key
+from ..trace import (
+    CONTRACT_FILTERING,
+    CONTRACT_PRESERVING,
+)
 from .base import Operator, as_operator
 
 
 class Filter(Operator):
     """Keep rows whose predicate is definitely TRUE (SQL WHERE)."""
+
+    trace_contract = CONTRACT_FILTERING
 
     def __init__(self, source, predicate: Expr, outer: Optional[EvalContext] = None):
         self.source = as_operator(source)
@@ -27,10 +33,10 @@ class Filter(Operator):
         self.outer = outer or EvalContext()
         self.schema = self.source.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         metrics = current_metrics()
         base_ctx = self.outer.push(self.schema, ())
-        for row in self.source:
+        for row in self._input(self.source):
             metrics.add("predicate_evals")
             ctx = base_ctx.with_row(self.schema, row)
             if truth(self.predicate, ctx).is_true():
@@ -41,21 +47,25 @@ class Filter(Operator):
 class Project(Operator):
     """Projection onto a list of column references (no dedup)."""
 
+    trace_contract = CONTRACT_PRESERVING
+
     def __init__(self, source, refs: Sequence[str]):
         self.source = as_operator(source)
         self.refs = list(refs)
         self._idx = self.source.schema.indices_of(self.refs)
         self.schema = self.source.schema.project(self.refs)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         idx = self._idx
-        for row in self.source:
+        for row in self._input(self.source):
             self._emit()
             yield tuple(row[i] for i in idx)
 
 
 class Map(Operator):
     """Compute expressions into new columns (SELECT list with expressions)."""
+
+    trace_contract = CONTRACT_PRESERVING
 
     def __init__(self, source, exprs: Sequence[Expr], columns: Sequence[Column],
                  outer: Optional[EvalContext] = None):
@@ -66,12 +76,12 @@ class Map(Operator):
         self.outer = outer or EvalContext()
         self.schema = Schema(columns)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         from ..expressions import _value
 
         src_schema = self.source.schema
         base_ctx = self.outer.push(src_schema, ())
-        for row in self.source:
+        for row in self._input(self.source):
             ctx = base_ctx.with_row(src_schema, row)
             self._emit()
             yield tuple(_value(e, ctx) for e in self.exprs)
@@ -80,14 +90,16 @@ class Map(Operator):
 class Distinct(Operator):
     """Duplicate elimination; NULLs compare equal for grouping purposes."""
 
+    trace_contract = CONTRACT_FILTERING
+
     def __init__(self, source):
         self.source = as_operator(source)
         self.schema = self.source.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         seen = set()
         metrics = current_metrics()
-        for row in self.source:
+        for row in self._input(self.source):
             key = row_group_key(row)
             metrics.add("hash_probes")
             if key not in seen:
@@ -99,16 +111,18 @@ class Distinct(Operator):
 class Limit(Operator):
     """Emit at most *n* rows."""
 
+    trace_contract = CONTRACT_FILTERING
+
     def __init__(self, source, n: int):
         self.source = as_operator(source)
         self.n = n
         self.schema = self.source.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         if self.n <= 0:
             return
         count = 0
-        for row in self.source:
+        for row in self._input(self.source):
             self._emit()
             yield row
             count += 1
@@ -119,12 +133,14 @@ class Limit(Operator):
 class Rename(Operator):
     """Re-qualify all columns under an alias (SQL ``FROM t AS x``)."""
 
+    trace_contract = CONTRACT_PRESERVING
+
     def __init__(self, source, alias: str):
         self.source = as_operator(source)
         self.schema = self.source.schema.rename_table(alias)
 
-    def __iter__(self) -> Iterator[Row]:
-        return iter(self.source)
+    def _iterate(self) -> Iterator[Row]:
+        return iter(self._input(self.source))
 
 
 class Sort(Operator):
@@ -135,6 +151,8 @@ class Sort(Operator):
     sort the intermediate result".
     """
 
+    trace_contract = CONTRACT_PRESERVING
+
     def __init__(self, source, refs: Sequence[str], descending: bool = False):
         self.source = as_operator(source)
         self.refs = list(refs)
@@ -142,8 +160,8 @@ class Sort(Operator):
         self._idx = self.source.schema.indices_of(self.refs)
         self.schema = self.source.schema
 
-    def __iter__(self) -> Iterator[Row]:
-        rows = list(self.source)
+    def _iterate(self) -> Iterator[Row]:
+        rows = list(self._input(self.source))
         metrics = current_metrics()
         metrics.add("rows_sorted", len(rows))
         idx = self._idx

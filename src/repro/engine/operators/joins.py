@@ -26,6 +26,7 @@ from ..metrics import current_metrics
 from ..relation import Relation, Row
 from ..schema import Schema
 from ..types import NULL, is_null, row_group_key
+from ..trace import CONTRACT_EXPANDING, CONTRACT_FILTERING
 from .base import Operator, as_operator, as_relation
 
 
@@ -92,7 +93,27 @@ class JoinSpec:
         return out
 
 
-class HashJoin(Operator):
+class _HashJoinBase(Operator):
+    """Shared trace hooks for the hash-join family."""
+
+    spec: JoinSpec
+
+    def trace_attrs(self):
+        if not self.spec.left_keys:
+            return {}
+        on = ", ".join(
+            f"{l}={r}" for l, r in zip(self.spec.left_keys, self.spec.right_keys)
+        )
+        return {"on": on}
+
+    def _note_build(self, table) -> None:
+        """Record the hash-table build size on the open span."""
+        span = self._span
+        if span is not None:
+            span.set("hash_table_keys", len(table))
+
+
+class HashJoin(_HashJoinBase):
     """Inner equi-join with optional residual predicate."""
 
     def __init__(self, left, right, left_keys, right_keys,
@@ -101,15 +122,16 @@ class HashJoin(Operator):
         self.spec = JoinSpec(left, right, left_keys, right_keys, residual, outer_ctx)
         self.schema = self.spec.combined
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         table = self.spec.build()
-        for left_row in self.spec.left:
+        self._note_build(table)
+        for left_row in self._input(self.spec.left):
             for right_row in self.spec.matches(table, left_row):
                 self._emit()
                 yield left_row + right_row
 
 
-class LeftOuterHashJoin(Operator):
+class LeftOuterHashJoin(_HashJoinBase):
     """Left outer equi-join; unmatched left rows padded with NULLs.
 
     This is the workhorse of the nested relational approach: outer joins
@@ -118,6 +140,8 @@ class LeftOuterHashJoin(Operator):
     inner block is how emptiness is later recognised.
     """
 
+    trace_contract = CONTRACT_EXPANDING
+
     def __init__(self, left, right, left_keys, right_keys,
                  residual: Optional[Expr] = None,
                  outer_ctx: Optional[EvalContext] = None):
@@ -125,21 +149,26 @@ class LeftOuterHashJoin(Operator):
         self.schema = self.spec.combined
         self._pad = (NULL,) * len(self.spec.right.schema)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
+        metrics = current_metrics()
         table = self.spec.build()
-        for left_row in self.spec.left:
+        self._note_build(table)
+        for left_row in self._input(self.spec.left):
             matched = self.spec.matches(table, left_row)
             if matched:
                 for right_row in matched:
                     self._emit()
                     yield left_row + right_row
             else:
+                metrics.add("null_padded_rows")
                 self._emit()
                 yield left_row + self._pad
 
 
-class SemiJoin(Operator):
+class SemiJoin(_HashJoinBase):
     """Left rows with at least one qualifying right match (EXISTS/IN)."""
+
+    trace_contract = CONTRACT_FILTERING
 
     def __init__(self, left, right, left_keys, right_keys,
                  residual: Optional[Expr] = None,
@@ -147,15 +176,16 @@ class SemiJoin(Operator):
         self.spec = JoinSpec(left, right, left_keys, right_keys, residual, outer_ctx)
         self.schema = self.spec.left.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         table = self.spec.build()
-        for left_row in self.spec.left:
+        self._note_build(table)
+        for left_row in self._input(self.spec.left):
             if self.spec.matches(table, left_row):
                 self._emit()
                 yield left_row
 
 
-class AntiJoin(Operator):
+class AntiJoin(_HashJoinBase):
     """Left rows with no qualifying right match (NOT EXISTS).
 
     Note: using an antijoin to evaluate ``NOT IN`` / ``ALL`` linking
@@ -164,15 +194,18 @@ class AntiJoin(Operator):
     implements plain "no match survives".
     """
 
+    trace_contract = CONTRACT_FILTERING
+
     def __init__(self, left, right, left_keys, right_keys,
                  residual: Optional[Expr] = None,
                  outer_ctx: Optional[EvalContext] = None):
         self.spec = JoinSpec(left, right, left_keys, right_keys, residual, outer_ctx)
         self.schema = self.spec.left.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         table = self.spec.build()
-        for left_row in self.spec.left:
+        self._note_build(table)
+        for left_row in self._input(self.spec.left):
             if not self.spec.matches(table, left_row):
                 self._emit()
                 yield left_row
@@ -189,9 +222,9 @@ class CrossJoin(Operator):
         self.right = as_relation(right)
         self.schema = self.left.schema.concat(self.right.schema)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         right_rows = self.right.rows
-        for left_row in self.left:
+        for left_row in self._input(self.left):
             for right_row in right_rows:
                 self._emit()
                 yield left_row + right_row
@@ -208,16 +241,20 @@ class OuterCrossJoin(Operator):
     exactly like :class:`CrossJoin`.
     """
 
+    trace_contract = CONTRACT_EXPANDING
+
     def __init__(self, left, right):
         self.left = as_operator(left)
         self.right = as_relation(right)
         self.schema = self.left.schema.concat(self.right.schema)
         self._pad = (NULL,) * len(self.right.schema)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
+        metrics = current_metrics()
         right_rows = self.right.rows
-        for left_row in self.left:
+        for left_row in self._input(self.left):
             if not right_rows:
+                metrics.add("null_padded_rows")
                 self._emit()
                 yield left_row + self._pad
                 continue
@@ -238,13 +275,15 @@ class NestedLoopJoin(Operator):
         self.predicate = predicate
         self.outer_ctx = outer_ctx or EvalContext()
         self.outer = outer
+        if outer:
+            self.trace_contract = CONTRACT_EXPANDING
         self.schema = self.left.schema.concat(self.right.schema)
         self._pad = (NULL,) * len(self.right.schema)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         metrics = current_metrics()
         base_ctx = self.outer_ctx.push(self.schema, ())
-        for left_row in self.left:
+        for left_row in self._input(self.left):
             matched = False
             for right_row in self.right.rows:
                 metrics.add("rows_scanned")
@@ -258,6 +297,7 @@ class NestedLoopJoin(Operator):
                 self._emit()
                 yield combined
             if self.outer and not matched:
+                metrics.add("null_padded_rows")
                 self._emit()
                 yield left_row + self._pad
 
@@ -286,14 +326,16 @@ class IndexNestedLoopJoin(Operator):
         self.residual = residual
         self.outer_ctx = outer_ctx or EvalContext()
         self.outer = outer
+        if outer:
+            self.trace_contract = CONTRACT_EXPANDING
         self.inner_schema = index.relation.schema
         self.schema = self.left.schema.concat(self.inner_schema)
         self._pad = (NULL,) * len(self.inner_schema)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
         metrics = current_metrics()
         base_ctx = self.outer_ctx.push(self.schema, ())
-        for left_row in self.left:
+        for left_row in self._input(self.left):
             probe = tuple(left_row[i] for i in self.left_probe_idx)
             matched = False
             for inner_row in self.index.probe(probe):
@@ -307,5 +349,6 @@ class IndexNestedLoopJoin(Operator):
                 self._emit()
                 yield combined
             if self.outer and not matched:
+                metrics.add("null_padded_rows")
                 self._emit()
                 yield left_row + self._pad

@@ -15,6 +15,7 @@ from ...errors import SchemaError
 from ..metrics import current_metrics
 from ..relation import Relation, Row
 from ..types import row_group_key
+from ..trace import CONTRACT_FILTERING
 from .base import Operator, as_relation
 
 
@@ -26,7 +27,22 @@ def _check_compat(left: Relation, right: Relation) -> None:
         )
 
 
-class Union(Operator):
+class _SetOp(Operator):
+    """Shared base: both inputs are materialized at construction, so
+    ``rows_in`` is charged in bulk when iteration starts."""
+
+    trace_contract = CONTRACT_FILTERING
+
+    left: Relation
+    right: Relation
+
+    def _note_inputs(self) -> None:
+        span = self._span
+        if span is not None:
+            span.add("rows_in", len(self.left.rows) + len(self.right.rows))
+
+
+class Union(_SetOp):
     """Set union; output schema is the left input's."""
 
     def __init__(self, left, right):
@@ -35,7 +51,8 @@ class Union(Operator):
         _check_compat(self.left, self.right)
         self.schema = self.left.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
+        self._note_inputs()
         seen: Set[tuple] = set()
         for rel in (self.left, self.right):
             for row in rel.rows:
@@ -47,7 +64,7 @@ class Union(Operator):
                     yield row
 
 
-class Intersect(Operator):
+class Intersect(_SetOp):
     """Set intersection."""
 
     def __init__(self, left, right):
@@ -56,7 +73,8 @@ class Intersect(Operator):
         _check_compat(self.left, self.right)
         self.schema = self.left.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
+        self._note_inputs()
         right_keys = {row_group_key(r) for r in self.right.rows}
         emitted: Set[tuple] = set()
         for row in self.left.rows:
@@ -68,7 +86,7 @@ class Intersect(Operator):
                 yield row
 
 
-class Difference(Operator):
+class Difference(_SetOp):
     """Set difference (left minus right)."""
 
     def __init__(self, left, right):
@@ -77,7 +95,8 @@ class Difference(Operator):
         _check_compat(self.left, self.right)
         self.schema = self.left.schema
 
-    def __iter__(self) -> Iterator[Row]:
+    def _iterate(self) -> Iterator[Row]:
+        self._note_inputs()
         right_keys = {row_group_key(r) for r in self.right.rows}
         emitted: Set[tuple] = set()
         for row in self.left.rows:

@@ -32,6 +32,7 @@ from .runner import (
     Failure,
     FuzzCase,
     FuzzReport,
+    MiscountingSpanStrategy,
     MutatedLinkStrategy,
     generate_case,
     mutate_first_link,
@@ -88,6 +89,9 @@ def run_fuzz(
         case = failure.case
         outcome.shrunk_case = case
     outcome.shrunk_failure = failure
+    # Freeze the per-operator traces of the oracle and the failing
+    # strategy at the minimized case into the failure's provenance.
+    runner.attach_trace_text(failure)
     if corpus_dir is not None:
         outcome.corpus_path = write_corpus_file(
             case, corpus_dir, failure=failure
@@ -107,6 +111,7 @@ __all__ = [
     "FuzzConfig",
     "FuzzOutcome",
     "FuzzReport",
+    "MiscountingSpanStrategy",
     "MutatedLinkStrategy",
     "QueryGenerator",
     "TableSpec",

@@ -115,6 +115,11 @@ def corpus_module_source(
             f"Found at seed={case.seed} iteration={case.iteration}, then "
             "minimized.\n"
         )
+        if failure.trace_text:
+            provenance += (
+                "\nPer-operator traces at the minimized case:\n"
+                + failure.trace_text + "\n"
+            )
     else:
         provenance = (
             f"Deterministic generator output (seed={case.seed} "

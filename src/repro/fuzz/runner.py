@@ -11,11 +11,18 @@ queries they accept, mirroring how the auto planner would route them.
 Each execution also runs under a fresh metrics scope and is checked
 against the engine's counter invariants (non-negative counters,
 ``rows_produced`` = result cardinality) so a strategy that silently
-miscounts work is flagged even when its rows are right.
+miscounts work is flagged even when its rows are right.  Executions
+additionally run under a tracing scope (``check_traces``): the span
+tree's structural invariants — cardinality contracts, pull-model row
+accounting, Metrics reconciliation — must hold on every random query,
+so an operator that miscounts its rows is caught even when the result
+values match the oracle.
 
 The runner reports the *first* failing (case, strategy) pair; the
 shrinker then minimizes it and the corpus writer freezes it as a
-self-contained pytest regression under ``tests/fuzz_corpus/``.
+self-contained pytest regression under ``tests/fuzz_corpus/`` — with
+the per-operator traces of the oracle and the failing strategy attached
+to the frozen failure's provenance.
 """
 
 from __future__ import annotations
@@ -29,6 +36,13 @@ from ..core.blocks import NestedQuery
 from ..core.planner import execute, make_strategy
 from ..engine.catalog import Database
 from ..engine.metrics import collect
+from ..engine.trace import (
+    Trace,
+    reconcile_with_metrics,
+    render_trace,
+    trace_invariant_violations,
+    tracing,
+)
 from ..engine.relation import Relation
 from ..engine.types import negate_op
 from ..errors import ReproError
@@ -83,14 +97,17 @@ class FuzzCase:
 @dataclass
 class Failure:
     """A strategy disagreeing with the oracle (or crashing, or breaking a
-    metrics invariant) on one case."""
+    metrics or trace invariant) on one case."""
 
     case: FuzzCase
     strategy: str
-    kind: str  # "disagreement" | "error" | "metrics" | "compile-error"
+    kind: str  # "disagreement" | "error" | "metrics" | "trace" | "compile-error"
     detail: str
     expected: Optional[Relation] = None
     actual: Optional[Relation] = None
+    #: rendered per-operator traces of the oracle and the failing
+    #: strategy (timings off), attached before a corpus file is frozen
+    trace_text: Optional[str] = None
 
     def describe(self) -> str:
         lines = [
@@ -102,6 +119,8 @@ class Failure:
             lines.append(f"  oracle rows:   {sorted_rows(self.expected)}")
         if self.actual is not None:
             lines.append(f"  strategy rows: {sorted_rows(self.actual)}")
+        if self.trace_text:
+            lines.append("  " + self.trace_text.replace("\n", "\n  "))
         return "\n".join(lines)
 
 
@@ -164,12 +183,17 @@ class DifferentialRunner:
         strategies: Optional[Sequence[str]] = None,
         extra_strategies: Sequence[object] = (),
         check_metrics: bool = True,
+        check_traces: bool = True,
     ):
         self.strategies = tuple(strategies or DEFAULT_STRATEGIES)
         #: objects with ``name`` and ``execute(query, db)`` — used to
         #: inject deliberately broken strategies for self-tests.
         self.extra_strategies = tuple(extra_strategies)
         self.check_metrics = check_metrics
+        #: run every execution under a tracing scope and enforce the
+        #: span-tree invariants (contracts, row accounting, Metrics
+        #: reconciliation) on top of the differential check.
+        self.check_traces = check_traces
         self.last_report: Optional[FuzzReport] = None
 
     # ------------------------------------------------------------------ #
@@ -254,13 +278,15 @@ class DifferentialRunner:
         impl: Optional[object] = None,
         check_produced: bool = True,
     ) -> Tuple[Optional[Failure], Optional[Relation]]:
-        """Execute one strategy under a fresh metrics scope."""
+        """Execute one strategy under fresh metrics and tracing scopes."""
+        trace: Optional[Trace] = None
         try:
             with collect() as metrics:
-                if impl is not None:
-                    result = impl.execute(query, db)
+                if not self.check_traces:
+                    result = self._execute(query, db, name, impl)
                 else:
-                    result = execute(query, db, strategy=name)
+                    with tracing() as trace:
+                        result = self._execute(query, db, name, impl)
         except ReproError as exc:
             return (
                 Failure(case, name, "error", f"raised {type(exc).__name__}: {exc}"),
@@ -275,7 +301,73 @@ class DifferentialRunner:
                     Failure(case, name, "metrics", "; ".join(violations)),
                     None,
                 )
+        if trace is not None:
+            violations = trace_invariant_violations(
+                trace,
+                result_cardinality=len(result) if check_produced else None,
+            )
+            if impl is None:
+                # extra strategies may do work outside the planner's root
+                # span, so exact Metrics reconciliation only holds for
+                # direct planner runs.
+                violations.extend(
+                    reconcile_with_metrics(trace, metrics.snapshot())
+                )
+            if violations:
+                return (
+                    Failure(case, name, "trace", "; ".join(violations[:8])),
+                    None,
+                )
         return None, result
+
+    @staticmethod
+    def _execute(
+        query: NestedQuery, db: Database, name: str, impl: Optional[object]
+    ) -> Relation:
+        if impl is not None:
+            return impl.execute(query, db)
+        return execute(query, db, strategy=name)
+
+    # ------------------------------------------------------------------ #
+    # trace provenance
+    # ------------------------------------------------------------------ #
+
+    def attach_trace_text(self, failure: Failure) -> Failure:
+        """Re-run the oracle and the failing strategy under tracing and
+        attach both rendered span trees (timings off, so the text is
+        deterministic) to *failure* — the per-operator provenance the
+        corpus writer freezes alongside a minimized regression."""
+        if failure.kind == "compile-error":
+            return failure
+        case = failure.case
+        db = case.db_spec.build()
+        try:
+            query = compile_sql(case.sql, db)
+        except ReproError:
+            return failure
+        impls = {
+            getattr(i, "name", type(i).__name__): i
+            for i in self.extra_strategies
+        }
+        sections: List[str] = []
+        for label, name in (("oracle", ORACLE), ("strategy", failure.strategy)):
+            if label == "strategy" and name == ORACLE:
+                continue  # the oracle itself failed; one trace suffices
+            try:
+                with tracing() as trace:
+                    self._execute(query, db, name, impls.get(name))
+            except ReproError as exc:
+                sections.append(
+                    f"{label} {name!r} trace: raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            sections.append(
+                f"{label} {name!r} trace:\n"
+                + render_trace(trace, timings=False)
+            )
+        failure.trace_text = "\n".join(sections)
+        return failure
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -394,3 +486,36 @@ class MutatedLinkStrategy:
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
         return execute(mutate_first_link(query), db, strategy=self.base)
+
+
+class MiscountingSpanStrategy:
+    """A strategy with correct *results* but broken trace accounting: it
+    drops the first ``rows_out`` increment of every span, so the rows it
+    returns still match the oracle while the span tree's cardinality
+    contracts and pull-model row accounting are wrong.  Used by ``repro
+    fuzz --inject-trace-bug`` and the test suite to prove that
+    trace-invariant checking catches operator miscounts the differential
+    value comparison cannot see."""
+
+    name = "nested-relational[miscounting-span]"
+
+    def __init__(self, base: str = "nested-relational"):
+        self.base = base
+
+    def execute(self, query: NestedQuery, db: Database) -> Relation:
+        from ..engine import trace as trace_module
+
+        original_add = trace_module.Span.add
+        dropped = set()
+
+        def lossy_add(span: "trace_module.Span", name: str, amount: int = 1) -> None:
+            if name == "rows_out" and id(span) not in dropped:
+                dropped.add(id(span))
+                return
+            original_add(span, name, amount)
+
+        trace_module.Span.add = lossy_add  # type: ignore[method-assign]
+        try:
+            return execute(query, db, strategy=self.base)
+        finally:
+            trace_module.Span.add = original_add  # type: ignore[method-assign]

@@ -30,7 +30,7 @@ from .runner import Failure, FuzzCase
 #: Failure kinds worth preserving while shrinking.  A candidate that
 #: merely fails to compile is *not* interesting: it means the
 #: simplification left dangling references, not that the engine is wrong.
-INTERESTING_KINDS = ("disagreement", "error", "metrics")
+INTERESTING_KINDS = ("disagreement", "error", "metrics", "trace")
 
 
 def is_interesting(failure: Optional[Failure]) -> bool:

@@ -8,6 +8,22 @@ import repro
 from repro.engine import Column, Database, NULL
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/golden/ with the "
+             "current EXPLAIN / EXPLAIN ANALYZE output instead of "
+             "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def paper_db() -> Database:
     """The relations R, S, T of the paper's Figure 1 (Section 3).

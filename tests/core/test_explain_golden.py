@@ -1,0 +1,87 @@
+"""Golden-file tests for EXPLAIN and EXPLAIN ANALYZE on the six paper
+queries (Figures 4-9).
+
+The expected texts live under ``tests/golden/``; regenerate them after
+an intentional plan- or trace-format change with::
+
+    PYTHONPATH=src python -m pytest tests/core/test_explain_golden.py --update-golden
+
+EXPLAIN ANALYZE goldens are rendered with ``timings=False``, so the
+files are fully deterministic: the tiny TPC-H instance is seeded, the
+planner is deterministic, and every counter in the trace is a function
+of the data alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.core.explain import explain, explain_analyze
+from repro.tpch import query1, query2, query3
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "golden")
+
+#: the six figure queries, keyed by golden-file stem
+PAPER_QUERIES = [
+    pytest.param("fig4_q1", query1("1992-01-01", "1994-06-01"), id="fig4-q1"),
+    pytest.param("fig5_q2a", query2("any", 1, 30, 6000, 25), id="fig5-q2a"),
+    pytest.param("fig6_q2b", query2("all", 1, 30, 6000, 25), id="fig6-q2b"),
+    pytest.param(
+        "fig7_q3a", query3("all", "exists", "a", 1, 30, 6000, 25), id="fig7-q3a"
+    ),
+    pytest.param(
+        "fig8_q3b",
+        query3("all", "not exists", "b", 1, 30, 6000, 25),
+        id="fig8-q3b",
+    ),
+    pytest.param(
+        "fig9_q3c", query3("any", "exists", "c", 1, 30, 6000, 25), id="fig9-q3c"
+    ),
+]
+
+
+def check_golden(name: str, text: str, update: bool) -> None:
+    path = os.path.join(GOLDEN_DIR, name)
+    if update:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return
+    assert os.path.exists(path), (
+        f"golden file {name} is missing — generate it with "
+        "pytest --update-golden"
+    )
+    with open(path) as handle:
+        expected = handle.read()
+    assert text + "\n" == expected, (
+        f"{name} drifted from its golden file; if the change is "
+        "intentional, regenerate with pytest --update-golden"
+    )
+
+
+class TestExplainGolden:
+    @pytest.mark.parametrize("stem,sql", PAPER_QUERIES)
+    def test_plan_text(self, tiny_tpch, update_golden, stem, sql):
+        query = repro.compile_sql(sql, tiny_tpch)
+        text = explain(query, tiny_tpch, strategy="auto")
+        check_golden(f"explain_{stem}.txt", text, update_golden)
+
+
+class TestExplainAnalyzeGolden:
+    @pytest.mark.parametrize("stem,sql", PAPER_QUERIES)
+    def test_annotated_trace_text(self, tiny_tpch, update_golden, stem, sql):
+        query = repro.compile_sql(sql, tiny_tpch)
+        text = explain_analyze(
+            query, tiny_tpch, strategy="auto", timings=False
+        )
+        check_golden(f"analyze_{stem}.txt", text, update_golden)
+
+    @pytest.mark.parametrize("stem,sql", PAPER_QUERIES[:1])
+    def test_analyze_is_deterministic(self, tiny_tpch, stem, sql):
+        query = repro.compile_sql(sql, tiny_tpch)
+        first = explain_analyze(query, tiny_tpch, strategy="auto", timings=False)
+        second = explain_analyze(query, tiny_tpch, strategy="auto", timings=False)
+        assert first == second

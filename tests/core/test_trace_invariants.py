@@ -1,0 +1,161 @@
+"""Trace-invariant suite: for every registered strategy, the span tree
+produced by a traced execution must be internally consistent.
+
+Checked per (strategy, query) pair, across the full linking-operator
+matrix on the paper's R/S/T data (whose NULLs exercise the pk-NULL
+empty-vs-{NULL} distinction) and on the paper's TPC-H queries:
+
+* every span closed, counters non-negative;
+* cardinality contracts (filtering / preserving / expanding) hold;
+* pull-model row accounting: an operator's ``rows_in`` equals the summed
+  ``rows_out`` of the operator spans feeding it;
+* the root span's ``rows_out`` equals the result cardinality;
+* summed per-span metric deltas reconcile exactly with the ambient
+  ``Metrics`` totals of the execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.planner import available_strategies, make_strategy
+from repro.engine.metrics import collect
+from repro.engine.trace import (
+    reconcile_with_metrics,
+    trace_invariant_violations,
+    tracing,
+)
+from repro.fuzz.runner import _applies
+from repro.tpch import query1, query2, query3
+
+#: every strategy the planner can run ("auto" resolves per query)
+STRATEGIES = available_strategies()
+
+#: one query per linking operator over the paper's R/S/T relations —
+#: correlated subqueries against data with NULLs in both the linking
+#: and the correlation columns (conftest ``paper_db``).
+LINKING_MATRIX = [
+    pytest.param(
+        "select A, D from R where exists"
+        " (select E from S where F = B)",
+        id="EXISTS",
+    ),
+    pytest.param(
+        "select A, D from R where not exists"
+        " (select E from S where F = B)",
+        id="NOT-EXISTS",
+    ),
+    pytest.param(
+        "select A, D from R where A in"
+        " (select E from S where F = B)",
+        id="IN",
+    ),
+    pytest.param(
+        "select A, D from R where A not in"
+        " (select E from S where F = B)",
+        id="NOT-IN",
+    ),
+    pytest.param(
+        "select A, D from R where A < some"
+        " (select E from S where F = B)",
+        id="theta-SOME",
+    ),
+    pytest.param(
+        "select A, D from R where A >= all"
+        " (select E from S where F = B)",
+        id="theta-ALL",
+    ),
+    pytest.param(
+        "select A, D from R where A > all"
+        " (select E from S where F = B and exists"
+        "  (select J from T where K = G))",
+        id="two-level-ALL-EXISTS",
+    ),
+    pytest.param(
+        "select A from R where not exists"
+        " (select E from S where F = B and H not in"
+        "  (select J from T where K = G))",
+        id="two-level-NOT-EXISTS-NOT-IN",
+    ),
+]
+
+
+def assert_trace_invariants(query, db, strategy):
+    with collect() as metrics:
+        with tracing() as trace:
+            result = repro.execute(query, db, strategy=strategy)
+    violations = trace_invariant_violations(
+        trace, result_cardinality=len(result)
+    )
+    assert violations == [], f"{strategy}: {violations}"
+    mismatches = reconcile_with_metrics(trace, metrics.snapshot())
+    assert mismatches == [], f"{strategy}: {mismatches}"
+    assert trace.root is not None, f"{strategy}: expected one root span"
+    return trace
+
+
+class TestLinkingMatrix:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("sql", LINKING_MATRIX)
+    def test_invariants_hold(self, paper_db, sql, strategy):
+        query = repro.compile_sql(sql, paper_db)
+        if strategy != "auto" and not _applies(
+            make_strategy(strategy), query, paper_db
+        ):
+            pytest.skip(f"{strategy} does not accept this query")
+        assert_trace_invariants(query, paper_db, strategy)
+
+
+class TestPaperQueries:
+    """The six figure queries on the tiny TPC-H instance (one strategy
+    sweep per figure; the full strategy matrix runs on the small R/S/T
+    data above)."""
+
+    FIGURE_QUERIES = [
+        pytest.param(query1("1992-01-01", "1994-06-01"), id="fig4-q1"),
+        pytest.param(query2("any", 1, 30, 6000, 25), id="fig5-q2a"),
+        pytest.param(query2("all", 1, 30, 6000, 25), id="fig6-q2b"),
+        pytest.param(query3("all", "exists", "a", 1, 30, 6000, 25), id="fig7-q3a"),
+        pytest.param(query3("all", "not exists", "b", 1, 30, 6000, 25), id="fig8-q3b"),
+        pytest.param(query3("any", "exists", "c", 1, 30, 6000, 25), id="fig9-q3c"),
+    ]
+
+    SWEEP_STRATEGIES = [
+        "nested-relational",
+        "nested-relational-optimized",
+        "nested-iteration",
+        "system-a-native",
+        "auto",
+    ]
+
+    @pytest.mark.parametrize("sql", FIGURE_QUERIES)
+    def test_invariants_hold(self, tiny_tpch_nulls, sql):
+        query = repro.compile_sql(sql, tiny_tpch_nulls)
+        for strategy in self.SWEEP_STRATEGIES:
+            assert_trace_invariants(query, tiny_tpch_nulls, strategy)
+
+
+class TestTracingIsObservationOnly:
+    """Result rows and Metrics counters must be bit-identical with
+    tracing on and off (the near-zero-overhead-claim's correctness
+    half; the Hypothesis suite covers random queries)."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_same_result_and_metrics(self, paper_db, strategy):
+        sql = (
+            "select A, D from R where not exists"
+            " (select E from S where F = B)"
+        )
+        query = repro.compile_sql(sql, paper_db)
+        if strategy != "auto" and not _applies(
+            make_strategy(strategy), query, paper_db
+        ):
+            pytest.skip(f"{strategy} does not accept this query")
+        with collect() as plain_metrics:
+            plain = repro.execute(query, paper_db, strategy=strategy)
+        with collect() as traced_metrics:
+            with tracing():
+                traced = repro.execute(query, paper_db, strategy=strategy)
+        assert traced.sorted() == plain.sorted()
+        assert traced_metrics.snapshot() == plain_metrics.snapshot()

@@ -12,6 +12,7 @@ from repro.fuzz import (
     DifferentialRunner,
     FuzzCase,
     FuzzConfig,
+    MiscountingSpanStrategy,
     MutatedLinkStrategy,
     case_digest,
     corpus_module_source,
@@ -126,6 +127,86 @@ class TestBugInjection:
             text=True,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestTraceBugInjection:
+    """A strategy whose *results* are right but whose operator spans
+    miscount rows must be caught by the trace invariants — the class of
+    bug the differential value comparison cannot see."""
+
+    def test_results_match_but_trace_fails(self):
+        """The miscounting strategy agrees with the oracle on values."""
+        case = generate_case(FuzzConfig(iterations=1, seed=7), 0)
+        db = case.db_spec.build()
+        query = repro.compile_sql(case.sql, db)
+        oracle = repro.execute(query, db, strategy="nested-iteration")
+        assert MiscountingSpanStrategy().execute(query, db) == oracle
+
+    def test_caught_by_trace_invariants(self):
+        config = FuzzConfig(iterations=100, seed=7)
+        runner = DifferentialRunner(
+            extra_strategies=[MiscountingSpanStrategy()]
+        )
+        report = runner.run(config)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.kind == "trace"
+        assert failure.strategy == "nested-relational[miscounting-span]"
+
+    def test_invisible_without_trace_checking(self):
+        """With check_traces off, the same run is clean — the bug really
+        is invisible to value comparison and Metrics checks alone."""
+        config = FuzzConfig(iterations=25, seed=7)
+        runner = DifferentialRunner(
+            extra_strategies=[MiscountingSpanStrategy()],
+            check_traces=False,
+        )
+        assert runner.run(config).ok
+
+    def test_shrinks_and_freezes_with_traces(self, tmp_path):
+        config = FuzzConfig(iterations=100, seed=7)
+        runner = DifferentialRunner(
+            extra_strategies=[MiscountingSpanStrategy()]
+        )
+        outcome = run_fuzz(config, runner=runner, corpus_dir=str(tmp_path))
+        assert not outcome.ok
+        assert outcome.shrunk_failure is not None
+        assert outcome.shrunk_failure.kind == "trace"
+        # both per-operator traces ride along into the frozen regression
+        assert outcome.shrunk_failure.trace_text
+        assert "oracle 'nested-iteration' trace:" in outcome.shrunk_failure.trace_text
+        with open(outcome.corpus_path) as handle:
+            source = handle.read()
+        assert "Per-operator traces at the minimized case:" in source
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", outcome.corpus_path],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestAttachTraceText:
+    def test_disagreement_gets_both_traces(self):
+        runner, report = _first_injected_failure()
+        failure = runner.attach_trace_text(report.failures[0])
+        assert failure.trace_text
+        assert "oracle 'nested-iteration' trace:" in failure.trace_text
+        assert (
+            "strategy 'nested-relational[mutated-link]' trace:"
+            in failure.trace_text
+        )
+        # rendered without timings: deterministic, no wall-clock noise
+        assert "ms" not in failure.trace_text
+        # describe() carries the traces too (indented under the failure)
+        assert "oracle 'nested-iteration' trace:" in failure.describe()
+
+    def test_compile_error_failures_skipped(self):
+        case = generate_case(FuzzConfig(iterations=1, seed=3), 0)
+        from repro.fuzz import Failure
+
+        failure = Failure(case, "<compile>", "compile-error", "nope")
+        assert DifferentialRunner().attach_trace_text(failure).trace_text is None
 
 
 class TestShrinker:

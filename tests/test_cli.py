@@ -141,6 +141,23 @@ class TestFuzz:
         assert "regression written to" in out
         assert list(tmp_path.glob("test_fuzz_*.py"))
 
+    def test_inject_trace_bug_caught(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "100",
+                "--seed", "7",
+                "--quiet",
+                "--inject-trace-bug",
+                "--corpus-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "miscounting-span" in out
+        assert "trace" in out
+        assert list(tmp_path.glob("test_fuzz_*.py"))
+
     def test_strategy_subset_flag(self, tmp_path, capsys):
         code = main(
             [
@@ -168,3 +185,85 @@ class TestBench:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["bench", "--figure", "fig99", "--sf", "0.001"])
+
+    def test_trace_dir_writes_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.engine.trace import validate_trace_dict
+
+        code = main(
+            ["bench", "--figure", "fig4", "--sf", "0.001",
+             "--trace-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        artifact = tmp_path / "BENCH_fig4.json"
+        assert str(artifact) in out
+        with open(artifact) as handle:
+            payload = json.load(handle)
+        assert payload["figure"] == "fig4"
+        traces = [
+            m["trace"]
+            for exp in payload["experiments"]
+            for point in exp["points"]
+            for m in point["measurements"].values()
+        ]
+        assert traces and all(t is not None for t in traces)
+        for trace in traces:
+            assert validate_trace_dict(trace) == []
+
+
+class TestRunTrace:
+    SQL = (
+        "select o_orderkey from orders where o_totalprice > all "
+        "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+    )
+
+    def test_trace_text(self, capsys):
+        code = main(["run", self.SQL, "--tpch", "0.001", "--trace", "text"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "execute(strategy=" in out
+        assert "rows=" in out
+
+    def test_trace_json_to_file(self, tmp_path, capsys):
+        import json
+
+        from repro.engine.trace import validate_trace_dict
+
+        path = tmp_path / "trace.json"
+        code = main(
+            ["run", self.SQL, "--tpch", "0.001", "--trace", "json",
+             "--trace-out", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(path) in out
+        with open(path) as handle:
+            assert validate_trace_dict(json.load(handle)) == []
+
+
+class TestExplainAnalyze:
+    SQL = (
+        "select o_orderkey from orders where o_totalprice > all "
+        "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+    )
+
+    def test_analyze_annotates_plan(self, capsys):
+        code = main(["explain", self.SQL, "--tpch", "0.001", "--analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN ANALYZE" in out
+        assert "rows=" in out
+        assert "weighted cost" in out
+        assert "ms" in out
+
+    def test_no_timings_is_deterministic(self, capsys):
+        argv = ["explain", self.SQL, "--tpch", "0.001",
+                "--analyze", "--no-timings"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "ms" not in first.split("EXPLAIN ANALYZE")[1]
+        assert first == second
