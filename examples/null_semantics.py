@@ -57,10 +57,11 @@ def main() -> None:
     print("  r2: 2 > ALL {1}           -> TRUE                      -> included")
     print("  r3: 7 > ALL {}            -> TRUE  (vacuous)           -> included")
 
-    oracle = repro.run_sql(SQL, db, strategy="nested-iteration").sorted()
+    query = repro.connect(db).prepare(SQL)
+    oracle = query.execute(strategy="nested-iteration").sorted()
     print(f"\nTuple-iteration oracle:        {oracle.rows}")
 
-    nr = repro.run_sql(SQL, db, strategy="nested-relational").sorted()
+    nr = query.execute(strategy="nested-relational").sorted()
     print(f"Nested relational approach:    {nr.rows}  "
           f"{'(correct)' if nr == oracle else '(WRONG)'}")
 

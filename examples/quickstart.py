@@ -122,7 +122,7 @@ def run_query_q(db: Database) -> None:
         "system-a-native",
         "auto",
     ):
-        result = repro.execute(query, db, strategy=strategy).sorted()
+        result = repro.core.planner.run(query, db, strategy=strategy).sorted()
         marker = ""
         if reference is None:
             reference = result

@@ -110,7 +110,7 @@ def main() -> None:
                 .explain(query, db)
                 .replace("\n", "\n  ")
             )
-        oracle = repro.execute(query, db, strategy="nested-iteration").sorted()
+        oracle = repro.core.planner.run(query, db, strategy="nested-iteration").sorted()
         print(f"{'strategy':40s} {'rows':>5s} {'weighted cost':>14s}")
         for name in ALL_STRATEGIES:
             strategy = make_strategy(name)

@@ -34,10 +34,10 @@ def run(sql: str, db, label: str) -> None:
     print(query.describe())
     print("System A emulation plan:")
     print("  " + SystemAEmulationStrategy().explain(query, db).replace("\n", "\n  "))
-    oracle = repro.execute(query, db, strategy="nested-iteration").sorted()
+    oracle = repro.core.planner.run(query, db, strategy="nested-iteration").sorted()
     for strategy in ("nested-relational-optimized", "system-a-native", "auto"):
         with collect() as metrics:
-            result = repro.execute(query, db, strategy=strategy).sorted()
+            result = repro.core.planner.run(query, db, strategy=strategy).sorted()
         status = "ok" if result == oracle else "*** WRONG ***"
         print(
             f"  {strategy:32s} rows={len(result):4d} {status}  "

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Row vs. vector backend on the paper's Figure 4 workload (CI gate).
+
+Runs Figure 4 (Query 1, one-level ``> ALL``) with the row-engine
+Algorithm 1 and its columnar counterpart on the same database, captures
+per-operator traces, writes a ``BENCH_vector_fig4.json`` artifact, and
+**fails** (exit 1) unless the vectorized backend is at least
+``--min-speedup`` (default 3×) faster in wall time at every series
+point.  Traces embedded in the artifact are validated against
+``schemas/trace.schema.json`` via ``scripts/validate_trace.py``.
+
+Usage::
+
+    REPRO_BENCH_SF=0.02 python scripts/bench_vector.py [--out traces/]
+
+Environment:
+    REPRO_BENCH_SF       TPC-H scale factor (default 0.02)
+    REPRO_BENCH_REPEATS  best-of-N wall times (default 3)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import (  # noqa: E402
+    capturing_traces,
+    default_db,
+    figure4_query1,
+    write_bench_artifact,
+)
+
+STRATEGIES = ("nested-relational", "nested-relational-vectorized")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="traces",
+                        help="directory for the BENCH_*.json artifact")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required row/vector wall-time ratio per point")
+    parser.add_argument("--sf", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SF", "0.02")))
+    parser.add_argument("--repeats", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_REPEATS", "3")))
+    args = parser.parse_args(argv)
+
+    print(f"generating TPC-H sf={args.sf} ...", flush=True)
+    db = default_db(sf=args.sf)
+    with capturing_traces():
+        experiment = figure4_query1(db, strategies=STRATEGIES,
+                                    repeats=args.repeats)
+
+    print(experiment.format_table("seconds"))
+    print()
+    print(experiment.format_table("cost"))
+    print()
+
+    artifact = write_bench_artifact("vector_fig4", [experiment], args.out,
+                                    args.sf)
+    print(f"wrote {artifact}")
+    validator = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "validate_trace.py")
+    subprocess.run([sys.executable, validator, artifact], check=True)
+
+    speedups = experiment.speedup(*STRATEGIES)
+    worst = min(speedups)
+    for point, ratio in zip(experiment.points, speedups):
+        print(f"  {point.label}: vectorized {ratio:.1f}x faster")
+    if worst < args.min_speedup:
+        print(
+            f"FAIL: worst-case speedup {worst:.2f}x is below the required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: vectorized backend >= {args.min_speedup:.1f}x faster "
+          f"at every point (worst {worst:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

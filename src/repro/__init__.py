@@ -19,10 +19,12 @@ Quickstart::
     import repro
 
     db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
-    sql = repro.tpch.query1("1993-01-01", "1994-01-01")
-    result = repro.run_sql(sql, db)                      # auto strategy
-    oracle = repro.run_sql(sql, db, strategy="nested-iteration")
-    assert result == oracle
+    session = repro.connect(db)
+    query = session.prepare(repro.tpch.query1("1993-01-01", "1994-01-01"))
+    result = query.execute()                             # auto strategy
+    fast = query.execute(backend="vector")               # columnar engine
+    oracle = query.execute(strategy="nested-iteration")
+    assert result == oracle == fast
 """
 
 from . import engine
@@ -61,20 +63,31 @@ from .core import (
     pseudo_selection,
     unnest,
 )
+from . import strategies
 from .errors import ReproError
+from .session import PreparedQuery, Session, connect
 from .sql import compile_sql, parse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
-def run_sql(text: str, db: Database, strategy: str = "auto") -> Relation:
-    """Parse, analyze and execute SQL text against *db*.
+def run_sql(
+    text: str, db: Database, strategy: str = "auto", backend=None
+) -> Relation:
+    """Deprecated: use ``repro.connect(db).prepare(text).execute()``.
 
-    *strategy* is a registry name from
-    :func:`repro.core.available_strategies` or ``"auto"``.
+    Kept as a thin shim over the Session API for callers written against
+    the 1.0 surface.
     """
-    query = compile_sql(text, db)
-    return execute(query, db, strategy=strategy)
+    import warnings
+
+    warnings.warn(
+        "repro.run_sql() is deprecated; use "
+        "repro.connect(db).prepare(sql).execute() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return connect(db).prepare(text).execute(strategy=strategy, backend=backend)
 
 
 __all__ = [
@@ -113,6 +126,10 @@ __all__ = [
     "compile_sql",
     "parse",
     "run_sql",
+    "connect",
+    "Session",
+    "PreparedQuery",
+    "strategies",
     "ReproError",
     "__version__",
 ]

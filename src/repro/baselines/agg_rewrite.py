@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..strategies import register
 from ..errors import PlanError, UnsoundRewriteError
 from ..engine.catalog import Database
 from ..engine.metrics import current_metrics
@@ -54,6 +55,10 @@ _AGG_FOR = {
 }
 
 
+@register(
+    "aggregate-rewrite",
+    description="aggregate-based (min/max/count) rewrite baseline",
+)
 class AggregateRewriteStrategy:
     """Kim's MAX/MIN rewrite, with NULL-soundness guards."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..strategies import register
 from ..errors import PlanError
 from ..engine.catalog import Database
 from ..engine.expressions import (
@@ -48,6 +49,10 @@ from ..core.blocks import NestedQuery, QueryBlock
 from ..core.reduce import reduce_all
 
 
+@register(
+    "boolean-aggregate",
+    description="boolean-aggregate (mark join) rewrite baseline",
+)
 class BooleanAggregateStrategy:
     """Linking predicates as Boolean aggregates over marked tuples."""
 

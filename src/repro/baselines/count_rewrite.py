@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..strategies import register
 from ..errors import PlanError
 from ..engine.catalog import Database
 from ..engine.expressions import EvalContext, conjoin
@@ -41,6 +42,10 @@ from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
 from ..core.reduce import ReducedBlock, reduce_all
 
 
+@register(
+    "count-rewrite",
+    description="Kim-style COUNT-bug-aware rewrite baseline",
+)
 class CountRewriteStrategy:
     """NULL-correct count-based unnesting for linear queries."""
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..strategies import register
 from ..errors import PlanError
 from ..engine.catalog import Database, Table
 from ..engine.expressions import (
@@ -75,6 +76,10 @@ class ChildPlan:
     reason: str
 
 
+@register(
+    "system-a-native",
+    description="System A emulation: per-tuple index probes (paper §5)",
+)
 class SystemAEmulationStrategy:
     """Plan chooser + executor mimicking the paper's System A."""
 

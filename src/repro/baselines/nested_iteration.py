@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..strategies import register
 from ..engine.catalog import Database
 from ..engine.expressions import EvalContext
 from ..engine.metrics import current_metrics
@@ -29,6 +30,10 @@ from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
 from ..core.reduce import ReducedBlock, reduce_all
 
 
+@register(
+    "nested-iteration",
+    description="tuple-at-a-time nested iteration (the differential oracle)",
+)
 class NestedIterationStrategy:
     """Direct tuple-iteration evaluation of a nested query."""
 

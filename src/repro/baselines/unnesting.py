@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..strategies import register
 from ..errors import PlanError, UnsoundRewriteError
 from ..engine.catalog import Database
 from ..engine.expressions import Col, Comparison, conjoin
@@ -38,6 +39,10 @@ from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
 from ..core.reduce import ReducedBlock, reduce_all
 
 
+@register(
+    "classical-unnesting",
+    description="classical semi/antijoin unnesting (unsound cases rejected)",
+)
 class ClassicalUnnestingStrategy:
     """Semijoin/antijoin unnesting with soundness guards."""
 

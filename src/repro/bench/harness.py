@@ -28,6 +28,7 @@ from ..engine.trace import tracing
 from ..core.blocks import NestedQuery
 from ..core.planner import make_strategy
 from ..core.reduce import reduce_all
+from ..errors import InvalidArgumentError
 
 
 @dataclass
@@ -228,10 +229,10 @@ def measure_strategy(
     assert best is not None
     trace_dict: Optional[Dict] = None
     if _capture_traces:
-        from ..core.planner import execute
+        from ..core.planner import run
 
         with tracing() as trace:
-            execute(query, db, strategy=strategy_name)
+            run(query, db, strategy=strategy_name)
         trace_dict = trace.to_dict()
     return StrategyMeasurement(
         strategy=strategy_name,
@@ -333,7 +334,7 @@ def processing_profile(
 
     query = repro.compile_sql(sql, db)
     if not query.is_linear:
-        raise ValueError("processing_profile requires a linear query")
+        raise InvalidArgumentError("processing_profile requires a linear query")
     chain = list(query.root.walk())
     reduced = reduce_all(query, db)
     joined = OptimizedNestedRelationalStrategy()._join_chain(chain, reduced)

@@ -5,10 +5,16 @@ Subcommands::
     python -m repro generate --sf 0.005 --out data/        # TPC-H -> CSV
     python -m repro run "select ..." --data data/          # execute SQL
     python -m repro run --file q.sql --tpch 0.002 --strategy auto
+    python -m repro run "select ..." --tpch 0.002 --backend vector
+    python -m repro run --list-strategies                  # registry listing
     python -m repro explain "select ..." --tpch 0.002 --strategy system-a-native
     python -m repro bench --figure fig4 --sf 0.005         # one paper figure
     python -m repro fuzz --iterations 500 --seed 42        # differential fuzz
     python -m repro strategies                             # list strategies
+
+All execution goes through the Session API (:func:`repro.connect` /
+:meth:`~repro.session.Session.prepare`); library errors surface as one
+``error: ...`` line on stderr with a nonzero exit code.
 
 Databases come either from a CSV directory written by ``generate`` /
 :func:`repro.engine.storage.save_database` (``--data``) or from an
@@ -18,17 +24,16 @@ in-memory TPC-H instance generated on the fly (``--tpch <sf>``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 import repro
-from .core.explain import explain as explain_plan
-from .core.explain import explain_analyze
-from .core.planner import available_strategies
 from .engine.catalog import Database
 from .engine.metrics import collect
 from .engine.storage import load_database, save_database
+from .errors import ReproError
 
 
 def _load_db(args: argparse.Namespace) -> Database:
@@ -71,19 +76,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from .engine.trace import render_trace, tracing
+    from .engine.trace import render_trace
 
-    db = _load_db(args)
-    sql = _read_sql(args)
-    query = repro.compile_sql(sql, db)
+    if args.list_strategies:
+        print(repro.strategies.describe())
+        return 0
+    session = repro.connect(_load_db(args))
+    prepared = session.prepare(_read_sql(args))
     trace = None
     with collect() as metrics:
         start = time.perf_counter()
         if args.trace:
-            with tracing() as trace:
-                result = repro.execute(query, db, strategy=args.strategy)
+            result, trace = prepared.trace(
+                strategy=args.strategy, backend=args.backend
+            )
         else:
-            result = repro.execute(query, db, strategy=args.strategy)
+            result = prepared.execute(
+                strategy=args.strategy, backend=args.backend
+            )
         elapsed = time.perf_counter() - start
     if trace is not None:
         rendered = (
@@ -98,12 +108,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(rendered)
             print()
     print(result.to_table(max_rows=args.limit))
+    backend_note = f", backend={args.backend}" if args.backend else ""
     print(
         f"\n{len(result)} row(s) in {elapsed:.4f}s "
-        f"[strategy={args.strategy}, weighted-cost={metrics.weighted_cost()}]"
+        f"[strategy={args.strategy}{backend_note}, "
+        f"weighted-cost={metrics.weighted_cost()}]"
     )
     if args.check:
-        oracle = repro.execute(query, db, strategy="nested-iteration")
+        oracle = prepared.execute(strategy="nested-iteration")
         status = "agrees" if result == oracle else "DISAGREES"
         print(f"oracle check: {status} with nested-iteration")
         if result != oracle:
@@ -112,20 +124,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    db = _load_db(args)
-    query = repro.compile_sql(_read_sql(args), db)
-    print(query.describe())
+    session = repro.connect(_load_db(args))
+    prepared = session.prepare(_read_sql(args))
+    print(prepared.describe())
     print()
-    print(repro.TreeExpression(query).render())
+    print(repro.TreeExpression(prepared.query).render())
     print()
-    print(explain_plan(query, db, strategy=args.strategy))
-    if args.analyze:
-        print()
-        print(
-            explain_analyze(
-                query, db, strategy=args.strategy, timings=not args.no_timings
-            )
+    print(
+        prepared.explain(
+            strategy=args.strategy,
+            analyze=args.analyze,
+            timings=not args.no_timings,
         )
+    )
     return 0
 
 
@@ -183,8 +194,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_strategies(_args: argparse.Namespace) -> int:
-    for name in available_strategies():
-        print(name)
+    print(repro.strategies.describe())
     return 0
 
 
@@ -197,8 +207,6 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         run_fuzz,
     )
 
-    from .core.planner import available_strategies
-
     strategies = None
     if args.strategies:
         strategies = tuple(
@@ -206,7 +214,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         )
         # "auto" is a planner policy, not an executable strategy: fuzzing
         # it would just re-test whichever strategy it delegates to.
-        known = set(available_strategies()) - {"auto"}
+        known = set(repro.strategies.names())
         unknown = [name for name in strategies if name not in known]
         if unknown:
             print(
@@ -292,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--not-null", action="store_true", dest="not_null")
         p.add_argument("--strategy", default="auto")
         if name == "run":
+            p.add_argument("--backend", choices=("row", "vector"),
+                           help="execution substrate: tuple-at-a-time "
+                                "iterators or columnar batches "
+                                "(default: the strategy's own)")
+            p.add_argument("--list-strategies", action="store_true",
+                           dest="list_strategies",
+                           help="list registered strategies and exit")
             p.add_argument("--limit", type=int, default=20,
                            help="max rows to print")
             p.add_argument("--check", action="store_true",
@@ -361,7 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # every library error surfaces as one clean line, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-print
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -1,0 +1,180 @@
+"""Execution backends for the nested relational strategies.
+
+Algorithm 1 (:mod:`repro.core.compute`) is written against a small
+*operator factory* protocol instead of concrete physical operators, so
+the same driver runs on two substrates:
+
+* :class:`RowBackend` — the tuple-at-a-time iterator engine
+  (:mod:`repro.engine.operators`), the library's original path;
+* :class:`repro.engine.vector.backend.VectorBackend` — the columnar
+  batch engine, where every method works on
+  :class:`~repro.engine.vector.batch.Batch` objects.
+
+A backend supplies:
+
+``reduce_all(query, db)``
+    step one of Algorithm 1 — each block reduced to T_i (with its
+    synthetic rid column) in the backend's native representation.
+``names(rel)``
+    the qualified column names of an intermediate result.
+``left_outer_join`` / ``outer_cross_join``
+    the way-down joins.
+``nest_link``
+    the way-up pair: ``nest`` by the path attributes followed by a
+    strict linking selection or a NULL-padding pseudo-selection.
+``uncorrelated_link``
+    the virtual-Cartesian-product shortcut — the subquery result is
+    shared by every outer tuple.
+``finalize(rel, select_refs, distinct)``
+    project to the SELECT list and return a plain
+    :class:`~repro.engine.relation.Relation`.
+
+The driver never inspects rows or columns itself, so semantics are fixed
+by the shared plan and the backends can only differ in physical layout
+and cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..engine.catalog import Database
+from ..engine.metrics import current_metrics
+from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
+from ..engine.relation import Relation
+from ..engine.trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
+from ..engine.types import NULL
+from .blocks import LinkSpec, NestedQuery
+from .linking import SetPredicate
+from .nest import nest, nest_sorted
+from .reduce import reduce_all
+from .selection import linking_selection, pseudo_selection
+
+
+class RowBackend:
+    """Tuple-at-a-time operator factory (the original iterator engine)."""
+
+    kind = "row"
+
+    # -- step one ------------------------------------------------------- #
+
+    def reduce_all(self, query: NestedQuery, db: Database):
+        return reduce_all(query, db)
+
+    # -- introspection -------------------------------------------------- #
+
+    def names(self, rel: Relation) -> Sequence[str]:
+        return rel.schema.names
+
+    # -- way down ------------------------------------------------------- #
+
+    def left_outer_join(
+        self,
+        rel: Relation,
+        child: Relation,
+        outer_keys: Sequence[str],
+        inner_keys: Sequence[str],
+        residual,
+    ) -> Relation:
+        return as_relation(
+            LeftOuterHashJoin(
+                rel, child, list(outer_keys), list(inner_keys), residual=residual
+            )
+        )
+
+    def outer_cross_join(self, rel: Relation, child: Relation) -> Relation:
+        return as_relation(OuterCrossJoin(rel, child))
+
+    # -- way up --------------------------------------------------------- #
+
+    def nest_link(
+        self,
+        rel: Relation,
+        by: Sequence[str],
+        keep: Sequence[str],
+        predicate: SetPredicate,
+        link: LinkSpec,
+        rid_ref: str,
+        strict: bool,
+        pad_refs: Sequence[str],
+        nest_impl: str,
+    ) -> Relation:
+        nested = (
+            nest_sorted(rel, by, keep)
+            if nest_impl == "sorted"
+            else nest(rel, by, keep)
+        )
+        if strict:
+            return linking_selection(
+                nested,
+                predicate,
+                link.outer_ref,
+                link.inner_ref,
+                pk_ref=rid_ref,
+            )
+        return pseudo_selection(
+            nested,
+            predicate,
+            link.outer_ref,
+            link.inner_ref,
+            pk_ref=rid_ref,
+            pad_refs=list(pad_refs),
+        )
+
+    # -- virtual Cartesian product -------------------------------------- #
+
+    def uncorrelated_link(
+        self,
+        rel: Relation,
+        sub: Relation,
+        predicate: SetPredicate,
+        link: LinkSpec,
+        rid_ref: str,
+        strict: bool,
+        pad_refs: Sequence[str],
+    ) -> Relation:
+        rid_pos = sub.schema.index_of(rid_ref)
+        if link.inner_ref is not None:
+            val_pos = sub.schema.index_of(link.inner_ref)
+            members = [(row[val_pos], row[rid_pos]) for row in sub.rows]
+        else:
+            members = [(NULL, row[rid_pos]) for row in sub.rows]
+        metrics = current_metrics()
+
+        lhs_pos = (
+            rel.schema.index_of(link.outer_ref)
+            if link.outer_ref is not None
+            else None
+        )
+        pad_positions = [rel.schema.index_of(r) for r in pad_refs]
+        out_rows = []
+        with op_span(
+            "uncorrelated-link",
+            contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+            pred=predicate.describe(),
+        ) as span:
+            for row in rel.rows:
+                metrics.add("linking_evals")
+                lhs = row[lhs_pos] if lhs_pos is not None else NULL
+                if predicate.evaluate(lhs, members).is_true():
+                    out_rows.append(row)
+                elif not strict:
+                    metrics.add("null_padded_rows")
+                    padded = list(row)
+                    for i in pad_positions:
+                        padded[i] = NULL
+                    out_rows.append(tuple(padded))
+            if span is not None:
+                span.add("rows_in", len(rel.rows))
+                span.add("rows_out", len(out_rows))
+        return Relation(rel.schema, out_rows)
+
+    # -- output --------------------------------------------------------- #
+
+    def finalize(
+        self, rel: Relation, select_refs: Sequence[str], distinct: bool
+    ) -> Relation:
+        out = rel.project(list(select_refs))
+        if distinct:
+            out = out.distinct()
+        return out

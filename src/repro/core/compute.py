@@ -35,18 +35,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PlanError
+from ..strategies import register
 from ..engine.catalog import Database
 from ..engine.expressions import conjoin
-from ..engine.metrics import current_metrics
-from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
-from ..engine.trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
 from ..engine.relation import Relation
-from ..engine.types import NULL, is_null
+from .backend import RowBackend
 from .blocks import LinkSpec, NestedQuery, QueryBlock
 from .linking import SetPredicate
-from .nest import nest, nest_sorted
-from .reduce import ReducedBlock, reduce_all
-from .selection import linking_selection, pseudo_selection
+from .reduce import ReducedBlock
 
 
 def set_predicate_for(link: LinkSpec) -> SetPredicate:
@@ -60,6 +56,10 @@ def set_predicate_for(link: LinkSpec) -> SetPredicate:
     return SetPredicate(link.quantifier, link.effective_theta)
 
 
+@register(
+    "nested-relational",
+    description="Algorithm 1: reduce, outer-join down, nest + link up (§4.1)",
+)
 class NestedRelationalStrategy:
     """The original nested relational approach (Algorithm 1).
 
@@ -76,6 +76,11 @@ class NestedRelationalStrategy:
     strict_when_positive:
         apply the paper's refinement that strict σ may replace pseudo σ*
         when every unfinished linking predicate above is positive.
+    backend:
+        the operator factory executing the plan — defaults to the
+        row-iterator engine (:class:`repro.core.backend.RowBackend`);
+        the columnar engine plugs in here
+        (:class:`repro.engine.vector.backend.VectorBackend`).
     """
 
     name = "nested-relational"
@@ -85,43 +90,44 @@ class NestedRelationalStrategy:
         virtual_cartesian: bool = True,
         nest_impl: str = "hash",
         strict_when_positive: bool = True,
+        backend=None,
     ):
         if nest_impl not in ("hash", "sorted"):
             raise PlanError(f"unknown nest implementation {nest_impl!r}")
         self.virtual_cartesian = virtual_cartesian
         self.nest_impl = nest_impl
         self.strict_when_positive = strict_when_positive
+        self.backend = backend if backend is not None else RowBackend()
 
     # ------------------------------------------------------------------ #
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
         """Evaluate *query* against *db*, returning the result relation."""
-        reduced = reduce_all(query, db)
+        backend = self.backend
+        reduced = backend.reduce_all(query, db)
         owner = _attr_owner_map(reduced)
         root = query.root
         rel = reduced[root.index].relation
         rel = self._compute(root, rel, [root], reduced, owner)
-        out = rel.project(root.select_refs)
-        if root.distinct:
-            out = out.distinct()
-        return out
+        return backend.finalize(rel, root.select_refs, root.distinct)
 
     # ------------------------------------------------------------------ #
-
-    def _nest(self, rel: Relation, by: Sequence[str], keep: Sequence[str]):
-        if self.nest_impl == "sorted":
-            return nest_sorted(rel, by, keep)
-        return nest(rel, by, keep)
 
     def _compute(
         self,
         node: QueryBlock,
-        rel: Relation,
+        rel,
         path: List[QueryBlock],
         reduced: Dict[int, ReducedBlock],
         owner: Dict[str, int],
-    ) -> Relation:
-        """The recursive body of Algorithm 1 (compute(node, rel))."""
+    ):
+        """The recursive body of Algorithm 1 (compute(node, rel)).
+
+        *rel* is whatever the backend's native intermediate is (a
+        :class:`Relation` for rows, a Batch for the vector engine); the
+        driver only ever hands it back to the backend.
+        """
+        backend = self.backend
         for child in node.children:
             link = child.link
             assert link is not None
@@ -137,17 +143,15 @@ class NestedRelationalStrategy:
                 equi = [c for c in child.correlations if c.is_equality]
                 other = [c for c in child.correlations if not c.is_equality]
                 residual = conjoin([c.as_expr() for c in other]) if other else None
-                rel = as_relation(
-                    LeftOuterHashJoin(
-                        rel,
-                        crel.relation,
-                        [c.outer_ref for c in equi],
-                        [c.inner_ref for c in equi],
-                        residual=residual,
-                    )
+                rel = backend.left_outer_join(
+                    rel,
+                    crel.relation,
+                    [c.outer_ref for c in equi],
+                    [c.inner_ref for c in equi],
+                    residual,
                 )
             else:
-                rel = as_relation(OuterCrossJoin(rel, crel.relation))
+                rel = backend.outer_cross_join(rel, crel.relation)
 
             # -- recurse into the child's own subqueries ---------------- #
             rel = self._compute(child, rel, path + [child], reduced, owner)
@@ -156,33 +160,30 @@ class NestedRelationalStrategy:
             path_indices = {b.index for b in path}
             by = [
                 ref
-                for ref in rel.schema.names
+                for ref in backend.names(rel)
                 if owner.get(ref) in path_indices
             ]
             keep = _dedupe(
                 ([link.inner_ref] if link.inner_ref is not None else [])
                 + [crel.rid_ref]
             )
-            nested = self._nest(rel, by, keep)
-            predicate = set_predicate_for(link)
-            if self._use_strict(path):
-                rel = linking_selection(
-                    nested,
-                    predicate,
-                    link.outer_ref,
-                    link.inner_ref,
-                    pk_ref=crel.rid_ref,
-                )
-            else:
-                pad = [r for r in by if owner.get(r) == node.index]
-                rel = pseudo_selection(
-                    nested,
-                    predicate,
-                    link.outer_ref,
-                    link.inner_ref,
-                    pk_ref=crel.rid_ref,
-                    pad_refs=pad,
-                )
+            strict = self._use_strict(path)
+            pad = (
+                []
+                if strict
+                else [r for r in by if owner.get(r) == node.index]
+            )
+            rel = backend.nest_link(
+                rel,
+                by,
+                keep,
+                set_predicate_for(link),
+                link,
+                crel.rid_ref,
+                strict,
+                pad,
+                self.nest_impl,
+            )
         return rel
 
     def _use_strict(self, path: List[QueryBlock]) -> bool:
@@ -203,58 +204,39 @@ class NestedRelationalStrategy:
         self,
         node: QueryBlock,
         child: QueryBlock,
-        rel: Relation,
+        rel,
         path: List[QueryBlock],
         reduced: Dict[int, ReducedBlock],
         owner: Dict[str, int],
-    ) -> Relation:
+    ):
+        backend = self.backend
         link = child.link
         assert link is not None
         crel = reduced[child.index]
         sub = self._compute(
             child, crel.relation, path + [child], reduced, owner
         )
-        rid_pos = sub.schema.index_of(crel.rid_ref)
-        if link.inner_ref is not None:
-            val_pos = sub.schema.index_of(link.inner_ref)
-            members = [(row[val_pos], row[rid_pos]) for row in sub.rows]
-        else:
-            members = [(NULL, row[rid_pos]) for row in sub.rows]
-        predicate = set_predicate_for(link)
-        metrics = current_metrics()
-
-        lhs_pos = (
-            rel.schema.index_of(link.outer_ref)
-            if link.outer_ref is not None
-            else None
-        )
         strict = self._use_strict(path)
-        node_attr_positions = [
-            i
-            for i, ref in enumerate(rel.schema.names)
+        pad = [
+            ref
+            for ref in backend.names(rel)
             if owner.get(ref) == node.index
         ]
-        out_rows = []
-        with op_span(
-            "uncorrelated-link",
-            contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
-            pred=predicate.describe(),
-        ) as span:
-            for row in rel.rows:
-                metrics.add("linking_evals")
-                lhs = row[lhs_pos] if lhs_pos is not None else NULL
-                if predicate.evaluate(lhs, members).is_true():
-                    out_rows.append(row)
-                elif not strict:
-                    metrics.add("null_padded_rows")
-                    padded = list(row)
-                    for i in node_attr_positions:
-                        padded[i] = NULL
-                    out_rows.append(tuple(padded))
-            if span is not None:
-                span.add("rows_in", len(rel.rows))
-                span.add("rows_out", len(out_rows))
-        return Relation(rel.schema, out_rows)
+        return backend.uncorrelated_link(
+            rel,
+            sub,
+            set_predicate_for(link),
+            link,
+            crel.rid_ref,
+            strict,
+            pad,
+        )
+
+
+register(
+    "nested-relational-sorted",
+    description="Algorithm 1 with the sort-based physical nest (§5.1)",
+)(lambda: NestedRelationalStrategy(nest_impl="sorted"))
 
 
 def _subtree_uncorrelated(block: QueryBlock) -> bool:

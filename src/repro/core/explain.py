@@ -120,12 +120,18 @@ def explain(
         "nested-relational",
         "nested-relational-sorted",
         "nested-relational-optimized",
+        "nested-relational-vectorized",
     ):
         header = ""
         if strategy.endswith("optimized"):
             header = (
                 "single-pass pipeline: all nests fused into one sort by the "
                 "rid chain; linking selections evaluated in one scan\n"
+            )
+        elif strategy.endswith("vectorized"):
+            header = (
+                "columnar batch engine: same Algorithm 1 tree, executed "
+                "with vectorized kernels over column arrays + NULL bitmaps\n"
             )
         return header + explain_nested_relational(query)
     if strategy == "nested-relational-bottomup":
@@ -177,10 +183,10 @@ def explain_analyze(
     """
     from ..engine.metrics import collect
     from ..engine.trace import render_trace
-    from .planner import execute_traced
+    from .planner import run_traced
 
     with collect() as metrics:
-        result, trace = execute_traced(query, db, strategy=strategy)
+        result, trace = run_traced(query, db, strategy=strategy)
     lines = [f"EXPLAIN ANALYZE (strategy={strategy})"]
     lines.append(render_trace(trace, timings=timings))
     lines.append(

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PlanError
+from ..strategies import register
 from ..engine.catalog import Database
 from ..engine.expressions import conjoin
 from ..engine.metrics import current_metrics
@@ -58,6 +59,10 @@ from .reduce import ReducedBlock, reduce_all
 from .selection import linking_selection, pseudo_selection
 
 
+@register(
+    "nested-relational-optimized",
+    description="single-pass pipelined nest + linking selections (§4.2.1-2)",
+)
 class OptimizedNestedRelationalStrategy:
     """Single-pass pipelined evaluation for *linear* nested queries.
 
@@ -224,6 +229,10 @@ def _single_pass_scan(
     return out
 
 
+@register(
+    "nested-relational-bottomup",
+    description="bottom-up evaluation with nest push-down (§4.2.3-4)",
+)
 class BottomUpLinearStrategy:
     """Bottom-up evaluation for linearly correlated queries (§4.2.3).
 
@@ -446,6 +455,10 @@ def _pushdown_probe(
     return out_rows
 
 
+@register(
+    "nested-relational-positive-rewrite",
+    description="all-positive queries collapsed into semijoin chains (§4.2.5)",
+)
 class PositiveRewriteStrategy:
     """Rewrite all-positive queries into (semi)join chains (§4.2.5).
 

@@ -1,8 +1,8 @@
-"""Strategy registry and automatic strategy selection.
+"""Strategy resolution and automatic strategy selection.
 
-``execute(query, db, strategy="auto")`` is the library's front door: it
-routes a :class:`~repro.core.blocks.NestedQuery` to one of the registered
-evaluation strategies.  ``"auto"`` applies the paper's guidance:
+Strategy names live in the :mod:`repro.strategies` registry; this module
+resolves them (honouring an execution-backend request) and applies the
+paper's ``"auto"`` policy:
 
 * all-positive linking operators → the algebraic positive rewrite
   (Section 4.2.5: the nested relational expression simplifies to plain
@@ -13,11 +13,20 @@ evaluation strategies.  ``"auto"`` applies the paper's guidance:
   (Sections 4.2.1/4.2.2);
 * anything else → the original Algorithm 1, which handles any query
   shape uniformly.
+
+On the ``"vector"`` backend ``"auto"`` resolves to the columnar
+Algorithm 1 (``nested-relational-vectorized``) directly — the batch
+engine implements the uniform algorithm, not the per-shape refinements.
+
+:func:`run` / :func:`run_traced` are the internal execution entry points
+used by :class:`repro.session.Session`; the historical module-level
+:func:`execute` / :func:`execute_traced` remain as deprecated shims.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+import warnings
+from typing import Optional, Union
 
 from ..errors import PlanError
 from ..engine.catalog import Database
@@ -33,44 +42,18 @@ from .optimized import (
 )
 
 
-def _strategies() -> Dict[str, Callable[[], object]]:
-    from ..baselines.nested_iteration import NestedIterationStrategy
-    from ..baselines.unnesting import ClassicalUnnestingStrategy
-    from ..baselines.native import SystemAEmulationStrategy
-    from ..baselines.count_rewrite import CountRewriteStrategy
-    from ..baselines.boolean_aggregate import BooleanAggregateStrategy
-    from ..baselines.agg_rewrite import AggregateRewriteStrategy
-
-    return {
-        "count-rewrite": CountRewriteStrategy,
-        "boolean-aggregate": BooleanAggregateStrategy,
-        "aggregate-rewrite": AggregateRewriteStrategy,
-        "nested-relational": NestedRelationalStrategy,
-        "nested-relational-sorted": lambda: NestedRelationalStrategy(
-            nest_impl="sorted"
-        ),
-        "nested-relational-optimized": OptimizedNestedRelationalStrategy,
-        "nested-relational-bottomup": BottomUpLinearStrategy,
-        "nested-relational-positive-rewrite": PositiveRewriteStrategy,
-        "nested-iteration": NestedIterationStrategy,
-        "classical-unnesting": ClassicalUnnestingStrategy,
-        "system-a-native": SystemAEmulationStrategy,
-    }
-
-
 def available_strategies() -> list:
-    """Names accepted by :func:`execute`'s *strategy* argument."""
-    return sorted(_strategies()) + ["auto"]
+    """Names accepted by the *strategy* argument of the execution APIs."""
+    from .. import strategies as registry
+
+    return registry.names() + [registry.AUTO]
 
 
 def make_strategy(name: str):
     """Instantiate a strategy by registry name."""
-    registry = _strategies()
-    if name not in registry:
-        raise PlanError(
-            f"unknown strategy {name!r}; available: {available_strategies()}"
-        )
-    return registry[name]()
+    from .. import strategies as registry
+
+    return registry.make(name)
 
 
 def choose_strategy(query: NestedQuery):
@@ -88,20 +71,46 @@ def choose_strategy(query: NestedQuery):
     return NestedRelationalStrategy()
 
 
-def execute(
+def resolve_strategy(
+    strategy: Union[str, object],
+    query: NestedQuery,
+    backend: Optional[str] = None,
+):
+    """Turn a (strategy, backend) request into an executable instance.
+
+    *strategy* may be a registry name, ``"auto"``, or an object with an
+    ``execute(query, db)`` method (in which case *backend* must be left
+    unset: an instance already fixes its own substrate).
+    """
+    from .. import strategies as registry
+
+    if not isinstance(strategy, str):
+        if backend is not None:
+            raise PlanError(
+                "backend cannot be overridden for a strategy instance; "
+                "pass a registry name instead"
+            )
+        return strategy
+    if strategy == registry.AUTO and backend in (None, registry.ROW_BACKEND):
+        return choose_strategy(query)
+    return registry.resolve(strategy, backend)
+
+
+def run(
     query: NestedQuery,
     db: Database,
     strategy: Union[str, object] = "auto",
+    backend: Optional[str] = None,
 ) -> Relation:
-    """Evaluate *query* against *db* with the given strategy.
+    """Evaluate *query* against *db* (internal, non-deprecated entry).
 
-    *strategy* may be a registry name, ``"auto"``, or any object with an
-    ``execute(query, db)`` method.
+    This is the single execution path behind
+    :meth:`repro.session.PreparedQuery.execute`; it resolves the
+    strategy, runs it (under the root trace span when tracing is
+    active), applies root-level ORDER BY/LIMIT and charges the
+    ``rows_produced`` metric.
     """
-    if isinstance(strategy, str):
-        impl = choose_strategy(query) if strategy == "auto" else make_strategy(strategy)
-    else:
-        impl = strategy
+    impl = resolve_strategy(strategy, query, backend)
     tracer = current_tracer()
     if tracer is None:
         result = _finalize(impl.execute(query, db), query)
@@ -115,21 +124,59 @@ def execute(
     return result
 
 
+def run_traced(
+    query: NestedQuery,
+    db: Database,
+    strategy: Union[str, object] = "auto",
+    backend: Optional[str] = None,
+):
+    """Like :func:`run`, under a fresh tracing scope; returns
+    ``(result, trace)``."""
+    from ..engine.trace import tracing
+
+    with tracing() as trace:
+        result = run(query, db, strategy=strategy, backend=backend)
+    return result, trace
+
+
+# --------------------------------------------------------------------- #
+# Deprecated module-level entry points (kept as thin shims).
+# --------------------------------------------------------------------- #
+
+_EXECUTE_DEPRECATION = (
+    "repro.core.planner.{name}() is deprecated; use "
+    "repro.connect(db).prepare(sql).{method}() instead"
+)
+
+
+def execute(
+    query: NestedQuery,
+    db: Database,
+    strategy: Union[str, object] = "auto",
+    backend: Optional[str] = None,
+) -> Relation:
+    """Deprecated: use ``repro.connect(db).prepare(sql).execute()``."""
+    warnings.warn(
+        _EXECUTE_DEPRECATION.format(name="execute", method="execute"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(query, db, strategy=strategy, backend=backend)
+
+
 def execute_traced(
     query: NestedQuery,
     db: Database,
     strategy: Union[str, object] = "auto",
+    backend: Optional[str] = None,
 ):
-    """Like :func:`execute`, but also return the execution trace.
-
-    Runs under a fresh :func:`~repro.engine.trace.tracing` scope and
-    returns ``(result, trace)``.
-    """
-    from ..engine.trace import tracing
-
-    with tracing() as trace:
-        result = execute(query, db, strategy=strategy)
-    return result, trace
+    """Deprecated: use ``repro.connect(db).prepare(sql).trace()``."""
+    warnings.warn(
+        _EXECUTE_DEPRECATION.format(name="execute_traced", method="trace"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_traced(query, db, strategy=strategy, backend=backend)
 
 
 def _finalize(result: Relation, query: NestedQuery) -> Relation:

@@ -84,8 +84,48 @@ def reduce_all(query: NestedQuery, db: Database) -> Dict[int, ReducedBlock]:
     return {b.index: reduce_block(b, db) for b in query.root.walk()}
 
 
-def _join_block_tables(block: QueryBlock, db: Database) -> Relation:
-    """Join the block's FROM tables applying the local predicate Δ_i.
+@dataclass(frozen=True)
+class JoinStep:
+    """One step of a block's join plan: bring *alias* into the result.
+
+    ``left_keys``/``right_keys`` are the hash-join equality keys (empty
+    means no connecting equality was found: cross/nested-loop join);
+    ``residual`` is the conjunction of predicates that become fully
+    resolvable with this step, applied on the join output.
+    """
+
+    alias: str
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    residual: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class BlockJoinPlan:
+    """The purely syntactic plan for T_i = σ_Δi(R_i).
+
+    Both execution backends (row iterators and columnar batches) execute
+    this same plan, so predicate placement and join order — and therefore
+    semantics — cannot drift between them.
+    """
+
+    #: scan order (the block's FROM order); ``aliases[0]`` seeds the join
+    aliases: Tuple[str, ...]
+    #: alias -> base table name
+    table_names: Tuple[Tuple[str, str], ...]
+    #: alias -> pushed-down single-table predicate (or None)
+    scan_filters: Tuple[Tuple[str, Optional[Expr]], ...]
+    #: greedy equality-first join order over ``aliases[1:]``
+    steps: Tuple[JoinStep, ...]
+    #: predicates never fully resolvable until the end (safety net)
+    final_residual: Optional[Expr]
+
+    def scan_filter(self, alias: str) -> Optional[Expr]:
+        return dict(self.scan_filters)[alias]
+
+
+def plan_block_join(block: QueryBlock) -> BlockJoinPlan:
+    """Plan the joins for the local predicate Δ_i of *block*.
 
     Single-table conjuncts are pushed below the joins; equality conjuncts
     across two tables become hash-join keys; everything else is applied
@@ -123,22 +163,10 @@ def _join_block_tables(block: QueryBlock, db: Database) -> Relation:
         else:
             multi.append(conj)
 
-    # Scan + filter each table under its alias.
-    parts: Dict[str, Relation] = {}
-    for alias in aliases:
-        table_name = block.tables[alias]
-        rel = db.relation(table_name)
-        if alias != table_name:
-            rel = rel.rename_table(alias)
-        preds = per_table[alias]
-        if preds:
-            rel = as_relation(Filter(rel, conjoin(preds)))
-        parts[alias] = rel
-
-    current = parts[aliases[0]]
     joined_aliases = {aliases[0]}
     remaining = list(aliases[1:])
     pending = list(multi)
+    steps: List[JoinStep] = []
     while remaining:
         # Prefer a table connected to the current result by an equality.
         pick: Optional[str] = None
@@ -156,21 +184,62 @@ def _join_block_tables(block: QueryBlock, db: Database) -> Relation:
             if owner_tables(p) <= (joined_aliases | {pick})
             and p not in [e[2] for e in equi]
         ]
-        left_keys = [e[0] for e in equi]
-        right_keys = [e[1] for e in equi]
         residual = conjoin(newly_resolvable) if newly_resolvable else None
-        if equi:
+        steps.append(
+            JoinStep(
+                alias=pick,
+                left_keys=tuple(e[0] for e in equi),
+                right_keys=tuple(e[1] for e in equi),
+                residual=residual,
+            )
+        )
+        joined_aliases.add(pick)
+        pending = [p for p in pending if p not in newly_resolvable and p not in [e[2] for e in equi]]
+    return BlockJoinPlan(
+        aliases=tuple(aliases),
+        table_names=tuple((a, block.tables[a]) for a in aliases),
+        scan_filters=tuple(
+            (a, conjoin(per_table[a]) if per_table[a] else None)
+            for a in aliases
+        ),
+        steps=tuple(steps),
+        final_residual=conjoin(pending) if pending else None,
+    )
+
+
+def _join_block_tables(block: QueryBlock, db: Database) -> Relation:
+    """Execute :func:`plan_block_join` with the row-iterator operators."""
+    plan = plan_block_join(block)
+
+    # Scan + filter each table under its alias.
+    parts: Dict[str, Relation] = {}
+    for alias, table_name in plan.table_names:
+        rel = db.relation(table_name)
+        if alias != table_name:
+            rel = rel.rename_table(alias)
+        pred = plan.scan_filter(alias)
+        if pred is not None:
+            rel = as_relation(Filter(rel, pred))
+        parts[alias] = rel
+
+    current = parts[plan.aliases[0]]
+    for step in plan.steps:
+        if step.left_keys:
             current = as_relation(
-                HashJoin(current, parts[pick], left_keys, right_keys, residual)
+                HashJoin(
+                    current,
+                    parts[step.alias],
+                    list(step.left_keys),
+                    list(step.right_keys),
+                    step.residual,
+                )
             )
         else:
             current = as_relation(
-                NestedLoopJoin(current, parts[pick], predicate=residual)
+                NestedLoopJoin(current, parts[step.alias], predicate=step.residual)
             )
-        joined_aliases.add(pick)
-        pending = [p for p in pending if p not in newly_resolvable and p not in [e[2] for e in equi]]
-    if pending:
-        current = as_relation(Filter(current, conjoin(pending)))
+    if plan.final_residual is not None:
+        current = as_relation(Filter(current, plan.final_residual))
     return current
 
 

@@ -1,0 +1,30 @@
+"""Columnar batch execution engine.
+
+The vector engine is a second physical substrate for the paper's nested
+relational algebra: instead of tuple-at-a-time iterators it processes
+whole columns as numpy arrays with validity bitmaps (see
+:mod:`repro.engine.vector.column` for the NULL encoding and
+:mod:`repro.engine.vector.nestlink` for the fused nest + linking
+selection).  It is selected through the public API::
+
+    session.prepare(sql).execute(backend="vector")
+    session.prepare(sql).execute(strategy="nested-relational-vectorized")
+
+Semantics are identical to the row engine by construction — both
+backends execute the same logical plan (Algorithm 1 over the shared
+:class:`~repro.core.reduce.BlockJoinPlan`) — and are continuously
+checked by the differential fuzzer.
+"""
+
+from .batch import Batch, table_batch
+from .backend import VectorBackend
+from .column import Vector
+from .strategy import VectorizedNestedRelationalStrategy
+
+__all__ = [
+    "Batch",
+    "Vector",
+    "VectorBackend",
+    "VectorizedNestedRelationalStrategy",
+    "table_batch",
+]

@@ -1,0 +1,129 @@
+"""Batches: a schema plus one :class:`Vector` per column.
+
+A :class:`Batch` is the columnar counterpart of
+:class:`~repro.engine.relation.Relation` — same
+:class:`~repro.engine.schema.Schema`, same bag semantics, but values
+live in column arrays instead of row tuples.  All batch kernels
+(:mod:`repro.engine.vector.kernels`) consume and produce batches; the
+boundary back to rows is crossed exactly once, in
+``VectorBackend.finalize``.
+
+Base tables are converted lazily and the conversion is cached on the
+:class:`~repro.engine.catalog.Table` object (tables are immutable once
+created), so repeated queries over one database pay the row→column cost
+once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..catalog import Table
+from ..relation import Relation
+from ..schema import Schema
+from .column import Vector
+
+_TABLE_CACHE_ATTR = "_vector_batch_cache"
+
+
+class Batch:
+    """A schema plus parallel column vectors of equal length."""
+
+    __slots__ = ("schema", "columns", "length")
+
+    def __init__(self, schema: Schema, columns: Sequence[Vector], length: int):
+        self.schema = schema
+        self.columns: List[Vector] = list(columns)
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batch({self.schema!r}, {self.length} rows)"
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_relation(rel: Relation) -> "Batch":
+        cols = list(zip(*rel.rows)) if rel.rows else [()] * len(rel.schema)
+        return Batch(
+            rel.schema,
+            [Vector.from_values(list(c)) for c in cols],
+            len(rel.rows),
+        )
+
+    def to_relation(self) -> Relation:
+        if not self.columns:
+            return Relation(self.schema, [() for _ in range(self.length)])
+        cols = [v.tolist_sql() for v in self.columns]
+        return Relation(self.schema, list(zip(*cols)))
+
+    # ------------------------------------------------------------------ #
+    # Column access
+    # ------------------------------------------------------------------ #
+
+    def column(self, ref: str) -> Vector:
+        return self.columns[self.schema.index_of(ref)]
+
+    # ------------------------------------------------------------------ #
+    # Structural ops (all zero-copy on the vectors where possible)
+    # ------------------------------------------------------------------ #
+
+    def rename_table(self, table: str) -> "Batch":
+        return Batch(self.schema.rename_table(table), self.columns, self.length)
+
+    def project(self, refs: Sequence[str]) -> "Batch":
+        idx = self.schema.indices_of(refs)
+        return Batch(
+            self.schema.project(refs), [self.columns[i] for i in idx], self.length
+        )
+
+    def take(self, idx: np.ndarray) -> "Batch":
+        return Batch(self.schema, [c.take(idx) for c in self.columns], len(idx))
+
+    def take_padded(self, idx: np.ndarray) -> "Batch":
+        """Gather rows; ``-1`` positions become all-NULL rows."""
+        return Batch(
+            self.schema, [c.take_padded(idx) for c in self.columns], len(idx)
+        )
+
+    def with_column(self, column, vector: Vector) -> "Batch":
+        """This batch extended by one more column on the right."""
+        return Batch(
+            Schema(tuple(self.schema.columns) + (column,)),
+            self.columns + [vector],
+            self.length,
+        )
+
+    @staticmethod
+    def concat_columns(left: "Batch", right: "Batch") -> "Batch":
+        """Side-by-side concatenation (the join output layout)."""
+        assert left.length == right.length
+        return Batch(
+            left.schema.concat(right.schema),
+            left.columns + right.columns,
+            left.length,
+        )
+
+    @staticmethod
+    def vstack(a: "Batch", b: "Batch") -> "Batch":
+        """Row-wise concatenation of two batches with equal schemas."""
+        return Batch(
+            a.schema,
+            [Vector.vstack(x, y) for x, y in zip(a.columns, b.columns)],
+            a.length + b.length,
+        )
+
+
+def table_batch(table: Table) -> Batch:
+    """The columnar image of a base table, cached on the table object."""
+    cached = getattr(table, _TABLE_CACHE_ATTR, None)
+    if cached is None:
+        cached = Batch.from_relation(table.relation)
+        setattr(table, _TABLE_CACHE_ATTR, cached)
+    return cached

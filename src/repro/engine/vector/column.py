@@ -1,0 +1,261 @@
+"""Columnar values: a typed numpy array plus a validity bitmap.
+
+A :class:`Vector` stores one column of SQL values as
+
+* ``data`` — a numpy array whose dtype is picked by the column's
+  *kind* (``i8``/``f8``/``bool``/``str``/``obj``), and
+* ``valid`` — a boolean mask, ``True`` where the value is present.
+
+SQL NULL is *not* a value in ``data``; it is ``valid[i] == False`` (the
+slot in ``data`` holds an arbitrary fill and must never be interpreted).
+Keeping NULLs out of band is what lets the kernels evaluate three-valued
+logic with plain boolean algebra: a comparison returns a pair of masks
+``(true, false)`` and UNKNOWN is simply ``~(true | false)``.
+
+Kind selection mirrors the row engine's dynamic typing: Python bools map
+to ``bool`` (kept distinct from ints, as in
+:func:`repro.engine.types.group_key`), ints to ``i8``, floats — or an
+int/float mix — to ``f8``, strings to a fixed-width ``str`` array, and
+anything else (dates, oversized ints, genuinely mixed columns) to an
+``obj`` array that falls back to per-value Python semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from ..types import NULL, group_key, is_null
+
+KIND_INT = "i8"
+KIND_FLOAT = "f8"
+KIND_BOOL = "bool"
+KIND_STR = "str"
+KIND_OBJ = "obj"
+
+NUMERIC_KINDS = (KIND_INT, KIND_FLOAT)
+
+_FILL = {
+    KIND_INT: 0,
+    KIND_FLOAT: 0.0,
+    KIND_BOOL: False,
+    KIND_STR: "",
+    KIND_OBJ: None,
+}
+
+
+class Vector:
+    """One column: ``data`` (numpy) + ``valid`` (bool mask, True=present)."""
+
+    __slots__ = ("kind", "data", "valid")
+
+    def __init__(self, kind: str, data: np.ndarray, valid: np.ndarray):
+        self.kind = kind
+        self.data = data
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vector({self.kind}, n={len(self.data)}, nulls={int((~self.valid).sum())})"
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_values(values: Sequence[Any]) -> "Vector":
+        """Build a vector from Python SQL values (NULL marker allowed)."""
+        n = len(values)
+        valid = np.ones(n, dtype=bool)
+        kinds = set()
+        for i, v in enumerate(values):
+            if v is NULL:
+                valid[i] = False
+            elif isinstance(v, bool):
+                kinds.add(KIND_BOOL)
+            elif isinstance(v, int):
+                kinds.add(KIND_INT)
+            elif isinstance(v, float):
+                kinds.add(KIND_FLOAT)
+            elif isinstance(v, str):
+                kinds.add(KIND_STR)
+            else:
+                kinds.add(KIND_OBJ)
+        kind = _choose_kind(kinds)
+        fill = _FILL[kind]
+        dense = [fill if v is NULL else v for v in values]
+        try:
+            if kind == KIND_INT:
+                data = np.array(dense, dtype=np.int64)
+            elif kind == KIND_FLOAT:
+                data = np.array(dense, dtype=np.float64)
+            elif kind == KIND_BOOL:
+                data = np.array(dense, dtype=bool)
+            elif kind == KIND_STR:
+                data = np.array(dense, dtype=str) if dense else np.array([], dtype="U1")
+            else:
+                data = np.empty(n, dtype=object)
+                for i, v in enumerate(dense):
+                    data[i] = v
+        except OverflowError:
+            # ints beyond int64: keep exact Python objects
+            kind = KIND_OBJ
+            data = np.empty(n, dtype=object)
+            for i, v in enumerate(values):
+                data[i] = None if v is NULL else v
+        return Vector(kind, data, valid)
+
+    @staticmethod
+    def nulls(kind: str, n: int) -> "Vector":
+        """A vector of *n* NULLs carried on the given kind's layout."""
+        if kind == KIND_STR:
+            data = np.zeros(n, dtype="U1")
+        elif kind == KIND_OBJ:
+            data = np.empty(n, dtype=object)
+        else:
+            dtype = {KIND_INT: np.int64, KIND_FLOAT: np.float64, KIND_BOOL: bool}[kind]
+            data = np.zeros(n, dtype=dtype)
+        return Vector(kind, data, np.zeros(n, dtype=bool))
+
+    @staticmethod
+    def from_scalar(value: Any, n: int) -> "Vector":
+        """Broadcast one SQL value (or NULL) to length *n*."""
+        if is_null(value):
+            return Vector.nulls(KIND_INT, n)
+        if isinstance(value, bool):
+            return Vector(KIND_BOOL, np.full(n, value, dtype=bool), np.ones(n, bool))
+        if isinstance(value, int):
+            try:
+                return Vector(
+                    KIND_INT, np.full(n, value, dtype=np.int64), np.ones(n, bool)
+                )
+            except OverflowError:
+                pass
+        elif isinstance(value, float):
+            return Vector(
+                KIND_FLOAT, np.full(n, value, dtype=np.float64), np.ones(n, bool)
+            )
+        elif isinstance(value, str):
+            # np.full(..., dtype=str) truncates to U1; let it infer width
+            return Vector(KIND_STR, np.full(n, value), np.ones(n, bool))
+        data = np.empty(n, dtype=object)
+        data[:] = value
+        return Vector(KIND_OBJ, data, np.ones(n, bool))
+
+    # ------------------------------------------------------------------ #
+    # Row movement
+    # ------------------------------------------------------------------ #
+
+    def take(self, idx: np.ndarray) -> "Vector":
+        """Gather rows by position (standard fancy indexing)."""
+        return Vector(self.kind, self.data[idx], self.valid[idx])
+
+    def take_padded(self, idx: np.ndarray) -> "Vector":
+        """Gather rows; positions equal to ``-1`` come out as NULL.
+
+        This is how outer joins pad their null-extended side without a
+        separate concatenation step.
+        """
+        clipped = np.where(idx < 0, 0, idx)
+        if len(self.data) == 0:
+            # nothing to gather from: everything must be padding
+            return Vector.nulls(self.kind, len(idx))
+        data = self.data[clipped]
+        valid = self.valid[clipped] & (idx >= 0)
+        return Vector(self.kind, data, valid)
+
+    @staticmethod
+    def vstack(a: "Vector", b: "Vector") -> "Vector":
+        """Row-wise concatenation; kinds are promoted when they differ."""
+        if a.kind == b.kind:
+            return Vector(
+                a.kind,
+                np.concatenate([a.data, b.data]),
+                np.concatenate([a.valid, b.valid]),
+            )
+        if a.kind in NUMERIC_KINDS and b.kind in NUMERIC_KINDS:
+            return Vector(
+                KIND_FLOAT,
+                np.concatenate(
+                    [a.data.astype(np.float64), b.data.astype(np.float64)]
+                ),
+                np.concatenate([a.valid, b.valid]),
+            )
+        # an all-NULL side adopts the other side's layout
+        if not a.valid.any():
+            return Vector.vstack(Vector.nulls(b.kind, len(a)), b)
+        if not b.valid.any():
+            return Vector.vstack(a, Vector.nulls(a.kind, len(b)))
+        return Vector.from_values(a.tolist_sql() + b.tolist_sql())
+
+    # ------------------------------------------------------------------ #
+    # Export / keys
+    # ------------------------------------------------------------------ #
+
+    def tolist_sql(self) -> List[Any]:
+        """Python SQL values (native scalars, NULL where invalid)."""
+        out = self.data.tolist()
+        if self.valid.all():
+            return out
+        invalid = np.flatnonzero(~self.valid)
+        for i in invalid.tolist():
+            out[i] = NULL
+        return out
+
+    def join_keys(self) -> List[Any]:
+        """Per-row hashable keys; ``None`` where the value is NULL.
+
+        Keys use the row engine's :func:`~repro.engine.types.group_key`
+        normalization, so ``2`` and ``2.0`` collide and booleans stay
+        distinct from ints — exactly the hash-join/nest key semantics of
+        the row backend.
+        """
+        vals = self.data.tolist()
+        valid = self.valid
+        return [
+            group_key(v) if valid[i] else None for i, v in enumerate(vals)
+        ]
+
+    def codes(self) -> np.ndarray:
+        """Dense int64 grouping codes; every NULL shares code 0.
+
+        Values that are equal under SQL grouping share a code.  For the
+        numeric / string / bool kinds this is fully vectorized via
+        ``np.unique``; the ``obj`` kind falls back to a Python dict over
+        :func:`~repro.engine.types.group_key`.
+        """
+        n = len(self.data)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.kind == KIND_OBJ:
+            mapping: dict = {}
+            out = np.empty(n, dtype=np.int64)
+            valid = self.valid
+            for i, v in enumerate(self.data.tolist()):
+                if not valid[i]:
+                    out[i] = 0
+                    continue
+                k = group_key(v)
+                code = mapping.get(k)
+                if code is None:
+                    code = len(mapping) + 1
+                    mapping[k] = code
+                out[i] = code
+            return out
+        _, inv = np.unique(self.data, return_inverse=True)
+        out = inv.astype(np.int64) + 1
+        out[~self.valid] = 0
+        return out
+
+
+def _choose_kind(kinds: set) -> str:
+    if not kinds:
+        return KIND_INT
+    if len(kinds) == 1:
+        return next(iter(kinds))
+    if kinds <= {KIND_INT, KIND_FLOAT}:
+        return KIND_FLOAT
+    return KIND_OBJ

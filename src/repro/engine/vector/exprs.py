@@ -1,0 +1,234 @@
+"""Vectorized expression evaluation under SQL three-valued logic.
+
+A predicate over a :class:`~repro.engine.vector.batch.Batch` of *n* rows
+evaluates to a pair of boolean masks ``(true, false)``; UNKNOWN is the
+complement ``~(true | false)``.  This encodes Kleene logic as plain
+boolean algebra:
+
+====  ===========================  ===========================
+node  true mask                    false mask
+====  ===========================  ===========================
+AND   ``t1 & t2``                  ``f1 | f2``
+OR    ``t1 | t2``                  ``f1 & f2``
+NOT   ``f``                        ``t``
+cmp   ``both_valid & result``      ``both_valid & ~result``
+====  ===========================  ===========================
+
+Value expressions evaluate to a :class:`~repro.engine.vector.column.Vector`
+(NULL as an invalid slot); arithmetic is NULL-propagating with
+``x / 0 -> NULL``, exactly as the row engine's
+:class:`~repro.engine.expressions.Arith`.
+
+Comparisons between compatible kinds run as single numpy expressions;
+incomparable or object-typed pairs fall back to per-row
+:func:`~repro.engine.types.sql_compare`, preserving the row engine's
+type errors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...errors import ExpressionError
+from ..expressions import (
+    And,
+    Arith,
+    Between,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from ..types import TriBool, sql_compare
+from .batch import Batch
+from .column import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJ,
+    KIND_STR,
+    NUMERIC_KINDS,
+    Vector,
+)
+
+MaskPair = Tuple[np.ndarray, np.ndarray]
+
+
+# --------------------------------------------------------------------- #
+# Predicate evaluation -> (true, false) masks
+# --------------------------------------------------------------------- #
+
+
+def eval_truth(expr: Expr, batch: Batch) -> MaskPair:
+    """Evaluate *expr* as a predicate over every row of *batch*."""
+    n = len(batch)
+    if isinstance(expr, Comparison):
+        return compare_vectors(
+            expr.op, eval_value(expr.left, batch), eval_value(expr.right, batch)
+        )
+    if isinstance(expr, And):
+        t1, f1 = eval_truth(expr.left, batch)
+        t2, f2 = eval_truth(expr.right, batch)
+        return t1 & t2, f1 | f2
+    if isinstance(expr, Or):
+        t1, f1 = eval_truth(expr.left, batch)
+        t2, f2 = eval_truth(expr.right, batch)
+        return t1 | t2, f1 & f2
+    if isinstance(expr, Not):
+        t, f = eval_truth(expr.operand, batch)
+        return f, t
+    if isinstance(expr, IsNull):
+        v = eval_value(expr.operand, batch)
+        null = ~v.valid
+        t = null if not expr.negated else ~null
+        return t, ~t
+    if isinstance(expr, Between):
+        v = eval_value(expr.operand, batch)
+        lo = eval_value(expr.low, batch)
+        hi = eval_value(expr.high, batch)
+        t1, f1 = compare_vectors(">=", v, lo)
+        t2, f2 = compare_vectors("<=", v, hi)
+        return t1 & t2, f1 | f2
+    if isinstance(expr, InList):
+        v = eval_value(expr.operand, batch)
+        t = np.zeros(n, dtype=bool)
+        f = np.ones(n, dtype=bool)
+        for item in expr.items:
+            ti, fi = compare_vectors("=", v, eval_value(item, batch))
+            t, f = t | ti, f & fi
+        return (f, t) if expr.negated else (t, f)
+    # value-typed expression used in predicate position (e.g. the TRUE
+    # literal standing in for an empty conjunction)
+    return vector_truth(eval_value(expr, batch), expr)
+
+
+def vector_truth(vec: Vector, expr: Expr) -> MaskPair:
+    """SQL truth of a value vector (bools; NULL -> UNKNOWN)."""
+    if vec.kind == KIND_BOOL:
+        return vec.valid & vec.data, vec.valid & ~vec.data
+    if not vec.valid.any():
+        zeros = np.zeros(len(vec), dtype=bool)
+        return zeros, zeros.copy()
+    raise ExpressionError(f"expression {expr!r} is not a predicate")
+
+
+# --------------------------------------------------------------------- #
+# Value evaluation -> Vector
+# --------------------------------------------------------------------- #
+
+
+def eval_value(expr: Expr, batch: Batch) -> Vector:
+    n = len(batch)
+    if isinstance(expr, Col):
+        return batch.column(expr.ref)
+    if isinstance(expr, Literal):
+        return Vector.from_scalar(expr.value, n)
+    if isinstance(expr, Arith):
+        return _arith_vectors(
+            expr.op,
+            eval_value(expr.left, batch),
+            eval_value(expr.right, batch),
+            expr,
+        )
+    # predicate-typed expression used as a value: TRUE/FALSE/NULL
+    t, f = eval_truth(expr, batch)
+    return Vector(KIND_BOOL, t, t | f)
+
+
+# --------------------------------------------------------------------- #
+# Comparison kernel
+# --------------------------------------------------------------------- #
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _fast_comparable(a: Vector, b: Vector) -> bool:
+    if a.kind in NUMERIC_KINDS and b.kind in NUMERIC_KINDS:
+        return True
+    return a.kind == b.kind and a.kind in (KIND_BOOL, KIND_STR)
+
+
+def compare_vectors(op: str, a: Vector, b: Vector) -> MaskPair:
+    """``a op b`` element-wise, as (true, false) masks."""
+    both = a.valid & b.valid
+    n = len(a)
+    if not both.any():
+        zeros = np.zeros(n, dtype=bool)
+        return zeros, zeros.copy()
+    if _fast_comparable(a, b):
+        result = _CMP[op](a.data, b.data)
+        return both & result, both & ~result
+    # mixed / object kinds: defer to the row engine's semantics per pair
+    # (this also raises TypeError_ on incomparable values, as rows do)
+    t = np.zeros(n, dtype=bool)
+    f = np.zeros(n, dtype=bool)
+    av = a.data.tolist()
+    bv = b.data.tolist()
+    for i in np.flatnonzero(both).tolist():
+        r = sql_compare(op, av[i], bv[i])
+        if r is TriBool.TRUE:
+            t[i] = True
+        elif r is TriBool.FALSE:
+            f[i] = True
+    return t, f
+
+
+# --------------------------------------------------------------------- #
+# Arithmetic kernel
+# --------------------------------------------------------------------- #
+
+
+def _arith_vectors(op: str, a: Vector, b: Vector, expr: Arith) -> Vector:
+    both = a.valid & b.valid
+    n = len(a)
+    if a.kind in NUMERIC_KINDS and b.kind in NUMERIC_KINDS:
+        if op == "/":
+            zero = b.data == 0
+            valid = both & ~zero
+            denom = np.where(zero, 1, b.data)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = a.data.astype(np.float64) / denom
+            return Vector(KIND_FLOAT, out, valid)
+        if op in ("+", "-", "*"):
+            fn = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
+            out = fn(a.data, b.data)
+            kind = (
+                KIND_FLOAT
+                if KIND_FLOAT in (a.kind, b.kind)
+                else KIND_INT
+            )
+            return Vector(kind, out, both)
+        raise ExpressionError(f"unknown arithmetic operator {op!r}")
+    # non-numeric (or object) operands: per-row Python semantics
+    from ..expressions import _ARITH
+
+    values = []
+    av = a.tolist_sql()
+    bv = b.tolist_sql()
+    from ..types import NULL, is_null
+
+    for x, y in zip(av, bv):
+        if is_null(x) or is_null(y):
+            values.append(NULL)
+            continue
+        try:
+            values.append(_ARITH[op](x, y))
+        except KeyError:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        except ZeroDivisionError:
+            values.append(NULL)
+    return Vector.from_values(values)

@@ -1,0 +1,350 @@
+"""Batch kernels: scan, filter, the hash-join family, grouping.
+
+Every kernel processes a whole :class:`~repro.engine.vector.batch.Batch`
+per call and runs under one leaf trace span (``vec-*``), charging the
+same ambient metric counters the row operators charge
+(``rows_scanned``, ``hash_build_rows``, ``hash_probes``,
+``predicate_evals``, ``null_padded_rows``, ``rows_out``) — so weighted
+costs stay comparable across backends and
+:func:`repro.engine.trace.reconcile_with_metrics` holds for traced runs.
+
+Join keys are normalized with the row engine's
+:func:`~repro.engine.types.group_key` (ints and floats collide,
+booleans do not, NULL never matches), so the matching semantics of the
+two backends are identical by construction.
+
+NULL-padding convention (the paper's pk-is-NULL emptiness marker): outer
+joins express the padded side as a gather index of ``-1``, which
+:meth:`Vector.take_padded` turns into invalid slots — including the
+synthetic ``_rid`` column, whose NULL later tells ``nest`` that a group
+is empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import current_metrics
+from ..trace import (
+    CONTRACT_EXPANDING,
+    CONTRACT_FILTERING,
+    CONTRACT_PRESERVING,
+    op_span,
+)
+from .batch import Batch
+from .column import Vector
+from .exprs import eval_truth
+
+
+def _note(span, rows_in: int, rows_out: int) -> None:
+    if span is not None:
+        span.add("rows_in", rows_in)
+        span.add("rows_out", rows_out)
+
+
+# --------------------------------------------------------------------- #
+# Scan / filter
+# --------------------------------------------------------------------- #
+
+
+def scan(batch: Batch, alias: str) -> Batch:
+    """Account for a base-table scan (the batch itself is cached)."""
+    with op_span("vec-scan", contract=CONTRACT_PRESERVING, table=alias) as span:
+        current_metrics().add("rows_scanned", len(batch))
+        current_metrics().add("rows_out", len(batch))
+        _note(span, len(batch), len(batch))
+    return batch
+
+
+def filter_batch(batch: Batch, predicate) -> Batch:
+    """Keep rows whose predicate is definitely TRUE."""
+    with op_span(
+        "vec-filter", contract=CONTRACT_FILTERING, pred=repr(predicate)
+    ) as span:
+        metrics = current_metrics()
+        metrics.add("predicate_evals", len(batch))
+        t, _f = eval_truth(predicate, batch)
+        out = batch.take(np.flatnonzero(t))
+        metrics.add("rows_out", len(out))
+        _note(span, len(batch), len(out))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Hash joins
+# --------------------------------------------------------------------- #
+
+
+def _key_rows(batch: Batch, refs: Sequence[str]) -> List[Optional[tuple]]:
+    """Per-row composite join key; ``None`` when any component is NULL."""
+    key_cols = [batch.column(r).join_keys() for r in refs]
+    out: List[Optional[tuple]] = []
+    for parts in zip(*key_cols):
+        out.append(None if any(p is None for p in parts) else parts)
+    return out
+
+
+def _match_pairs(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (left, right) index pairs matching on the equality keys.
+
+    With no keys this degenerates to the full cross product (the
+    nested-loop shape the row engine uses in the same situation).
+    """
+    metrics = current_metrics()
+    nl, nr = len(left), len(right)
+    if not left_keys:
+        metrics.add("rows_scanned", nl * nr)
+        li = np.repeat(np.arange(nl, dtype=np.int64), nr)
+        ri = np.tile(np.arange(nr, dtype=np.int64), nl)
+        return li, ri
+    metrics.add("hash_build_rows", nr)
+    index: dict = {}
+    for j, key in enumerate(_key_rows(right, right_keys)):
+        if key is None:
+            continue
+        index.setdefault(key, []).append(j)
+    metrics.add("hash_probes", nl)
+    li: List[int] = []
+    ri: List[int] = []
+    for i, key in enumerate(_key_rows(left, left_keys)):
+        if key is None:
+            continue
+        for j in index.get(key, ()):
+            li.append(i)
+            ri.append(j)
+    return (
+        np.asarray(li, dtype=np.int64),
+        np.asarray(ri, dtype=np.int64),
+    )
+
+
+def _residual_keep(joined: Batch, residual) -> np.ndarray:
+    """Mask of candidate join rows surviving the residual predicate."""
+    current_metrics().add("predicate_evals", len(joined))
+    t, _f = eval_truth(residual, joined)
+    return t
+
+
+def hash_join(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual=None,
+) -> Batch:
+    """Inner equi-join (plus optional residual predicate)."""
+    with op_span(
+        "vec-hash-join",
+        on=_describe_keys(left_keys, right_keys),
+    ) as span:
+        li, ri = _match_pairs(left, right, left_keys, right_keys)
+        out = Batch.concat_columns(left.take(li), right.take(ri))
+        if residual is not None:
+            keep = _residual_keep(out, residual)
+            out = out.take(np.flatnonzero(keep))
+        current_metrics().add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+def left_outer_hash_join(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual=None,
+) -> Batch:
+    """Left outer equi-join; unmatched left rows padded with NULLs.
+
+    The padded right side includes the child's ``_rid`` column, so the
+    pk-is-NULL convention marks those rows as "empty subquery set".
+    """
+    with op_span(
+        "vec-left-outer-hash-join",
+        contract=CONTRACT_EXPANDING,
+        on=_describe_keys(left_keys, right_keys),
+    ) as span:
+        metrics = current_metrics()
+        li, ri = _match_pairs(left, right, left_keys, right_keys)
+        if residual is not None and len(li):
+            cand = Batch.concat_columns(left.take(li), right.take(ri))
+            keep = _residual_keep(cand, residual)
+            li, ri = li[keep], ri[keep]
+        matched = np.zeros(len(left), dtype=bool)
+        if len(li):
+            matched[li] = True
+        pad = np.flatnonzero(~matched)
+        all_li = np.concatenate([li, pad])
+        all_ri = np.concatenate([ri, np.full(len(pad), -1, dtype=np.int64)])
+        out = Batch.concat_columns(
+            left.take(all_li), right.take_padded(all_ri)
+        )
+        metrics.add("null_padded_rows", len(pad))
+        metrics.add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+def semi_join(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual=None,
+) -> Batch:
+    """Left rows with at least one match (each left row at most once)."""
+    with op_span(
+        "vec-semi-join",
+        contract=CONTRACT_FILTERING,
+        on=_describe_keys(left_keys, right_keys),
+    ) as span:
+        keep = _existence_mask(left, right, left_keys, right_keys, residual)
+        out = left.take(np.flatnonzero(keep))
+        current_metrics().add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+def anti_join(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual=None,
+) -> Batch:
+    """Left rows with no match."""
+    with op_span(
+        "vec-anti-join",
+        contract=CONTRACT_FILTERING,
+        on=_describe_keys(left_keys, right_keys),
+    ) as span:
+        keep = _existence_mask(left, right, left_keys, right_keys, residual)
+        out = left.take(np.flatnonzero(~keep))
+        current_metrics().add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+def _existence_mask(
+    left: Batch,
+    right: Batch,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual,
+) -> np.ndarray:
+    li, ri = _match_pairs(left, right, left_keys, right_keys)
+    if residual is not None and len(li):
+        cand = Batch.concat_columns(left.take(li), right.take(ri))
+        keep = _residual_keep(cand, residual)
+        li = li[keep]
+    mask = np.zeros(len(left), dtype=bool)
+    if len(li):
+        mask[li] = True
+    return mask
+
+
+# --------------------------------------------------------------------- #
+# Cross joins
+# --------------------------------------------------------------------- #
+
+
+def cross_join(left: Batch, right: Batch, residual=None) -> Batch:
+    """Cartesian product (the vector analogue of a nested-loop join)."""
+    with op_span("vec-cross-join") as span:
+        li, ri = _match_pairs(left, right, (), ())
+        out = Batch.concat_columns(left.take(li), right.take(ri))
+        if residual is not None:
+            keep = _residual_keep(out, residual)
+            out = out.take(np.flatnonzero(keep))
+        current_metrics().add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+def outer_cross_join(left: Batch, right: Batch) -> Batch:
+    """Cross join, except an *empty* right side NULL-pads every left row.
+
+    Mirrors the row engine's :class:`OuterCrossJoin`: the padding only
+    happens when the right input is empty (the virtual-Cartesian-product
+    emptiness case); otherwise it is a plain cross join.
+    """
+    with op_span("vec-outer-cross-join", contract=CONTRACT_EXPANDING) as span:
+        metrics = current_metrics()
+        if len(right) == 0:
+            pad = np.full(len(left), -1, dtype=np.int64)
+            out = Batch.concat_columns(
+                left, right.take_padded(pad)
+            )
+            metrics.add("null_padded_rows", len(left))
+        else:
+            li, ri = _match_pairs(left, right, (), ())
+            out = Batch.concat_columns(left.take(li), right.take(ri))
+        metrics.add("rows_out", len(out))
+        _note(span, len(left), len(out))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Grouping (the factorization both nest variants share)
+# --------------------------------------------------------------------- #
+
+
+def group_ids(batch: Batch, by: Sequence[str], method: str) -> Tuple[np.ndarray, int]:
+    """Dense group ids over the *by* columns; returns ``(ids, n_groups)``.
+
+    ``method="sorted"`` factorizes each column with ``np.unique``
+    (sort-based, fully vectorized — the paper's §5.1 physical nest);
+    ``method="hash"`` builds one Python dict over composite group keys
+    (hash-based, per-row).  Both agree on SQL grouping semantics: NULLs
+    group together, ``2`` and ``2.0`` share a group, booleans do not
+    collide with ints.
+    """
+    n = len(batch)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    if not by:
+        return np.zeros(n, dtype=np.int64), 1
+    if method == "hash":
+        key_cols = [batch.column(r).join_keys() for r in by]
+        mapping: dict = {}
+        ids = np.empty(n, dtype=np.int64)
+        for i, parts in enumerate(zip(*key_cols)):
+            gid = mapping.get(parts)
+            if gid is None:
+                gid = len(mapping)
+                mapping[parts] = gid
+            ids[i] = gid
+        return ids, len(mapping)
+    codes = [batch.column(r).codes() for r in by]
+    _, ids = np.unique(codes[0], return_inverse=True)
+    ids = ids.astype(np.int64)
+    for c in codes[1:]:
+        width = int(c.max()) + 1
+        _, ids = np.unique(ids * width + c, return_inverse=True)
+        ids = ids.astype(np.int64)
+    return ids, int(ids.max()) + 1
+
+
+def first_occurrences(ids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Index of the first row of each group, indexed by group id."""
+    if n_groups == 0:
+        return np.empty(0, dtype=np.int64)
+    first, seen = np.unique(ids, return_index=True)
+    out = np.empty(n_groups, dtype=np.int64)
+    out[first] = seen
+    return out
+
+
+def _describe_keys(
+    left_keys: Sequence[str], right_keys: Sequence[str]
+) -> str:
+    if not left_keys:
+        return "(cross)"
+    return ", ".join(f"{l}={r}" for l, r in zip(left_keys, right_keys))

@@ -1,0 +1,249 @@
+"""Fused batch nest + linking selection, and the vectorized
+virtual-Cartesian-product link.
+
+The row backend materializes nested relations: ``nest`` builds one row
+per group holding a set of members, then the linking (σ) or pseudo (σ*)
+selection walks the groups.  The batch backend fuses the two: groups are
+a factorization (``ids``) of the flat batch over the nesting attributes,
+and each linking predicate becomes a per-group boolean aggregate:
+
+* ``EXISTS`` / ``NOT EXISTS`` — count of *live* members (rows whose
+  synthetic ``_rid`` is non-NULL: the pk-is-NULL convention marks
+  padded rows as "not really a member");
+* ``θ SOME`` — TRUE iff some live member's comparison is TRUE
+  (``bincount`` over the comparison's true-mask);
+* ``θ ALL`` — by De Morgan in Kleene logic, ``¬(¬θ SOME)``: TRUE iff no
+  live member makes ``¬θ`` TRUE and none makes it UNKNOWN.  This is
+  exact: SQL's UNKNOWN propagates identically on both sides.
+
+Strict selection keeps the passing groups (one output row per group,
+projected to the nesting attributes); pseudo selection keeps every group
+but NULLs out the current block's attributes of failing groups.
+
+The uncorrelated link shares the member set across all outer rows, so
+``θ SOME`` collapses to a single existence test against the member
+multiset: ``isin`` for ``=``, a distinct-count argument for ``<>``,
+min/max bounds for the orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics import current_metrics
+from ..trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
+from ..types import negate_op
+from .batch import Batch
+from .column import KIND_INT, Vector
+from .exprs import _fast_comparable, compare_vectors
+from .kernels import first_occurrences, group_ids
+
+
+def nest_link(
+    batch: Batch,
+    by: Sequence[str],
+    predicate,
+    link,
+    rid_ref: str,
+    strict: bool,
+    pad_refs: Sequence[str],
+    nest_impl: str,
+) -> Batch:
+    """Nest *batch* by *by* and apply the linking predicate in one pass."""
+    metrics = current_metrics()
+    n = len(batch)
+    with op_span(
+        "vec-nest-link",
+        contract=CONTRACT_FILTERING,
+        impl=nest_impl,
+        pred=predicate.describe(),
+        by=",".join(by),
+    ) as span:
+        metrics.add("rows_nested", n)
+        if nest_impl == "sorted":
+            metrics.add("rows_sorted", n)
+        ids, n_groups = group_ids(batch, by, nest_impl)
+        rep = first_occurrences(ids, n_groups)
+        metrics.add("linking_evals", n_groups)
+        passed = _group_pass(batch, ids, n_groups, predicate, link, rid_ref)
+        order = np.argsort(rep, kind="stable")  # groups in appearance order
+        if strict:
+            keep = order[passed[order]]
+            out = batch.take(rep[keep]).project(by)
+        else:
+            out = batch.take(rep[order]).project(by)
+            fail = ~passed[order]
+            if fail.any():
+                out = _pad_columns(out, pad_refs, fail)
+            metrics.add("null_padded_rows", int(fail.sum()))
+        if span is not None:
+            span.add("rows_in", n)
+            span.add("rows_out", len(out))
+            if n:
+                span.set_max("peak_group", int(np.bincount(ids).max()))
+        metrics.add("rows_out", len(out))
+    return out
+
+
+def _group_pass(
+    batch: Batch,
+    ids: np.ndarray,
+    n_groups: int,
+    predicate,
+    link,
+    rid_ref: str,
+) -> np.ndarray:
+    """Per-group verdict (is the linking predicate definitely TRUE?)."""
+    if n_groups == 0:
+        return np.zeros(0, dtype=bool)
+    live = batch.column(rid_ref).valid
+    q = predicate.quantifier
+    if q in ("exists", "not_exists"):
+        live_counts = np.bincount(ids[live], minlength=n_groups)
+        return live_counts > 0 if q == "exists" else live_counts == 0
+    n = len(batch)
+    lhs = (
+        batch.column(link.outer_ref)
+        if link.outer_ref is not None
+        else Vector.nulls(KIND_INT, n)
+    )
+    rhs = (
+        batch.column(link.inner_ref)
+        if link.inner_ref is not None
+        else Vector.nulls(KIND_INT, n)
+    )
+    # ALL θ ≡ ¬(SOME ¬θ) — exact under Kleene logic, since a comparison
+    # is UNKNOWN iff its negation is (both are NULL-driven).
+    theta = predicate.theta if q == "some" else negate_op(predicate.theta)
+    t, f = compare_vectors(theta, lhs, rhs)
+    some_true = np.bincount(ids[live & t], minlength=n_groups) > 0
+    some_unknown = (
+        np.bincount(ids[live & ~t & ~f], minlength=n_groups) > 0
+    )
+    if q == "some":
+        return some_true
+    return ~some_true & ~some_unknown
+
+
+def _pad_columns(
+    batch: Batch, pad_refs: Sequence[str], fail: np.ndarray
+) -> Batch:
+    """NULL out the *pad_refs* columns of rows where *fail* is set."""
+    positions = set(batch.schema.indices_of(pad_refs))
+    cols = [
+        Vector(c.kind, c.data, c.valid & ~fail) if i in positions else c
+        for i, c in enumerate(batch.columns)
+    ]
+    return Batch(batch.schema, cols, len(batch))
+
+
+# --------------------------------------------------------------------- #
+# Uncorrelated (virtual Cartesian product) link
+# --------------------------------------------------------------------- #
+
+
+def uncorrelated_link(
+    batch: Batch,
+    sub: Batch,
+    predicate,
+    link,
+    rid_ref: str,
+    strict: bool,
+    pad_refs: Sequence[str],
+) -> Batch:
+    """Apply a shared-member-set linking predicate to every outer row."""
+    metrics = current_metrics()
+    n = len(batch)
+    with op_span(
+        "vec-uncorrelated-link",
+        contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+        pred=predicate.describe(),
+    ) as span:
+        metrics.add("linking_evals", n)
+        passed = _uncorrelated_pass(batch, sub, predicate, link, rid_ref)
+        if strict:
+            out = batch.take(np.flatnonzero(passed))
+        else:
+            fail = ~passed
+            out = _pad_columns(batch, pad_refs, fail) if fail.any() else batch
+            metrics.add("null_padded_rows", int(fail.sum()))
+        if span is not None:
+            span.add("rows_in", n)
+            span.add("rows_out", len(out))
+        metrics.add("rows_out", len(out))
+    return out
+
+
+def _uncorrelated_pass(
+    batch: Batch, sub: Batch, predicate, link, rid_ref: str
+) -> np.ndarray:
+    n = len(batch)
+    pk = sub.column(rid_ref)
+    live_idx = np.flatnonzero(pk.valid)
+    m = len(live_idx)
+    q = predicate.quantifier
+    if q == "exists":
+        return np.full(n, m > 0, dtype=bool)
+    if q == "not_exists":
+        return np.full(n, m == 0, dtype=bool)
+    if m == 0:
+        # SOME over ∅ is FALSE, ALL over ∅ vacuously TRUE
+        return np.full(n, q == "all", dtype=bool)
+    lhs = (
+        batch.column(link.outer_ref)
+        if link.outer_ref is not None
+        else Vector.nulls(KIND_INT, n)
+    )
+    values = (
+        sub.column(link.inner_ref).take(live_idx)
+        if link.inner_ref is not None
+        else Vector.nulls(KIND_INT, m)
+    )
+    nn_idx = np.flatnonzero(values.valid)
+    vals = values.take(nn_idx)
+    has_null_member = len(nn_idx) < m
+    if len(vals) and not _fast_comparable(lhs, vals):
+        # mixed kinds: per-row set-predicate evaluation (row semantics,
+        # including TypeError_ on incomparable values)
+        members = [(v, 0) for v in values.tolist_sql()]
+        return np.array(
+            [
+                predicate.evaluate(v, members).is_true()
+                for v in lhs.tolist_sql()
+            ],
+            dtype=bool,
+        )
+    theta = predicate.theta if q == "some" else negate_op(predicate.theta)
+    if len(vals) == 0:
+        some_true = np.zeros(n, dtype=bool)
+    else:
+        some_true = _exists_test(theta, lhs.data, vals.data) & lhs.valid
+    # an UNKNOWN comparison exists when the lhs is NULL or any member is
+    some_unknown = ~lhs.valid | (
+        np.full(n, has_null_member, dtype=bool) & lhs.valid
+    )
+    if q == "some":
+        return some_true
+    return ~some_true & ~some_unknown
+
+
+def _exists_test(theta: str, lhs: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """``∃ v ∈ vals: lhs θ v`` for every lhs element (all values non-NULL)."""
+    if theta == "=":
+        return np.isin(lhs, vals)
+    if theta in ("<>", "!="):
+        distinct = np.unique(vals)
+        if len(distinct) >= 2:
+            return np.ones(len(lhs), dtype=bool)
+        return lhs != distinct[0]
+    if theta == "<":
+        return lhs < vals.max()
+    if theta == "<=":
+        return lhs <= vals.max()
+    if theta == ">":
+        return lhs > vals.min()
+    if theta == ">=":
+        return lhs >= vals.min()
+    raise AssertionError(f"unexpected linking theta {theta!r}")

@@ -1,0 +1,42 @@
+"""The ``nested-relational-vectorized`` strategy registration.
+
+Algorithm 1's driver (:class:`repro.core.compute.NestedRelationalStrategy`)
+is backend-agnostic; this module instantiates it over the columnar
+:class:`~repro.engine.vector.backend.VectorBackend` and registers the
+result under the ``vector`` backend tag, which is how
+``execute(backend="vector")`` and the ``auto`` alias resolve to it.
+
+The default physical nest is the sort-based one (paper §5.1) because
+its factorization is fully vectorized; ``nest_impl="hash"`` selects the
+dict-based variant (same semantics, per-row key building).
+"""
+
+from __future__ import annotations
+
+from ...core.compute import NestedRelationalStrategy
+from ...strategies import register
+from .backend import VectorBackend
+
+
+@register(
+    "nested-relational-vectorized",
+    backend="vector",
+    description="Algorithm 1 on the columnar batch engine (vectorized kernels)",
+)
+class VectorizedNestedRelationalStrategy(NestedRelationalStrategy):
+    """Algorithm 1 executed on fixed-layout column batches."""
+
+    name = "nested-relational-vectorized"
+
+    def __init__(
+        self,
+        virtual_cartesian: bool = True,
+        nest_impl: str = "sorted",
+        strict_when_positive: bool = True,
+    ):
+        super().__init__(
+            virtual_cartesian=virtual_cartesian,
+            nest_impl=nest_impl,
+            strict_when_positive=strict_when_positive,
+            backend=VectorBackend(),
+        )

@@ -56,6 +56,15 @@ class UnsoundRewriteError(PlanError):
     """
 
 
+class InvalidArgumentError(ReproError, ValueError):
+    """A public API was called with an argument outside its domain
+    (bad strategy/backend name, out-of-range fuzzer setting, ...).
+
+    Also a :class:`ValueError` so pre-existing callers that caught the
+    bare builtin keep working across the typed-error migration.
+    """
+
+
 class CatalogError(ReproError):
     """A table or index name is unknown or already defined."""
 

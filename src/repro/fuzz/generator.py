@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..sql import ast as A
 from ..engine.types import NULL
+from ..errors import InvalidArgumentError
 from .datagen import ALL_COLUMNS, DatabaseSpec, PK_COLUMN, VALUE_COLUMNS
 
 #: Linking operator families the generator draws from.
@@ -63,11 +64,11 @@ class FuzzConfig:
 
     def __post_init__(self) -> None:
         if not (1 <= self.max_depth <= 4):
-            raise ValueError("max_depth must be between 1 and 4")
+            raise InvalidArgumentError("max_depth must be between 1 and 4")
         if not (0.0 <= self.null_rate <= 1.0):
-            raise ValueError("null_rate must be a probability")
+            raise InvalidArgumentError("null_rate must be a probability")
         if self.iterations < 0:
-            raise ValueError("iterations must be non-negative")
+            raise InvalidArgumentError("iterations must be non-negative")
 
 
 class QueryGenerator:

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field, replace as dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.blocks import NestedQuery
-from ..core.planner import execute, make_strategy
+from ..core.planner import make_strategy, run
 from ..engine.catalog import Database
 from ..engine.metrics import collect
 from ..engine.trace import (
@@ -59,6 +59,7 @@ ORACLE = "nested-iteration"
 ALWAYS_STRATEGIES = (
     "nested-relational",
     "nested-relational-sorted",
+    "nested-relational-vectorized",
     "nested-relational-optimized",
     "system-a-native",
     "auto",
@@ -326,7 +327,7 @@ class DifferentialRunner:
     ) -> Relation:
         if impl is not None:
             return impl.execute(query, db)
-        return execute(query, db, strategy=name)
+        return run(query, db, strategy=name)
 
     # ------------------------------------------------------------------ #
     # trace provenance
@@ -485,7 +486,7 @@ class MutatedLinkStrategy:
         self.base = base
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
-        return execute(mutate_first_link(query), db, strategy=self.base)
+        return run(mutate_first_link(query), db, strategy=self.base)
 
 
 class MiscountingSpanStrategy:
@@ -516,6 +517,6 @@ class MiscountingSpanStrategy:
 
         trace_module.Span.add = lossy_add  # type: ignore[method-assign]
         try:
-            return execute(query, db, strategy=self.base)
+            return run(query, db, strategy=self.base)
         finally:
             trace_module.Span.add = original_add  # type: ignore[method-assign]

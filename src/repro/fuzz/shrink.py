@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..sql import ast as A
+from ..errors import InvalidArgumentError
 from .datagen import DatabaseSpec
 from .runner import Failure, FuzzCase
 
@@ -50,7 +51,7 @@ def shrink_case(
     """
     failure = check(case)
     if not is_interesting(failure):
-        raise ValueError("shrink_case needs a case that currently fails")
+        raise InvalidArgumentError("shrink_case needs a case that currently fails")
     assert failure is not None
 
     for _ in range(max_passes):

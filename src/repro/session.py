@@ -1,0 +1,164 @@
+"""The public execution API: ``connect(db) -> Session -> PreparedQuery``.
+
+Every way of running SQL through this library goes through one surface::
+
+    import repro
+
+    db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+    session = repro.connect(db)
+    query = session.prepare(repro.tpch.query1("1993-01-01", "1994-01-01"))
+
+    result = query.execute()                              # auto strategy
+    fast = query.execute(backend="vector")                # columnar engine
+    oracle = query.execute(strategy="nested-iteration")
+    plan = query.explain()
+    annotated = query.explain(analyze=True)
+    result, trace = query.trace()
+
+The *strategy* name selects a member of the :mod:`repro.strategies`
+registry (or ``"auto"`` for the paper's routing policy); the *backend*
+selects the execution substrate — ``"row"`` for the tuple-at-a-time
+iterator engine, ``"vector"`` for the columnar batch engine — and
+defaults to whatever the strategy was registered on.  Semantics never
+depend on the backend; only performance does.
+
+The CLI, the benchmark harness and the fuzzer all execute through this
+module.  The historical entry points (``repro.run_sql``,
+``repro.core.planner.execute`` / ``execute_traced``) survive as
+deprecated shims over it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .engine.catalog import Database
+from .engine.relation import Relation
+from .errors import InvalidArgumentError
+
+
+class PreparedQuery:
+    """A compiled query bound to a session, ready to execute.
+
+    Obtained from :meth:`Session.prepare`.  Preparation runs the parser
+    and the semantic analyzer once; ``execute``/``explain``/``trace``
+    may then be called any number of times with different strategies and
+    backends.
+    """
+
+    def __init__(self, session: "Session", sql: str, query):
+        self._session = session
+        self.sql = sql
+        #: the analyzed :class:`~repro.core.blocks.NestedQuery`
+        self.query = query
+
+    @property
+    def session(self) -> "Session":
+        return self._session
+
+    def execute(
+        self,
+        strategy: Union[str, object] = "auto",
+        backend: Optional[str] = None,
+    ) -> Relation:
+        """Run the query and return the result :class:`Relation`.
+
+        *strategy* is a registry name (see
+        :func:`repro.strategies.names`), ``"auto"``, or a strategy
+        instance; *backend* is ``"row"``, ``"vector"`` or ``None``
+        (follow the strategy's registration).
+        """
+        from .core import planner
+
+        return planner.run(
+            self.query, self._session.db, strategy=strategy, backend=backend
+        )
+
+    def trace(
+        self,
+        strategy: Union[str, object] = "auto",
+        backend: Optional[str] = None,
+    ):
+        """Run the query under a tracing scope.
+
+        Returns ``(result, trace)`` where *trace* is the
+        :class:`~repro.engine.trace.Trace` span tree of the execution.
+        """
+        from .core import planner
+
+        return planner.run_traced(
+            self.query, self._session.db, strategy=strategy, backend=backend
+        )
+
+    def explain(
+        self,
+        strategy: str = "auto",
+        analyze: bool = False,
+        timings: bool = True,
+    ) -> str:
+        """The plan text; with ``analyze=True``, execute the query and
+        annotate the plan with per-operator row counts (and wall times
+        unless ``timings=False``)."""
+        from .core.explain import explain, explain_analyze
+
+        text = explain(self.query, self._session.db, strategy=strategy)
+        if analyze:
+            text += "\n\n" + explain_analyze(
+                self.query, self._session.db, strategy=strategy,
+                timings=timings,
+            )
+        return text
+
+    def describe(self) -> str:
+        """The analyzed block structure (front-end view of the query)."""
+        return self.query.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        first = " ".join(self.sql.split())
+        if len(first) > 60:
+            first = first[:57] + "..."
+        return f"PreparedQuery({first!r})"
+
+
+class Session:
+    """A connection-like handle binding queries to one database."""
+
+    def __init__(self, db: Database):
+        if not isinstance(db, Database):
+            raise InvalidArgumentError(
+                f"connect() expects a Database, got {type(db).__name__}"
+            )
+        self.db = db
+
+    def prepare(self, sql: str) -> PreparedQuery:
+        """Parse and analyze *sql* into a reusable :class:`PreparedQuery`."""
+        from .sql import compile_sql
+
+        if not isinstance(sql, str):
+            raise InvalidArgumentError(
+                f"prepare() expects SQL text, got {type(sql).__name__}"
+            )
+        return PreparedQuery(self, sql, compile_sql(sql, self.db))
+
+    def execute(
+        self,
+        sql: str,
+        strategy: Union[str, object] = "auto",
+        backend: Optional[str] = None,
+    ) -> Relation:
+        """One-shot convenience: ``prepare(sql).execute(...)``."""
+        return self.prepare(sql).execute(strategy=strategy, backend=backend)
+
+    def strategies(self) -> list:
+        """Strategy names this session can execute (including ``"auto"``)."""
+        from .core.planner import available_strategies
+
+        return available_strategies()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session({self.db.summary().splitlines()[0]!r})"
+
+
+def connect(db: Database) -> Session:
+    """Open a :class:`Session` over an in-memory :class:`Database`."""
+    return Session(db)

@@ -1,0 +1,203 @@
+"""The strategy registry: one catalogue of every evaluation strategy.
+
+Strategies self-register at import time with :func:`register`; the
+planner, the CLI, the benchmark harness and the fuzzer all resolve
+names through this module instead of keeping private name->class
+tables.  Each entry records which execution *backend* the strategy runs
+on (``"row"`` for the tuple-at-a-time iterator engine, ``"vector"`` for
+the columnar batch engine) so the Session API can route
+``execute(backend=...)`` requests without special-casing names.
+
+Registering::
+
+    from repro.strategies import register
+
+    @register("my-strategy", description="...")
+    class MyStrategy:
+        def execute(self, query, db): ...
+
+or, for parameterized variants::
+
+    register("my-strategy-sorted", description="...")(
+        lambda: MyStrategy(nest_impl="sorted")
+    )
+
+``"auto"`` is *not* an entry: it is the planner's routing policy
+(:func:`repro.core.planner.choose_strategy`), accepted by the execution
+entry points but never instantiated from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .errors import PlanError
+
+#: the two execution substrates a strategy can run on
+ROW_BACKEND = "row"
+VECTOR_BACKEND = "vector"
+BACKENDS = (ROW_BACKEND, VECTOR_BACKEND)
+
+#: name of the planner's routing policy (not a registry entry)
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """One registered strategy: its name, factory and backend tag."""
+
+    name: str
+    factory: Callable[[], object]
+    backend: str = ROW_BACKEND
+    description: str = ""
+
+    def make(self) -> object:
+        return self.factory()
+
+
+_REGISTRY: Dict[str, StrategyInfo] = {}
+_loaded = False
+
+
+def register(
+    name: str,
+    *,
+    backend: str = ROW_BACKEND,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[Callable[[], object]], Callable[[], object]]:
+    """Register a strategy factory under *name*; usable as a decorator.
+
+    The factory is any zero-argument callable returning an object with
+    an ``execute(query, db)`` method (a class with a no-arg constructor
+    qualifies).  Re-registering an existing name raises unless
+    ``replace=True`` (tests use replacement to stub strategies).
+    """
+    if backend not in BACKENDS:
+        raise PlanError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if name == AUTO:
+        raise PlanError("'auto' is the planner policy and cannot be registered")
+
+    def _register(factory: Callable[[], object]) -> Callable[[], object]:
+        if name in _REGISTRY and not replace:
+            raise PlanError(f"strategy {name!r} is already registered")
+        _REGISTRY[name] = StrategyInfo(
+            name=name, factory=factory, backend=backend, description=description
+        )
+        return factory
+
+    return _register
+
+
+def unregister(name: str) -> None:
+    """Remove a registry entry (test hook)."""
+    _REGISTRY.pop(name, None)
+
+
+def ensure_loaded() -> None:
+    """Import every module that self-registers strategies.
+
+    Registration happens at module import; this makes 'the registry'
+    deterministic regardless of which submodule a caller touched first.
+    """
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from .core import compute as _compute  # noqa: F401
+    from .core import optimized as _optimized  # noqa: F401
+    from .baselines import (  # noqa: F401
+        agg_rewrite as _agg,
+        boolean_aggregate as _boolagg,
+        count_rewrite as _count,
+        native as _native,
+        nested_iteration as _ni,
+        unnesting as _unnest,
+    )
+    from .engine.vector import strategy as _vector  # noqa: F401
+
+
+def names() -> List[str]:
+    """Sorted names of every registered strategy (without ``"auto"``)."""
+    ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def entries() -> List[StrategyInfo]:
+    """Every registry entry, sorted by name."""
+    ensure_loaded()
+    return [_REGISTRY[name] for name in names()]
+
+
+def info(name: str) -> StrategyInfo:
+    """The :class:`StrategyInfo` registered under *name*."""
+    ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown strategy {name!r}; available: {names() + [AUTO]}"
+        ) from None
+
+
+def is_registered(name: str) -> bool:
+    ensure_loaded()
+    return name in _REGISTRY
+
+
+def make(name: str) -> object:
+    """Instantiate the strategy registered under *name*."""
+    return info(name).make()
+
+
+def resolve(name: str, backend: Optional[str] = None) -> object:
+    """Instantiate a strategy honouring an explicit *backend* request.
+
+    * ``backend=None`` — *name* resolves as registered (any backend).
+    * ``backend="row"`` / ``"vector"`` — *name* must be registered on
+      that backend, except that backend-generic requests map onto their
+      counterpart: asking for ``nested-relational`` on the vector
+      backend returns the vectorized Algorithm 1 and vice versa.
+
+    ``"auto"`` is resolved by the caller (the planner's policy) for the
+    row backend; on the vector backend it maps to the vectorized
+    Algorithm 1 directly.
+    """
+    ensure_loaded()
+    if backend is not None and backend not in BACKENDS:
+        raise PlanError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend is None:
+        return make(name)
+    entry = info(_BACKEND_ALIASES.get(backend, {}).get(name, name))
+    if entry.backend != backend:
+        raise PlanError(
+            f"strategy {entry.name!r} runs on the {entry.backend!r} backend, "
+            f"but backend={backend!r} was requested"
+        )
+    return entry.make()
+
+
+#: backend-generic strategy names mapped to their per-backend entries
+_BACKEND_ALIASES: Dict[str, Dict[str, str]] = {
+    VECTOR_BACKEND: {
+        AUTO: "nested-relational-vectorized",
+        "nested-relational": "nested-relational-vectorized",
+    },
+    ROW_BACKEND: {
+        "nested-relational-vectorized": "nested-relational",
+    },
+}
+
+
+def describe() -> str:
+    """One line per strategy: name, backend, description (CLI listing)."""
+    ensure_loaded()
+    width = max(len(n) for n in names()) if _REGISTRY else 0
+    lines = []
+    for entry in entries():
+        lines.append(
+            f"{entry.name.ljust(width)}  [{entry.backend}]  {entry.description}"
+        )
+    lines.append(f"{AUTO.ljust(width)}  [row]  the paper's routing policy (§4.2)")
+    return "\n".join(lines)

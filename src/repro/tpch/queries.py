@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..engine.catalog import Database
+from ..errors import InvalidArgumentError
 
 #: correlated-predicate variants of Query 3 (paper's (a), (b), (c))
 QUERY3_VARIANTS: Dict[str, Tuple[str, str]] = {
@@ -58,7 +59,7 @@ def query2(
 ) -> str:
     """Paper Query 2 (Figures 5 and 6); *quantifier* is 'any' or 'all'."""
     if quantifier not in ("any", "all"):
-        raise ValueError("quantifier must be 'any' or 'all'")
+        raise InvalidArgumentError("quantifier must be 'any' or 'all'")
     return f"""
     select p_partkey, p_name
     from part
@@ -89,11 +90,11 @@ def query3(
     predicate pair of Section 5.2.
     """
     if quantifier not in ("any", "all"):
-        raise ValueError("quantifier must be 'any' or 'all'")
+        raise InvalidArgumentError("quantifier must be 'any' or 'all'")
     if existential not in ("exists", "not exists"):
-        raise ValueError("existential must be 'exists' or 'not exists'")
+        raise InvalidArgumentError("existential must be 'exists' or 'not exists'")
     if variant not in QUERY3_VARIANTS:
-        raise ValueError(f"variant must be one of {sorted(QUERY3_VARIANTS)}")
+        raise InvalidArgumentError(f"variant must be one of {sorted(QUERY3_VARIANTS)}")
     part_op, supp_op = QUERY3_VARIANTS[variant]
     return f"""
     select p_partkey, p_name
@@ -130,7 +131,7 @@ def pick_date_window(db: Database, target_rows: int) -> Tuple[str, str]:
     """An o_orderdate window [X1, X2) selecting ≈ *target_rows* orders."""
     dates = sorted(db.relation("orders").column_values("o_orderdate"))
     if not dates:
-        raise ValueError("orders is empty")
+        raise InvalidArgumentError("orders is empty")
     target = min(max(target_rows, 1), len(dates))
     start_index = 0
     lo = dates[start_index]
@@ -145,7 +146,7 @@ def pick_size_window(db: Database, target_rows: int) -> Tuple[int, int]:
     """A p_size range [lo, hi] selecting ≈ *target_rows* parts."""
     sizes = sorted(db.relation("part").column_values("p_size"))
     if not sizes:
-        raise ValueError("part is empty")
+        raise InvalidArgumentError("part is empty")
     total = len(sizes)
     target = min(max(target_rows, 1), total)
     # p_size is uniform on 1..50: pick the number of distinct size values
@@ -168,7 +169,7 @@ def pick_availqty(db: Database, target_rows: int) -> int:
     """An availqty cutoff Y selecting ≈ *target_rows* partsupp tuples."""
     values = sorted(db.relation("partsupp").column_values("ps_availqty"))
     if not values:
-        raise ValueError("partsupp is empty")
+        raise InvalidArgumentError("partsupp is empty")
     target = min(max(target_rows, 1), len(values))
     return values[target - 1] + 1
 

@@ -17,6 +17,7 @@ LINEAR_STRATEGIES = [
     "nested-relational-sorted",
     "nested-relational-optimized",
     "nested-relational-bottomup",
+    "nested-relational-vectorized",
     "system-a-native",
     "auto",
 ]
@@ -25,16 +26,17 @@ TREE_CORRELATED_STRATEGIES = [
     "nested-relational",
     "nested-relational-sorted",
     "nested-relational-optimized",
+    "nested-relational-vectorized",
     "system-a-native",
     "auto",
 ]
 
 
 def assert_all_agree(db, sql, strategies):
-    q = repro.compile_sql(sql, db)
-    oracle = repro.execute(q, db, strategy="nested-iteration").sorted()
+    prepared = repro.connect(db).prepare(sql)
+    oracle = prepared.execute(strategy="nested-iteration").sorted()
     for strategy in strategies:
-        result = repro.execute(q, db, strategy=strategy).sorted()
+        result = prepared.execute(strategy=strategy).sorted()
         assert result == oracle, f"{strategy} disagrees with the oracle"
     return oracle
 
@@ -73,8 +75,9 @@ class TestQuery2:
 
     def test_count_and_boolean_baselines(self, tiny_tpch_nulls):
         sql = query2("all", 1, 30, 6000, 25)
-        q = repro.compile_sql(sql, tiny_tpch_nulls)
-        oracle = repro.execute(q, tiny_tpch_nulls, strategy="nested-iteration")
+        prepared = repro.connect(tiny_tpch_nulls).prepare(sql)
+        oracle = prepared.execute(strategy="nested-iteration")
+        q = prepared.query
         assert CountRewriteStrategy().execute(q, tiny_tpch_nulls) == oracle
         assert BooleanAggregateStrategy().execute(q, tiny_tpch_nulls) == oracle
 
@@ -103,9 +106,11 @@ class TestQuery3:
 
 class TestResultShapes:
     def test_query1_result_columns(self, tiny_tpch):
-        out = repro.run_sql(query1("1992-01-01", "1995-01-01"), tiny_tpch)
+        session = repro.connect(tiny_tpch)
+        out = session.execute(query1("1992-01-01", "1995-01-01"))
         assert out.schema.names == ("orders.o_orderkey", "orders.o_orderpriority")
 
     def test_query2_result_columns(self, tiny_tpch):
-        out = repro.run_sql(query2("all", 1, 30, 6000, 25), tiny_tpch)
+        session = repro.connect(tiny_tpch)
+        out = session.execute(query2("all", 1, 30, 6000, 25))
         assert out.schema.names == ("part.p_partkey", "part.p_name")
