@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Morsel-driven parallel vs. single-thread vectorized on Figure 4 (CI gate).
+
+Runs Figure 4 (Query 1, one-level ``> ALL``) with the single-threaded
+columnar strategy and the morsel-driven parallel strategy at 1 and N
+workers on the same database, captures per-operator traces (morsel spans
+included), writes a ``BENCH_parallel_fig4.json`` artifact validated
+against ``schemas/trace.schema.json``, and **fails** (exit 1) unless
+
+* the parallel strategy at ``--threads`` workers is at least
+  ``--min-speedup`` (default 2×) faster than the single-thread
+  vectorized strategy at every series point, and
+* the parallel strategy at 1 worker never regresses below the
+  single-thread vectorized strategy (ratio >= ``--min-regression``).
+
+Usage::
+
+    REPRO_BENCH_SF=0.1 python scripts/bench_parallel.py [--out traces/]
+
+Environment:
+    REPRO_BENCH_SF       TPC-H scale factor (default 0.1)
+    REPRO_BENCH_REPEATS  best-of-N wall times (default 3)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import (  # noqa: E402
+    capturing_traces,
+    default_db,
+    figure4_query1,
+    write_bench_artifact,
+)
+from repro.engine.vector.strategy import (  # noqa: E402
+    ParallelNestedRelationalStrategy,
+)
+from repro.strategies import register  # noqa: E402
+
+BASELINE = "nested-relational-vectorized"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="traces",
+                        help="directory for the BENCH_*.json artifact")
+    parser.add_argument("--name", default="parallel_fig4",
+                        help="artifact name: writes BENCH_<name>.json")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="worker count for the parallel series")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required vectorized/parallel@N wall-time "
+                             "ratio per point")
+    parser.add_argument("--min-regression", type=float, default=1.0,
+                        help="required vectorized/parallel@1 wall-time "
+                             "ratio per point (no-regression floor)")
+    parser.add_argument("--sf", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SF", "0.1")))
+    parser.add_argument("--repeats", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_REPEATS", "3")))
+    args = parser.parse_args(argv)
+
+    one = "nested-relational-parallel@1"
+    many = f"nested-relational-parallel@{args.threads}"
+    register(one, backend="vector", replace=True,
+             description="bench variant: 1 worker")(
+        lambda: ParallelNestedRelationalStrategy(threads=1)
+    )
+    register(many, backend="vector", replace=True,
+             description=f"bench variant: {args.threads} workers")(
+        lambda: ParallelNestedRelationalStrategy(threads=args.threads)
+    )
+    strategies = (BASELINE, one, many)
+
+    print(f"generating TPC-H sf={args.sf} ...", flush=True)
+    db = default_db(sf=args.sf)
+    with capturing_traces():
+        experiment = figure4_query1(db, strategies=strategies,
+                                    repeats=args.repeats)
+
+    print(experiment.format_table("seconds"))
+    print()
+    print(experiment.format_table("cost"))
+    print()
+
+    artifact = write_bench_artifact(args.name, [experiment], args.out,
+                                    args.sf)
+    print(f"wrote {artifact}")
+    validator = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "validate_trace.py")
+    subprocess.run([sys.executable, validator, artifact], check=True)
+
+    failed = False
+    speedups = experiment.speedup(BASELINE, many)
+    for point, ratio in zip(experiment.points, speedups):
+        print(f"  {point.label}: parallel@{args.threads} {ratio:.1f}x faster "
+              f"than vectorized")
+    worst = min(speedups)
+    if worst < args.min_speedup:
+        print(
+            f"FAIL: worst-case parallel@{args.threads} speedup {worst:.2f}x "
+            f"is below the required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+
+    floors = experiment.speedup(BASELINE, one)
+    worst_floor = min(floors)
+    if worst_floor < args.min_regression:
+        print(
+            f"FAIL: parallel@1 regresses to {worst_floor:.2f}x of the "
+            f"single-thread vectorized strategy "
+            f"(floor {args.min_regression:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"OK: parallel@{args.threads} >= {args.min_speedup:.1f}x at every "
+        f"point (worst {worst:.1f}x); parallel@1 floor "
+        f"{worst_floor:.2f}x >= {args.min_regression:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="traces",
                         help="directory for the BENCH_*.json artifact")
+    parser.add_argument("--name", default="vector_fig4",
+                        help="artifact name: writes BENCH_<name>.json "
+                             "(e.g. 'vector_baseline' for the committed "
+                             "perf-trajectory seed)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required row/vector wall-time ratio per point")
     parser.add_argument("--sf", type=float,
@@ -62,7 +66,7 @@ def main(argv=None) -> int:
     print(experiment.format_table("cost"))
     print()
 
-    artifact = write_bench_artifact("vector_fig4", [experiment], args.out,
+    artifact = write_bench_artifact(args.name, [experiment], args.out,
                                     args.sf)
     print(f"wrote {artifact}")
     validator = os.path.join(os.path.dirname(os.path.abspath(__file__)),

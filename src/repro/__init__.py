@@ -68,7 +68,16 @@ from .errors import ReproError
 from .session import PreparedQuery, Session, connect
 from .sql import compile_sql, parse
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# One shim session per database so repeated run_sql() calls share the
+# compile memo instead of re-analyzing the same SQL through a throwaway
+# Session each time; weak keys let databases be collected normally.
+import weakref as _weakref
+
+_SHIM_SESSIONS: "_weakref.WeakKeyDictionary[Database, Session]" = (
+    _weakref.WeakKeyDictionary()
+)
 
 
 def run_sql(
@@ -87,7 +96,11 @@ def run_sql(
         DeprecationWarning,
         stacklevel=2,
     )
-    return connect(db).prepare(text).execute(strategy=strategy, backend=backend)
+    session = _SHIM_SESSIONS.get(db)
+    if session is None:
+        session = connect(db)
+        _SHIM_SESSIONS[db] = session
+    return session.prepare(text).execute(strategy=strategy, backend=backend)
 
 
 __all__ = [

@@ -81,7 +81,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.list_strategies:
         print(repro.strategies.describe())
         return 0
-    session = repro.connect(_load_db(args))
+    session = repro.connect(
+        _load_db(args), plan_cache=not args.no_plan_cache, threads=args.threads
+    )
     prepared = session.prepare(_read_sql(args))
     trace = None
     with collect() as metrics:
@@ -109,9 +111,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             print()
     print(result.to_table(max_rows=args.limit))
     backend_note = f", backend={args.backend}" if args.backend else ""
+    threads_note = f", threads={args.threads}" if args.threads else ""
     print(
         f"\n{len(result)} row(s) in {elapsed:.4f}s "
-        f"[strategy={args.strategy}{backend_note}, "
+        f"[strategy={args.strategy}{backend_note}{threads_note}, "
         f"weighted-cost={metrics.weighted_cost()}]"
     )
     if args.check:
@@ -304,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="execution substrate: tuple-at-a-time "
                                 "iterators or columnar batches "
                                 "(default: the strategy's own)")
+            p.add_argument("--threads", type=int,
+                           help="worker count for morsel-driven parallel "
+                                "execution; >1 routes 'auto' onto "
+                                "nested-relational-parallel")
+            p.add_argument("--no-plan-cache", action="store_true",
+                           dest="no_plan_cache",
+                           help="disable the session's cross-query "
+                                "plan/build cache")
             p.add_argument("--list-strategies", action="store_true",
                            dest="list_strategies",
                            help="list registered strategies and exit")

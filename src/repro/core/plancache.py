@@ -1,0 +1,183 @@
+"""Cross-query caching for sessions.
+
+A :class:`~repro.session.Session` answers many queries against one
+database, and three pieces of work repeat across them:
+
+* **parse → analyze** — :func:`repro.sql.compile_sql` of the identical
+  SQL text yields the identical :class:`~repro.core.blocks.NestedQuery`
+  (analysis only reads the catalog);
+* **strategy resolution** — mapping a ``(strategy, backend, threads)``
+  request onto an executable instance inspects the query shape (the
+  ``auto`` policy) but is otherwise pure;
+* **block reduction builds** — the reduced relations
+  ``T_i = σ_Δi(R_i ⋈ …)`` of Algorithm 1's step one depend only on the
+  block's syntactic :class:`~repro.core.reduce.BlockJoinPlan` and the
+  base tables, not on which query asked.  Two queries sharing a block
+  shape (the common case for dashboards re-issuing parameter-free
+  subqueries) can share the build.
+
+:class:`SessionCache` memoizes all three.  The compile memo is **always
+on** — re-preparing identical SQL never re-runs the analyzer, even with
+``connect(db, plan_cache=False)`` — while strategy and reduce caching
+follow the ``plan_cache`` flag.  Everything is invalidated wholesale
+when the catalog's version counter moves (CREATE/DROP TABLE, index
+creation): cached batches reference table images that may no longer
+exist.
+
+The reduce cache is consulted by ``VectorBackend._reduce_block`` through
+an ambient scope (:func:`reduce_scope` / :func:`current_reduce_cache`),
+installed by the session around each execution — the backend protocol
+itself stays cache-oblivious.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: entries kept per cache table before wholesale eviction; sessions are
+#: not long-lived enough to justify an LRU
+_MAX_ENTRIES = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one session's caches."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    strategy_hits: int = 0
+    strategy_misses: int = 0
+    reduce_hits: int = 0
+    reduce_misses: int = 0
+    invalidations: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"plan hits={self.plan_hits} misses={self.plan_misses}, "
+            f"strategy hits={self.strategy_hits} "
+            f"misses={self.strategy_misses}, "
+            f"reduce hits={self.reduce_hits} misses={self.reduce_misses}, "
+            f"invalidations={self.invalidations}"
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "strategy_hits": self.strategy_hits,
+            "strategy_misses": self.strategy_misses,
+            "reduce_hits": self.reduce_hits,
+            "reduce_misses": self.reduce_misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class SessionCache:
+    """Compile/strategy/reduce memo tables keyed against one catalog
+    version; see the module docstring for what is cached when."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._version: Optional[int] = None
+        self._plans: Dict[str, Any] = {}
+        self._strategies: Dict[Tuple, Any] = {}
+        self._reduced: Dict[Tuple[str, str], Any] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def validate(self, version: int) -> None:
+        """Drop everything if the catalog changed since the last use."""
+        if self._version is None:
+            self._version = version
+            return
+        if version != self._version:
+            self._version = version
+            if self._plans or self._strategies or self._reduced:
+                self.stats.invalidations += 1
+            self._plans.clear()
+            self._strategies.clear()
+            self._reduced.clear()
+
+    @staticmethod
+    def _bound(table: Dict) -> None:
+        if len(table) >= _MAX_ENTRIES:
+            table.clear()
+
+    # -- parse → analyze (always on) ----------------------------------- #
+
+    def plan(self, sql: str) -> Optional[Any]:
+        query = self._plans.get(sql)
+        if query is None:
+            self.stats.plan_misses += 1
+        else:
+            self.stats.plan_hits += 1
+        return query
+
+    def store_plan(self, sql: str, query: Any) -> None:
+        self._bound(self._plans)
+        self._plans[sql] = query
+
+    # -- strategy resolution (plan_cache only) -------------------------- #
+
+    def strategy(self, key: Tuple) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        impl = self._strategies.get(key)
+        if impl is None:
+            self.stats.strategy_misses += 1
+        else:
+            self.stats.strategy_hits += 1
+        return impl
+
+    def store_strategy(self, key: Tuple, impl: Any) -> None:
+        if self.enabled:
+            self._bound(self._strategies)
+            self._strategies[key] = impl
+
+    # -- reduced-relation builds (plan_cache only) ---------------------- #
+
+    def reduced(self, key: Tuple[str, str]) -> Optional[Any]:
+        batch = self._reduced.get(key)
+        if batch is None:
+            self.stats.reduce_misses += 1
+        else:
+            self.stats.reduce_hits += 1
+        return batch
+
+    def store_reduced(self, key: Tuple[str, str], batch: Any) -> None:
+        self._bound(self._reduced)
+        self._reduced[key] = batch
+
+
+# --------------------------------------------------------------------- #
+# Ambient reduce-cache scope
+# --------------------------------------------------------------------- #
+
+_ambient = threading.local()
+
+
+def current_reduce_cache() -> Optional[SessionCache]:
+    """The reduce cache the executing backend may consult, if any."""
+    return getattr(_ambient, "cache", None)
+
+
+@contextmanager
+def reduce_scope(cache: Optional[SessionCache]) -> Iterator[None]:
+    """Expose *cache* to backends for the duration of one execution.
+
+    Passing ``None`` (cache disabled) is allowed and installs nothing,
+    so call sites need no conditional.
+    """
+    if cache is None:
+        yield
+        return
+    previous = getattr(_ambient, "cache", None)
+    _ambient.cache = cache
+    try:
+        yield
+    finally:
+        _ambient.cache = previous

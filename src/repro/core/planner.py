@@ -75,12 +75,19 @@ def resolve_strategy(
     strategy: Union[str, object],
     query: NestedQuery,
     backend: Optional[str] = None,
+    threads: Optional[int] = None,
 ):
-    """Turn a (strategy, backend) request into an executable instance.
+    """Turn a (strategy, backend, threads) request into an executable
+    instance.
 
     *strategy* may be a registry name, ``"auto"``, or an object with an
     ``execute(query, db)`` method (in which case *backend* must be left
     unset: an instance already fixes its own substrate).
+
+    *threads* > 1 routes ``"auto"`` onto the morsel-driven
+    ``nested-relational-parallel`` strategy (unless a row backend was
+    explicitly requested — the row engine is single-threaded) and is
+    forwarded to any resolved strategy exposing ``set_threads``.
     """
     from .. import strategies as registry
 
@@ -90,10 +97,23 @@ def resolve_strategy(
                 "backend cannot be overridden for a strategy instance; "
                 "pass a registry name instead"
             )
-        return strategy
-    if strategy == registry.AUTO and backend in (None, registry.ROW_BACKEND):
-        return choose_strategy(query)
-    return registry.resolve(strategy, backend)
+        impl = strategy
+    elif (
+        strategy == registry.AUTO
+        and threads is not None
+        and threads > 1
+        and backend != registry.ROW_BACKEND
+    ):
+        impl = registry.resolve(
+            "nested-relational-parallel", registry.VECTOR_BACKEND
+        )
+    elif strategy == registry.AUTO and backend in (None, registry.ROW_BACKEND):
+        impl = choose_strategy(query)
+    else:
+        impl = registry.resolve(strategy, backend)
+    if threads is not None and hasattr(impl, "set_threads"):
+        impl.set_threads(threads)
+    return impl
 
 
 def run(
@@ -101,16 +121,17 @@ def run(
     db: Database,
     strategy: Union[str, object] = "auto",
     backend: Optional[str] = None,
+    threads: Optional[int] = None,
 ) -> Relation:
     """Evaluate *query* against *db* (internal, non-deprecated entry).
 
     This is the single execution path behind
     :meth:`repro.session.PreparedQuery.execute`; it resolves the
-    strategy, runs it (under the root trace span when tracing is
-    active), applies root-level ORDER BY/LIMIT and charges the
-    ``rows_produced`` metric.
+    strategy (routing *threads* > 1 onto the parallel vector strategy),
+    runs it (under the root trace span when tracing is active), applies
+    root-level ORDER BY/LIMIT and charges the ``rows_produced`` metric.
     """
-    impl = resolve_strategy(strategy, query, backend)
+    impl = resolve_strategy(strategy, query, backend, threads=threads)
     tracer = current_tracer()
     if tracer is None:
         result = _finalize(impl.execute(query, db), query)
@@ -129,13 +150,16 @@ def run_traced(
     db: Database,
     strategy: Union[str, object] = "auto",
     backend: Optional[str] = None,
+    threads: Optional[int] = None,
 ):
     """Like :func:`run`, under a fresh tracing scope; returns
     ``(result, trace)``."""
     from ..engine.trace import tracing
 
     with tracing() as trace:
-        result = run(query, db, strategy=strategy, backend=backend)
+        result = run(
+            query, db, strategy=strategy, backend=backend, threads=threads
+        )
     return result, trace
 
 

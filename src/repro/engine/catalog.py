@@ -64,10 +64,16 @@ class Table:
 
 
 class Database:
-    """A collection of named tables."""
+    """A collection of named tables.
+
+    Every catalog mutation (table creation/removal, index builds) bumps
+    :attr:`version`, which session-level caches use to invalidate plans
+    and reduced-relation builds keyed against the old catalog.
+    """
 
     def __init__(self) -> None:
         self.tables: Dict[str, Table] = {}
+        self.version = 0
 
     def create_table(
         self,
@@ -89,12 +95,14 @@ class Database:
             raise CatalogError(f"primary key {primary_key!r} not in schema")
         table = Table(name=name, relation=Relation(schema, rows), primary_key=primary_key)
         self.tables[name] = table
+        self.version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         if name not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
         del self.tables[name]
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -114,6 +122,7 @@ class Database:
         key = tuple(refs)
         if key not in table.hash_indexes:
             table.hash_indexes[key] = HashIndex(table.relation, refs)
+            self.version += 1
         return table.hash_indexes[key]
 
     def create_sorted_index(self, table_name: str, ref: str) -> SortedIndex:
@@ -121,6 +130,7 @@ class Database:
         table = self.table(table_name)
         if ref not in table.sorted_indexes:
             table.sorted_indexes[ref] = SortedIndex(table.relation, ref)
+            self.version += 1
         return table.sorted_indexes[ref]
 
     def summary(self) -> str:

@@ -11,6 +11,7 @@ crossover is) are machine-independent.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -103,13 +104,23 @@ class Metrics:
 
 
 # A module-level default makes simple call sites (tests, examples) clean
-# while the harness installs a fresh Metrics per measured run.
-_current = Metrics()
+# while the harness installs a fresh Metrics per measured run.  The
+# *installed* scope is thread-local: morsel workers of the parallel
+# executor each :func:`collect` into their own bundle (merged by the
+# scheduler afterwards) without racing the main thread's counters.
+_default = Metrics()
+_ambient = threading.local()
 
 
 def current_metrics() -> Metrics:
-    """The ambient metrics object operators charge to."""
-    return _current
+    """The ambient metrics object operators charge to.
+
+    Thread-local: a scope installed by :func:`collect` is visible only to
+    the installing thread; other threads fall back to the process-wide
+    default bundle.
+    """
+    current = getattr(_ambient, "current", None)
+    return _default if current is None else current
 
 
 @contextmanager
@@ -121,13 +132,13 @@ def collect() -> Iterator[Metrics]:
     >>> m.get("rows_out") >= 0
     True
     """
-    global _current
-    previous = _current
-    _current = Metrics()
+    previous = getattr(_ambient, "current", None)
+    fresh = Metrics()
+    _ambient.current = fresh
     try:
-        yield _current
+        yield fresh
     finally:
-        _current = previous
+        _ambient.current = previous
 
 
 @dataclass

@@ -41,6 +41,7 @@ Invariants (checked by :func:`trace_invariant_violations` and the
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence
@@ -55,6 +56,12 @@ CONTRACT_PRESERVING = "preserving"  # rows_out == rows_in
 CONTRACT_EXPANDING = "expanding"  # rows_out >= rows_in
 
 _CONTRACTS = (CONTRACT_FILTERING, CONTRACT_PRESERVING, CONTRACT_EXPANDING)
+
+#: span kind of one partition's work under a parallel operator.  Morsel
+#: spans are *not* operator inputs: the pull-model row-accounting check
+#: skips them, since the partitions of one parallel operator collectively
+#: re-describe the parent's own input rather than feeding it.
+KIND_MORSEL = "morsel"
 
 #: self-metrics worth surfacing on an EXPLAIN ANALYZE line, in order
 RENDER_METRICS = (
@@ -277,12 +284,17 @@ class Trace:
 # the ambient tracer
 # ---------------------------------------------------------------------- #
 
-_tracer: Optional[Tracer] = None
+# Thread-local: a span stack is single-threaded by construction, so each
+# thread sees only the tracer it installed itself.  Morsel workers of the
+# parallel executor trace into their own local Tracer and the scheduler
+# grafts the resulting span trees under the dispatching operator's span
+# (kind="morsel") after the workers join.
+_ambient = threading.local()
 
 
 def current_tracer() -> Optional[Tracer]:
-    """The ambient tracer, or None when tracing is disabled."""
-    return _tracer
+    """The ambient tracer of this thread, or None when tracing is off."""
+    return getattr(_ambient, "tracer", None)
 
 
 @contextmanager
@@ -295,14 +307,13 @@ def tracing() -> Iterator[Trace]:
     >>> trace.roots
     []
     """
-    global _tracer
-    previous = _tracer
+    previous = getattr(_ambient, "tracer", None)
     tracer = Tracer()
-    _tracer = tracer
+    _ambient.tracer = tracer
     try:
         yield Trace(tracer)
     finally:
-        _tracer = previous
+        _ambient.tracer = previous
         tracer.finish()
 
 
@@ -319,7 +330,7 @@ def op_span(
     linking selections, phase markers): call sites guard their recording
     with ``if span is not None``.
     """
-    tracer = _tracer
+    tracer = current_tracer()
     if tracer is None:
         yield None
         return

@@ -39,38 +39,28 @@ class VectorBackend:
         }
 
     def _reduce_block(self, block: QueryBlock, db: Database) -> ReducedBlock:
+        from ...core.plancache import current_reduce_cache
+
+        plan = plan_block_join(block)
+        cache = current_reduce_cache()
+        # the build depends only on the syntactic join plan and the base
+        # tables, never on the block index (the _rid column is attached
+        # below, outside the cached image)
+        key = (repr(plan), self.kind) if cache is not None else None
+        cached = cache.reduced(key) if cache is not None else None
         with op_span(
             f"reduce[T{block.index}]",
             kind="phase",
             tables=",".join(block.alias_list),
+            cache=("hit" if cached is not None else
+                   "miss" if cache is not None else "off"),
         ) as span:
-            plan = plan_block_join(block)
-            parts: Dict[str, Batch] = {}
-            for alias, table_name in plan.table_names:
-                batch = table_batch(db.table(table_name))
-                if alias != table_name:
-                    batch = batch.rename_table(alias)
-                batch = kernels.scan(batch, alias)
-                pred = plan.scan_filter(alias)
-                if pred is not None:
-                    batch = kernels.filter_batch(batch, pred)
-                parts[alias] = batch
-            current = parts[plan.aliases[0]]
-            for step in plan.steps:
-                if step.left_keys:
-                    current = kernels.hash_join(
-                        current,
-                        parts[step.alias],
-                        step.left_keys,
-                        step.right_keys,
-                        step.residual,
-                    )
-                else:
-                    current = kernels.cross_join(
-                        current, parts[step.alias], step.residual
-                    )
-            if plan.final_residual is not None:
-                current = kernels.filter_batch(current, plan.final_residual)
+            if cached is not None:
+                current = cached
+            else:
+                current = self._execute_join_plan(plan, db)
+                if cache is not None:
+                    cache.store_reduced(key, current)
             if span is not None:
                 span.add("rows_out", len(current))
         rid = rid_name(block)
@@ -85,6 +75,47 @@ class VectorBackend:
             rid_ref=rid,
             attr_refs=current.schema.names,
         )
+
+    def _execute_join_plan(self, plan, db: Database) -> Batch:
+        """Run one block's scan/filter/join pipeline (cache-oblivious)."""
+        parts: Dict[str, Batch] = {}
+        for alias, table_name in plan.table_names:
+            batch = table_batch(db.table(table_name))
+            if alias != table_name:
+                batch = batch.rename_table(alias)
+            batch = kernels.scan(batch, alias)
+            pred = plan.scan_filter(alias)
+            if pred is not None:
+                batch = self._kernel_filter(batch, pred)
+            parts[alias] = batch
+        current = parts[plan.aliases[0]]
+        for step in plan.steps:
+            if step.left_keys:
+                current = self._kernel_hash_join(
+                    current,
+                    parts[step.alias],
+                    step.left_keys,
+                    step.right_keys,
+                    step.residual,
+                )
+            else:
+                current = self._kernel_cross_join(
+                    current, parts[step.alias], step.residual
+                )
+        if plan.final_residual is not None:
+            current = self._kernel_filter(current, plan.final_residual)
+        return current
+
+    # the physical kernels of the reduce pipeline, overridable by the
+    # parallel subclass without re-stating the plan walk above
+    def _kernel_hash_join(self, left, right, left_keys, right_keys, residual):
+        return kernels.hash_join(left, right, left_keys, right_keys, residual)
+
+    def _kernel_cross_join(self, left, right, residual):
+        return kernels.cross_join(left, right, residual)
+
+    def _kernel_filter(self, batch, predicate):
+        return kernels.filter_batch(batch, predicate)
 
     # -- introspection -------------------------------------------------- #
 

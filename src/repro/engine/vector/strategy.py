@@ -9,9 +9,18 @@ result under the ``vector`` backend tag, which is how
 The default physical nest is the sort-based one (paper §5.1) because
 its factorization is fully vectorized; ``nest_impl="hash"`` selects the
 dict-based variant (same semantics, per-row key building).
+
+``nested-relational-parallel`` is the same driver over the
+morsel-driven :class:`~repro.engine.parallel.ParallelVectorBackend`:
+shared-build morsel joins and partition-parallel nest on a worker pool
+(default width ``os.cpu_count()``, overridable per call via
+``threads=`` / ``--threads`` or the ``REPRO_THREADS`` environment
+variable).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ...core.compute import NestedRelationalStrategy
 from ...strategies import register
@@ -40,3 +49,45 @@ class VectorizedNestedRelationalStrategy(NestedRelationalStrategy):
             strict_when_positive=strict_when_positive,
             backend=VectorBackend(),
         )
+
+
+@register(
+    "nested-relational-parallel",
+    backend="vector",
+    description=(
+        "Algorithm 1 with morsel-driven parallel kernels "
+        "(shared-build morsel joins, partition-parallel nest)"
+    ),
+)
+class ParallelNestedRelationalStrategy(NestedRelationalStrategy):
+    """Algorithm 1 on morsels over a worker pool."""
+
+    name = "nested-relational-parallel"
+
+    def __init__(
+        self,
+        threads: Optional[int] = None,
+        min_partition_rows: Optional[int] = None,
+        virtual_cartesian: bool = True,
+        nest_impl: str = "sorted",
+        strict_when_positive: bool = True,
+    ):
+        # deferred: repro.engine.parallel itself imports this package
+        from ..parallel import ParallelVectorBackend
+
+        super().__init__(
+            virtual_cartesian=virtual_cartesian,
+            nest_impl=nest_impl,
+            strict_when_positive=strict_when_positive,
+            backend=ParallelVectorBackend(
+                threads=threads, min_partition_rows=min_partition_rows
+            ),
+        )
+
+    @property
+    def threads(self) -> int:
+        return self.backend.threads
+
+    def set_threads(self, threads: int) -> None:
+        """The planner's ``threads=`` plumbing (idempotent)."""
+        self.backend.set_threads(threads)

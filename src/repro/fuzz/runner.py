@@ -60,6 +60,7 @@ ALWAYS_STRATEGIES = (
     "nested-relational",
     "nested-relational-sorted",
     "nested-relational-vectorized",
+    "nested-relational-parallel",
     "nested-relational-optimized",
     "system-a-native",
     "auto",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from .core.plancache import SessionCache, reduce_scope
 from .engine.catalog import Database
 from .engine.relation import Relation
 from .errors import InvalidArgumentError
@@ -60,24 +61,34 @@ class PreparedQuery:
         self,
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> Relation:
         """Run the query and return the result :class:`Relation`.
 
         *strategy* is a registry name (see
         :func:`repro.strategies.names`), ``"auto"``, or a strategy
         instance; *backend* is ``"row"``, ``"vector"`` or ``None``
-        (follow the strategy's registration).
+        (follow the strategy's registration).  *threads* > 1 routes onto
+        the morsel-driven parallel strategy (defaults to the session's
+        ``threads`` setting).
         """
         from .core import planner
 
-        return planner.run(
-            self.query, self._session.db, strategy=strategy, backend=backend
-        )
+        strategy, backend, threads = self._resolve(strategy, backend, threads)
+        with reduce_scope(self._session.reduce_cache()):
+            return planner.run(
+                self.query,
+                self._session.db,
+                strategy=strategy,
+                backend=backend,
+                threads=threads,
+            )
 
     def trace(
         self,
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
+        threads: Optional[int] = None,
     ):
         """Run the query under a tracing scope.
 
@@ -86,9 +97,41 @@ class PreparedQuery:
         """
         from .core import planner
 
-        return planner.run_traced(
-            self.query, self._session.db, strategy=strategy, backend=backend
-        )
+        strategy, backend, threads = self._resolve(strategy, backend, threads)
+        with reduce_scope(self._session.reduce_cache()):
+            return planner.run_traced(
+                self.query,
+                self._session.db,
+                strategy=strategy,
+                backend=backend,
+                threads=threads,
+            )
+
+    def _resolve(self, strategy, backend, threads):
+        """Apply the session's thread default and the strategy memo.
+
+        When the plan cache holds a resolved instance for this
+        (strategy, backend, threads) request, the instance is reused and
+        the request collapses to it; otherwise the original triple flows
+        through to the planner (which memoizes the resolution on the way
+        out when caching is on).
+        """
+        from .core import planner
+
+        if threads is None:
+            threads = self._session.threads
+        cache = self._session._cache
+        cache.validate(self._session.db.version)
+        if not isinstance(strategy, str) or not cache.enabled:
+            return strategy, backend, threads
+        key = (self.sql, strategy, backend, threads)
+        impl = cache.strategy(key)
+        if impl is None:
+            impl = planner.resolve_strategy(
+                strategy, self.query, backend, threads=threads
+            )
+            cache.store_strategy(key, impl)
+        return impl, None, None
 
     def explain(
         self,
@@ -110,8 +153,14 @@ class PreparedQuery:
         return text
 
     def describe(self) -> str:
-        """The analyzed block structure (front-end view of the query)."""
-        return self.query.describe()
+        """The analyzed block structure (front-end view of the query),
+        followed by the session's cache counters."""
+        cache = self._session._cache
+        state = "enabled" if cache.enabled else "compile-only"
+        return (
+            f"{self.query.describe()}\n\n"
+            f"plan cache: {state} ({cache.stats.describe()})"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         first = " ".join(self.sql.split())
@@ -121,33 +170,69 @@ class PreparedQuery:
 
 
 class Session:
-    """A connection-like handle binding queries to one database."""
+    """A connection-like handle binding queries to one database.
 
-    def __init__(self, db: Database):
+    *plan_cache* (default on) enables cross-query reuse: strategy
+    resolutions and the vector backend's reduced-relation builds
+    (``T_i = σ_Δi(R_i)``) are memoized across queries and invalidated
+    when the catalog mutates.  Re-preparing identical SQL skips the
+    parser and analyzer regardless of the flag.  *threads* sets the
+    session-wide default for ``execute(threads=...)``.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        plan_cache: bool = True,
+        threads: Optional[int] = None,
+    ):
         if not isinstance(db, Database):
             raise InvalidArgumentError(
                 f"connect() expects a Database, got {type(db).__name__}"
             )
         self.db = db
+        self.threads = threads
+        self._cache = SessionCache(enabled=plan_cache)
+
+    @property
+    def cache_stats(self):
+        """The session's :class:`~repro.core.plancache.CacheStats`."""
+        return self._cache.stats
+
+    def reduce_cache(self) -> Optional[SessionCache]:
+        """The cache executions may store reduced builds in, if enabled."""
+        return self._cache if self._cache.enabled else None
 
     def prepare(self, sql: str) -> PreparedQuery:
-        """Parse and analyze *sql* into a reusable :class:`PreparedQuery`."""
+        """Parse and analyze *sql* into a reusable :class:`PreparedQuery`.
+
+        Identical SQL text is compiled once per catalog version — the
+        memo is always on, independent of ``plan_cache``.
+        """
         from .sql import compile_sql
 
         if not isinstance(sql, str):
             raise InvalidArgumentError(
                 f"prepare() expects SQL text, got {type(sql).__name__}"
             )
-        return PreparedQuery(self, sql, compile_sql(sql, self.db))
+        self._cache.validate(self.db.version)
+        query = self._cache.plan(sql)
+        if query is None:
+            query = compile_sql(sql, self.db)
+            self._cache.store_plan(sql, query)
+        return PreparedQuery(self, sql, query)
 
     def execute(
         self,
         sql: str,
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> Relation:
         """One-shot convenience: ``prepare(sql).execute(...)``."""
-        return self.prepare(sql).execute(strategy=strategy, backend=backend)
+        return self.prepare(sql).execute(
+            strategy=strategy, backend=backend, threads=threads
+        )
 
     def strategies(self) -> list:
         """Strategy names this session can execute (including ``"auto"``)."""
@@ -159,6 +244,15 @@ class Session:
         return f"Session({self.db.summary().splitlines()[0]!r})"
 
 
-def connect(db: Database) -> Session:
-    """Open a :class:`Session` over an in-memory :class:`Database`."""
-    return Session(db)
+def connect(
+    db: Database,
+    plan_cache: bool = True,
+    threads: Optional[int] = None,
+) -> Session:
+    """Open a :class:`Session` over an in-memory :class:`Database`.
+
+    ``plan_cache=False`` disables cross-query strategy/build reuse
+    (identical-SQL compilation is still memoized); *threads* sets the
+    session's default worker count for parallel execution.
+    """
+    return Session(db, plan_cache=plan_cache, threads=threads)

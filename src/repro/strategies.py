@@ -186,6 +186,7 @@ _BACKEND_ALIASES: Dict[str, Dict[str, str]] = {
     },
     ROW_BACKEND: {
         "nested-relational-vectorized": "nested-relational",
+        "nested-relational-parallel": "nested-relational",
     },
 }
 

@@ -1,0 +1,359 @@
+"""Unit tests for the morsel-driven parallel executor.
+
+The parallel kernels must be drop-in replacements for the sequential
+vectorized kernels: same relations out (NULL-key semantics included),
+same Metrics totals, and traces that carry the extra ``kind="morsel"``
+spans while still satisfying every span-tree invariant.  The scheduler
+is forced onto the partitioned path with ``min_partition_rows=1`` so
+even the tiny fixtures exercise real morsel splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import NULL, Column, Schema
+from repro.engine.expressions import Col, Comparison
+from repro.engine.metrics import collect
+from repro.engine.parallel import (
+    DEFAULT_MIN_PARTITION_ROWS,
+    MorselScheduler,
+    ParallelVectorBackend,
+    build_side,
+    default_min_partition_rows,
+    default_threads,
+    equi_match,
+    hash_partitions,
+    joint_codes,
+    probe_match,
+)
+from repro.engine.trace import (
+    KIND_MORSEL,
+    reconcile_with_metrics,
+    trace_invariant_violations,
+    tracing,
+)
+from repro.engine.vector import Batch, Vector, kernels
+from repro.engine.vector.backend import VectorBackend
+
+
+def batch_of(**cols) -> Batch:
+    names = list(cols)
+    vectors = [Vector.from_values(cols[n]) for n in names]
+    n = len(next(iter(cols.values()))) if cols else 0
+    return Batch(Schema([Column(n) for n in names]), vectors, n)
+
+
+def forced(threads: int = 3) -> MorselScheduler:
+    """A scheduler that partitions everything, even two-row batches."""
+    return MorselScheduler(threads=threads, min_partition_rows=1)
+
+
+def rows(batch: Batch):
+    return batch.to_relation().sorted().rows
+
+
+class TestJointCodes:
+    def test_int_keys_match_by_value(self):
+        left = batch_of(a=[1, 2, 3, 2])
+        right = batch_of(b=[2, 9, 1])
+        codes_l, codes_r = joint_codes(left, right, ["a"], ["b"])
+        assert codes_l[1] == codes_r[0]  # 2 == 2
+        assert codes_l[3] == codes_r[0]
+        assert codes_l[0] == codes_r[2]  # 1 == 1
+        assert codes_l[2] not in set(codes_r.tolist())  # 3 unmatched
+
+    def test_int_and_float_keys_collide_like_sql(self):
+        left = batch_of(a=[1, 2])
+        right = batch_of(b=[1.0, 2.5])
+        codes_l, codes_r = joint_codes(left, right, ["a"], ["b"])
+        assert codes_l[0] == codes_r[0]  # 1 == 1.0
+        assert codes_l[1] != codes_r[1]  # 2 != 2.5
+
+    def test_nulls_never_match_even_each_other(self):
+        left = batch_of(a=[1, NULL])
+        right = batch_of(b=[NULL, 1])
+        codes_l, codes_r = joint_codes(left, right, ["a"], ["b"])
+        assert codes_l[1] == -1 and codes_r[0] == -1
+
+    def test_composite_keys(self):
+        left = batch_of(a=[1, 1, 2], b=["x", "y", "x"])
+        right = batch_of(c=[1, 2], d=["y", "x"])
+        codes_l, codes_r = joint_codes(left, right, ["a", "b"], ["c", "d"])
+        assert codes_l[1] == codes_r[0]  # (1, y)
+        assert codes_l[2] == codes_r[1]  # (2, x)
+        assert codes_l[0] not in set(codes_r.tolist())  # (1, x)
+
+    def test_incomparable_kinds_delegate(self):
+        # bool vs int keys need the row engine's group_key semantics
+        left = batch_of(a=[True, False])
+        right = batch_of(b=[1, 0])
+        assert joint_codes(left, right, ["a"], ["b"]) is None
+
+    def test_precision_risky_ints_delegate(self):
+        left = batch_of(a=[2**53 + 1])
+        right = batch_of(b=[1.5])
+        assert joint_codes(left, right, ["a"], ["b"]) is None
+
+
+class TestEquiMatch:
+    def test_pairs_match_brute_force(self):
+        rng = np.random.default_rng(7)
+        codes_l = rng.integers(-1, 5, size=40)
+        codes_r = rng.integers(-1, 5, size=30)
+        li, ri = equi_match(codes_l, codes_r)
+        got = set(zip(li.tolist(), ri.tolist()))
+        want = {
+            (i, j)
+            for i in range(len(codes_l))
+            for j in range(len(codes_r))
+            if codes_l[i] == codes_r[j] and codes_l[i] >= 0
+        }
+        assert got == want
+
+    def test_pair_order_is_probe_major(self):
+        li, _ = equi_match(np.array([3, 1, 3]), np.array([3, 1, 3]))
+        assert li.tolist() == sorted(li.tolist())
+
+    def test_probe_match_positions_are_morsel_local(self):
+        codes_r = np.array([5, 7])
+        sorted_codes, build_rows = build_side(codes_r)
+        li, ri = probe_match(sorted_codes, build_rows, np.array([7, 5]))
+        assert li.tolist() == [0, 1]
+        assert ri.tolist() == [1, 0]
+
+    def test_null_probe_codes_find_nothing(self):
+        sorted_codes, build_rows = build_side(np.array([0, 1, 2]))
+        li, ri = probe_match(sorted_codes, build_rows, np.array([-1, -1]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_null_partition_placement(self):
+        parts = hash_partitions(np.array([-1, 0, 1, 2, 3]), 2)
+        # numpy's -1 % 2 == 1: NULL rows ride in the last partition
+        assert 0 in parts[1].tolist()
+
+
+class TestKernelEquivalence:
+    """Forced-partition parallel kernels == sequential kernels."""
+
+    def _random_sides(self, seed, n_left=23, n_right=17):
+        rng = np.random.default_rng(seed)
+        def col(n, null_rate=0.2):
+            vals = rng.integers(0, 6, size=n).tolist()
+            return [
+                NULL if rng.random() < null_rate else v for v in vals
+            ]
+        left = batch_of(a=col(n_left), p=col(n_left, 0.0))
+        right = batch_of(b=col(n_right), q=col(n_right, 0.0))
+        return left, right
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_hash_join(self, seed, threads):
+        from repro.engine import parallel
+
+        left, right = self._random_sides(seed)
+        seq = kernels.hash_join(left, right, ["a"], ["b"])
+        par = parallel.hash_join(forced(threads), left, right, ["a"], ["b"])
+        assert rows(par) == rows(seq)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_left_outer_hash_join(self, seed, threads):
+        from repro.engine import parallel
+
+        left, right = self._random_sides(seed)
+        seq = kernels.left_outer_hash_join(left, right, ["a"], ["b"])
+        par = parallel.left_outer_hash_join(
+            forced(threads), left, right, ["a"], ["b"]
+        )
+        assert rows(par) == rows(seq)
+
+    @pytest.mark.parametrize("negate", [False, True])
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_existence_joins(self, negate, threads):
+        from repro.engine import parallel
+
+        left, right = self._random_sides(5)
+        which = "anti_join" if negate else "semi_join"
+        seq = getattr(kernels, which)(left, right, ["a"], ["b"])
+        par = getattr(parallel, which)(
+            forced(threads), left, right, ["a"], ["b"]
+        )
+        assert rows(par) == rows(seq)
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_residual_filtering(self, threads):
+        from repro.engine import parallel
+
+        left, right = self._random_sides(9)
+        residual = Comparison("<", Col("p"), Col("q"))
+        seq = kernels.hash_join(left, right, ["a"], ["b"], residual)
+        par = parallel.hash_join(
+            forced(threads), left, right, ["a"], ["b"], residual
+        )
+        assert rows(par) == rows(seq)
+
+    def test_empty_probe_side_delegates(self):
+        from repro.engine import parallel
+
+        left = batch_of(a=[], p=[])
+        right = batch_of(b=[1, 2], q=[3, 4])
+        out = parallel.hash_join(forced(), left, right, ["a"], ["b"])
+        assert len(out) == 0
+
+    def test_incomparable_keys_fall_back_sequential(self):
+        from repro.engine import parallel
+
+        left = batch_of(a=[True, False], p=[1, 2])
+        right = batch_of(b=[1, 0], q=[3, 4])
+        seq = kernels.hash_join(left, right, ["a"], ["b"])
+        par = parallel.hash_join(forced(), left, right, ["a"], ["b"])
+        assert rows(par) == rows(seq)
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_cross_join(self, threads):
+        from repro.engine import parallel
+
+        left = batch_of(a=[1, 2, 3, NULL, 5])
+        right = batch_of(b=[10, 20])
+        seq = kernels.cross_join(left, right)
+        par = parallel.cross_join(forced(threads), left, right)
+        assert rows(par) == rows(seq)
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_filter(self, threads):
+        from repro.engine import parallel
+
+        batch = batch_of(a=[1, NULL, 3, 4, 0, 2])
+        pred = Comparison(">", Col("a"), Col("a"))  # never true
+        seq = kernels.filter_batch(batch, pred)
+        par = parallel.filter_batch(forced(threads), batch, pred)
+        assert rows(par) == rows(seq)
+
+
+class TestScheduler:
+    def test_small_inputs_stay_sequential(self):
+        sched = MorselScheduler(threads=4, min_partition_rows=100)
+        assert sched.sequential(99)
+        assert not sched.sequential(100)
+
+    def test_partition_count_caps_at_threads(self):
+        sched = MorselScheduler(threads=4, min_partition_rows=10)
+        assert sched.partition_count(1000) == 4
+        assert sched.partition_count(25) == 2
+        assert sched.partition_count(5) == 1
+
+    def test_zero_threads_always_sequential(self):
+        assert MorselScheduler(threads=0, min_partition_rows=1).sequential(
+            10**9
+        )
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "7")
+        monkeypatch.setenv("REPRO_MIN_PARTITION_ROWS", "13")
+        assert default_threads() == 7
+        assert default_min_partition_rows() == 13
+        sched = MorselScheduler()
+        assert sched.threads == 7 and sched.min_partition_rows == 13
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        monkeypatch.delenv("REPRO_MIN_PARTITION_ROWS", raising=False)
+        assert default_threads() >= 1
+        assert default_min_partition_rows() == DEFAULT_MIN_PARTITION_ROWS
+
+    def test_set_threads_floor(self):
+        backend = ParallelVectorBackend(threads=4)
+        backend.set_threads(-3)
+        assert backend.threads == 1
+
+
+SQL = (
+    "select o_orderkey from orders where o_totalprice > all "
+    "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+)
+
+
+class TestBackendEndToEnd:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_sequential_vector_backend(
+        self, tiny_tpch_nulls, threads
+    ):
+        from repro.core.compute import NestedRelationalStrategy
+
+        prepared = repro.connect(tiny_tpch_nulls).prepare(SQL)
+        seq = prepared.execute(
+            strategy=NestedRelationalStrategy(backend=VectorBackend())
+        )
+        par = prepared.execute(
+            strategy=NestedRelationalStrategy(
+                backend=ParallelVectorBackend(
+                    threads=threads, min_partition_rows=1
+                )
+            )
+        )
+        assert par.sorted() == seq.sorted()
+
+    def test_registered_strategy_resolves(self, tiny_tpch):
+        prepared = repro.connect(tiny_tpch).prepare(SQL)
+        out = prepared.execute(strategy="nested-relational-parallel")
+        reference = prepared.execute(strategy="nested-relational")
+        assert out.sorted() == reference.sorted()
+
+    def test_morsel_spans_in_trace(self, tiny_tpch):
+        from repro.core.compute import NestedRelationalStrategy
+
+        strategy = NestedRelationalStrategy(
+            backend=ParallelVectorBackend(threads=2, min_partition_rows=1)
+        )
+        with collect() as m:
+            result, trace = repro.connect(tiny_tpch).prepare(SQL).trace(
+                strategy=strategy
+            )
+        morsels = [
+            s for s in trace.root.walk() if s.kind == KIND_MORSEL
+        ]
+        assert morsels, "forced partitioning must emit morsel spans"
+        assert all(s.name.startswith("morsel[") for s in morsels)
+        assert not trace_invariant_violations(trace)
+        assert not reconcile_with_metrics(trace, m.counters)
+
+    def test_small_inputs_emit_no_morsel_spans(self, tiny_tpch):
+        # inputs below the partitioning threshold delegate to the
+        # sequential kernels: no par- wrappers, no morsel spans
+        from repro.core.compute import NestedRelationalStrategy
+
+        strategy = NestedRelationalStrategy(
+            backend=ParallelVectorBackend(
+                threads=2, min_partition_rows=10**6
+            )
+        )
+        _, trace = repro.connect(tiny_tpch).prepare(SQL).trace(
+            strategy=strategy
+        )
+        assert not [
+            s for s in trace.root.walk() if s.kind == KIND_MORSEL
+        ]
+
+    def test_metrics_totals_match_sequential(self, tiny_tpch):
+        # separate uncached sessions: the reduce cache would otherwise
+        # skip the second run's scans and skew the totals
+        from repro.core.compute import NestedRelationalStrategy
+
+        with collect() as seq_m:
+            repro.connect(tiny_tpch, plan_cache=False).prepare(SQL).execute(
+                strategy=NestedRelationalStrategy(backend=VectorBackend())
+            )
+        with collect() as par_m:
+            repro.connect(tiny_tpch, plan_cache=False).prepare(SQL).execute(
+                strategy=NestedRelationalStrategy(
+                    backend=ParallelVectorBackend(
+                        threads=3, min_partition_rows=1
+                    )
+                )
+            )
+        for key in ("hash_build_rows", "hash_probes", "rows_out"):
+            assert par_m.counters.get(key, 0) == seq_m.counters.get(key, 0)

@@ -1,0 +1,213 @@
+"""The session-level plan/build cache and its invalidation contract.
+
+Covers the three memo layers of :class:`repro.core.plancache.SessionCache`
+(compile, strategy resolution, reduced-relation builds), the catalog
+version counter that invalidates them, the ``plan_cache=False`` mode
+(compile memo stays on — satellite fix: repeated ``prepare()`` of
+identical SQL never re-runs the analyzer), the ``run_sql`` shim's
+session reuse, and the ``threads`` routing through
+``resolve_strategy``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.engine import Column
+
+
+SQL = (
+    "select o_orderkey from orders where o_totalprice > all "
+    "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+)
+SIMPLE = "select n_name from nation where n_nationkey < 3"
+
+
+class TestCompileMemo:
+    def test_identical_sql_compiles_once(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        first = session.prepare(SQL)
+        second = session.prepare(SQL)
+        assert second.query is first.query  # same analyzed object
+        assert session.cache_stats.plan_hits == 1
+        assert session.cache_stats.plan_misses == 1
+
+    def test_compile_memo_survives_plan_cache_off(self, tiny_tpch):
+        session = repro.connect(tiny_tpch, plan_cache=False)
+        first = session.prepare(SQL)
+        second = session.prepare(SQL)
+        assert second.query is first.query
+        assert session.cache_stats.plan_hits == 1
+
+    def test_warm_prepare_is_10x_faster_than_cold(self, tiny_tpch):
+        cold = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            repro.connect(tiny_tpch).prepare(SQL)
+            cold.append(time.perf_counter() - t0)
+        session = repro.connect(tiny_tpch)
+        session.prepare(SQL)
+        warm = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            session.prepare(SQL)
+            warm.append(time.perf_counter() - t0)
+        assert min(warm) * 10 <= min(cold), (
+            f"warm prepare {min(warm):.6f}s not 10x faster than cold "
+            f"{min(cold):.6f}s"
+        )
+
+    def test_distinct_sql_is_not_conflated(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        a = session.prepare(SQL)
+        b = session.prepare(SIMPLE)
+        assert a.query is not b.query
+        assert session.cache_stats.plan_hits == 0
+
+
+class TestStrategyAndReduceMemo:
+    def test_strategy_resolution_is_memoized(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        prepared = session.prepare(SQL)
+        prepared.execute(backend="vector")
+        assert session.cache_stats.strategy_misses >= 1
+        prepared.execute(backend="vector")
+        assert session.cache_stats.strategy_hits >= 1
+
+    def test_reduced_builds_are_reused_across_queries(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        prepared = session.prepare(SQL)
+        first = prepared.execute(backend="vector")
+        assert session.cache_stats.reduce_misses >= 1
+        hits_before = session.cache_stats.reduce_hits
+        second = prepared.execute(backend="vector")
+        assert second == first
+        assert session.cache_stats.reduce_hits > hits_before
+
+    def test_disabled_cache_never_counts_reduce_hits(self, tiny_tpch):
+        session = repro.connect(tiny_tpch, plan_cache=False)
+        prepared = session.prepare(SQL)
+        prepared.execute(backend="vector")
+        prepared.execute(backend="vector")
+        assert session.cache_stats.reduce_hits == 0
+        assert session.cache_stats.strategy_hits == 0
+
+    def test_cached_and_uncached_results_agree(self, tiny_tpch_nulls):
+        cached = repro.connect(tiny_tpch_nulls)
+        uncached = repro.connect(tiny_tpch_nulls, plan_cache=False)
+        for _ in range(2):
+            assert (
+                cached.execute(SQL, backend="vector").sorted()
+                == uncached.execute(SQL, backend="vector").sorted()
+            )
+
+
+class TestInvalidation:
+    def test_catalog_mutation_invalidates(self, micro_db):
+        session = repro.connect(micro_db)
+        session.prepare("select a from t")
+        session.execute("select a from t", backend="vector")
+        micro_db.create_table("u", [Column("x")], [(1,)])
+        session.prepare("select a from t")
+        assert session.cache_stats.invalidations == 1
+        # the compile memo was flushed: second prepare was a miss
+        assert session.cache_stats.plan_misses == 2
+
+    def test_version_counts_catalog_changes(self, micro_db):
+        v0 = micro_db.version
+        micro_db.create_table("w", [Column("y")], [(2,)])
+        assert micro_db.version == v0 + 1
+        micro_db.drop_table("w")
+        assert micro_db.version == v0 + 2
+
+    def test_idempotent_index_creation_does_not_invalidate(self, micro_db):
+        micro_db.create_hash_index("t", ["a"])
+        v1 = micro_db.version
+        micro_db.create_hash_index("t", ["a"])  # already built
+        assert micro_db.version == v1
+
+    def test_results_stay_correct_after_mutation(self, micro_db):
+        session = repro.connect(micro_db)
+        before = session.execute("select a from t", backend="vector")
+        micro_db.drop_table("t")
+        micro_db.create_table("t", [Column("a")], [(99,)])
+        after = session.execute("select a from t", backend="vector")
+        assert before.rows != after.rows
+        assert after.rows == [(99,)]
+
+
+@pytest.fixture
+def micro_db():
+    from repro.engine import Database
+
+    db = Database()
+    db.create_table("t", [Column("a")], [(1,), (2,), (3,)])
+    return db
+
+
+class TestDescribeAndShims:
+    def test_describe_shows_cache_counters(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        prepared = session.prepare(SQL)
+        prepared.execute(backend="vector")
+        text = prepared.describe()
+        assert "plan cache: enabled" in text
+        for token in ("plan", "strategy", "reduce"):
+            assert token in text
+
+    def test_describe_marks_disabled_cache(self, tiny_tpch):
+        prepared = repro.connect(tiny_tpch, plan_cache=False).prepare(SQL)
+        assert "plan cache: compile-only" in prepared.describe()
+
+    def test_run_sql_shim_reuses_one_session(self, tiny_tpch):
+        with pytest.deprecated_call():
+            first = repro.run_sql(SIMPLE, tiny_tpch)
+        session = repro._SHIM_SESSIONS[tiny_tpch]
+        with pytest.deprecated_call():
+            second = repro.run_sql(SIMPLE, tiny_tpch)
+        assert repro._SHIM_SESSIONS[tiny_tpch] is session
+        assert session.cache_stats.plan_hits >= 1  # no double analysis
+        assert first == second
+
+
+class TestThreadsRouting:
+    def test_auto_with_threads_routes_to_parallel(self, tiny_tpch):
+        from repro.core.planner import resolve_strategy
+
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        impl = resolve_strategy("auto", query, None, threads=3)
+        assert impl.name == "nested-relational-parallel"
+        assert impl.threads == 3
+
+    def test_auto_single_thread_stays_sequential(self, tiny_tpch):
+        from repro.core.planner import resolve_strategy
+
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        impl = resolve_strategy("auto", query, None, threads=1)
+        assert impl.name != "nested-relational-parallel"
+
+    def test_row_backend_never_parallel(self, tiny_tpch):
+        from repro.core.planner import resolve_strategy
+
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        impl = resolve_strategy("auto", query, "row", threads=4)
+        assert impl.name != "nested-relational-parallel"
+
+    def test_session_threads_default_flows_through(self, tiny_tpch):
+        session = repro.connect(tiny_tpch, threads=2)
+        out = session.execute(SQL, backend="vector")
+        reference = repro.connect(tiny_tpch).execute(SQL, backend="vector")
+        assert out.sorted() == reference.sorted()
+
+    def test_cli_threads_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", SIMPLE, "--tpch", "0.001", "--threads", "2",
+             "--no-plan-cache"]
+        )
+        assert code == 0
+        assert "threads=2" in capsys.readouterr().out

@@ -35,6 +35,18 @@ class TestQuickstartSnippet:
         for name in advertised:
             assert name in available, name
 
+    def test_verbatim_parallel_session_snippet(self):
+        db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+        sql = repro.tpch.query1("1993-01-01", "1994-01-01")
+
+        session = repro.connect(db, threads=4)        # session-wide default
+        query = session.prepare(sql)
+        auto = query.execute()                        # auto → morsel-parallel
+        one = query.execute(threads=1)                # same result, one worker
+        assert auto.sorted() == one.sorted()
+        assert "plan cache: enabled" in query.describe()
+        assert "nested-relational-parallel" in repro.available_strategies()
+
     def test_top_level_exports(self):
         for name in (
             "NULL", "is_null", "Relation", "Database", "NestedQuery",
