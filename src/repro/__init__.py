@@ -68,7 +68,7 @@ from .errors import ReproError
 from .session import PreparedQuery, Session, connect
 from .sql import compile_sql, parse
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # One shim session per database so repeated run_sql() calls share the
 # compile memo instead of re-analyzing the same SQL through a throwaway

@@ -82,7 +82,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(repro.strategies.describe())
         return 0
     session = repro.connect(
-        _load_db(args), plan_cache=not args.no_plan_cache, threads=args.threads
+        _load_db(args),
+        plan_cache=not args.no_plan_cache,
+        threads=args.threads,
+        timeout_ms=args.timeout_ms,
+        memory_limit_mb=args.memory_limit_mb,
+        degrade=args.degrade,
     )
     prepared = session.prepare(_read_sql(args))
     trace = None
@@ -311,6 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker count for morsel-driven parallel "
                                 "execution; >1 routes 'auto' onto "
                                 "nested-relational-parallel")
+            p.add_argument("--timeout-ms", type=float, dest="timeout_ms",
+                           help="abort the query with a typed timeout "
+                                "error once it runs past this deadline")
+            p.add_argument("--memory-limit-mb", type=float,
+                           dest="memory_limit_mb",
+                           help="abort the query once its accounted "
+                                "allocations exceed this budget")
+            p.add_argument("--degrade", choices=("sequential",),
+                           help="retry a failed parallel execution once "
+                                "on the single-threaded vectorized "
+                                "backend before surfacing the error")
             p.add_argument("--no-plan-cache", action="store_true",
                            dest="no_plan_cache",
                            help="disable the session's cross-query "

@@ -38,6 +38,7 @@ from ..errors import PlanError
 from ..strategies import register
 from ..engine.catalog import Database
 from ..engine.expressions import conjoin
+from ..engine.governor import checkpoint
 from ..engine.relation import Relation
 from .backend import RowBackend
 from .blocks import LinkSpec, NestedQuery, QueryBlock
@@ -104,11 +105,13 @@ class NestedRelationalStrategy:
     def execute(self, query: NestedQuery, db: Database) -> Relation:
         """Evaluate *query* against *db*, returning the result relation."""
         backend = self.backend
+        checkpoint("reduce")
         reduced = backend.reduce_all(query, db)
         owner = _attr_owner_map(reduced)
         root = query.root
         rel = reduced[root.index].relation
         rel = self._compute(root, rel, [root], reduced, owner)
+        checkpoint("finalize")
         return backend.finalize(rel, root.select_refs, root.distinct)
 
     # ------------------------------------------------------------------ #
@@ -129,6 +132,7 @@ class NestedRelationalStrategy:
         """
         backend = self.backend
         for child in node.children:
+            checkpoint("operator")
             link = child.link
             assert link is not None
             crel = reduced[child.index]
@@ -173,6 +177,7 @@ class NestedRelationalStrategy:
                 if strict
                 else [r for r in by if owner.get(r) == node.index]
             )
+            checkpoint("nest")
             rel = backend.nest_link(
                 rel,
                 by,

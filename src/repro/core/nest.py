@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
+from ..engine.governor import charge_rows, checkpoint
 from ..engine.metrics import current_metrics
 from ..engine.trace import CONTRACT_FILTERING, op_span
 from ..engine.relation import Relation, Row
@@ -74,6 +75,10 @@ def nest(
     with op_span(
         "nest", contract=CONTRACT_FILTERING, impl="hash", by=",".join(by)
     ) as span:
+        checkpoint("nest")
+        charge_rows(
+            len(relation.rows), len(by) + len(keep), "nest grouping"
+        )
         result = _nest_hash(relation, by, keep, set_name)
         _note_nest(span, relation, result)
     return result
@@ -101,7 +106,9 @@ def _nest_hash(
     member_seen: Dict[tuple, set] = {}
     reps: Dict[tuple, Row] = {}
     order: List[tuple] = []
-    for row in relation.rows:
+    for n, row in enumerate(relation.rows, 1):
+        if not n % 2048:
+            checkpoint("nest")
         metrics.add("rows_nested")
         key = row_group_key(tuple(row[i] for i in by_idx))
         member = tuple(row[i] for i in keep_idx)
@@ -137,6 +144,10 @@ def nest_sorted(
     with op_span(
         "nest", contract=CONTRACT_FILTERING, impl="sorted", by=",".join(by)
     ) as span:
+        checkpoint("nest")
+        charge_rows(
+            len(relation.rows), len(by) + len(keep), "nest grouping"
+        )
         result = _nest_sorted(relation, by, keep, set_name)
         _note_nest(span, relation, result)
     return result
@@ -159,7 +170,9 @@ def _nest_sorted(
     members: List[Row] = []
     seen: set = set()
     prefix: Row = ()
-    for row in rows:
+    for n, row in enumerate(rows, 1):
+        if not n % 2048:
+            checkpoint("nest")
         metrics.add("rows_nested")
         key = row_group_key(tuple(row[i] for i in by_idx))
         if key != current_key:

@@ -41,6 +41,7 @@ from ..errors import PlanError
 from ..strategies import register
 from ..engine.catalog import Database
 from ..engine.expressions import conjoin
+from ..engine.governor import checkpoint
 from ..engine.metrics import current_metrics
 from ..engine.operators import (
     OuterCrossJoin,
@@ -202,7 +203,9 @@ def _single_pass_scan(
         )
         members[level - 1].append((value, block_rid if alive else NULL))
 
-    for row in rows:
+    for n, row in enumerate(rows, 1):
+        if not n % 512:
+            checkpoint("single-pass")
         metrics.add("rows_nested")
         keys = [row_sort_key((row[p],)) for p in rid_pos[:-1]]
         if current is not None:
@@ -432,7 +435,9 @@ def _pushdown_probe(
         else None
     )
     out_rows = []
-    for row in parent_rel.rows:
+    for n, row in enumerate(parent_rel.rows, 1):
+        if not n % 512:
+            checkpoint("pushdown-probe")
         metrics.add("hash_probes")
         metrics.add("linking_evals")
         key_vals = []

@@ -37,8 +37,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-#: entries kept per cache table before wholesale eviction; sessions are
-#: not long-lived enough to justify an LRU
+#: entries kept per memo table; insertion beyond this evicts the oldest
+#: entries of *that table only* (FIFO) — sessions are not long-lived
+#: enough to justify an LRU, but a full plan memo must not nuke the
+#: reduce memo (and vice versa) the way wholesale clearing used to
 _MAX_ENTRIES = 256
 
 
@@ -53,6 +55,7 @@ class CacheStats:
     reduce_hits: int = 0
     reduce_misses: int = 0
     invalidations: int = 0
+    evictions: int = 0
 
     def describe(self) -> str:
         return (
@@ -60,7 +63,8 @@ class CacheStats:
             f"strategy hits={self.strategy_hits} "
             f"misses={self.strategy_misses}, "
             f"reduce hits={self.reduce_hits} misses={self.reduce_misses}, "
-            f"invalidations={self.invalidations}"
+            f"invalidations={self.invalidations}, "
+            f"evictions={self.evictions}"
         )
 
     def snapshot(self) -> Dict[str, int]:
@@ -72,6 +76,7 @@ class CacheStats:
             "reduce_hits": self.reduce_hits,
             "reduce_misses": self.reduce_misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
         }
 
 
@@ -85,7 +90,10 @@ class SessionCache:
         self._version: Optional[int] = None
         self._plans: Dict[str, Any] = {}
         self._strategies: Dict[Tuple, Any] = {}
-        self._reduced: Dict[Tuple[str, str], Any] = {}
+        # keyed (plan repr, backend kind, base-table fingerprints): an
+        # in-place row mutation changes the fingerprint component, so a
+        # stale build misses instead of being served
+        self._reduced: Dict[Tuple, Any] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -102,10 +110,19 @@ class SessionCache:
             self._strategies.clear()
             self._reduced.clear()
 
-    @staticmethod
-    def _bound(table: Dict) -> None:
-        if len(table) >= _MAX_ENTRIES:
-            table.clear()
+    def _bound(self, table: Dict) -> None:
+        """Make room for one insertion: FIFO-evict the oldest entries of
+        *this* memo table only (dicts preserve insertion order).
+
+        Counters stay monotonic: each evicted entry increments
+        ``stats.evictions`` and nothing is ever reset — so a long
+        session's hit/miss/eviction totals always add up across
+        evictions.
+        """
+        while len(table) >= _MAX_ENTRIES:
+            oldest = next(iter(table))
+            del table[oldest]
+            self.stats.evictions += 1
 
     # -- parse → analyze (always on) ----------------------------------- #
 
@@ -140,7 +157,7 @@ class SessionCache:
 
     # -- reduced-relation builds (plan_cache only) ---------------------- #
 
-    def reduced(self, key: Tuple[str, str]) -> Optional[Any]:
+    def reduced(self, key: Tuple) -> Optional[Any]:
         batch = self._reduced.get(key)
         if batch is None:
             self.stats.reduce_misses += 1
@@ -148,7 +165,7 @@ class SessionCache:
             self.stats.reduce_hits += 1
         return batch
 
-    def store_reduced(self, key: Tuple[str, str], batch: Any) -> None:
+    def store_reduced(self, key: Tuple, batch: Any) -> None:
         self._bound(self._reduced)
         self._reduced[key] = batch
 

@@ -28,11 +28,12 @@ from __future__ import annotations
 import warnings
 from typing import Optional, Union
 
-from ..errors import PlanError
+from ..errors import PlanError, ResourceGovernanceError
 from ..engine.catalog import Database
+from ..engine.governor import ResourceGovernor, checkpoint, governed
 from ..engine.metrics import current_metrics
 from ..engine.relation import Relation
-from ..engine.trace import current_tracer
+from ..engine.trace import KIND_GOVERNOR, current_tracer, op_span
 from .blocks import NestedQuery
 from .compute import NestedRelationalStrategy
 from .optimized import (
@@ -116,32 +117,94 @@ def resolve_strategy(
     return impl
 
 
+def _degrade_target(
+    governor: Optional[ResourceGovernor], impl: object, exc: Exception
+) -> Optional[str]:
+    """The registry name to retry on, or None when the error is final.
+
+    The degradation ladder has exactly one rung: a strategy that
+    declares a ``degrade_target`` (the morsel-parallel strategy names
+    the single-threaded vectorized one) is retried once when the
+    governor's policy is ``'sequential'`` and the failure is *not* a
+    governance verdict — a breached deadline or budget has also been
+    breached for any retry, so those always surface.
+    """
+    if governor is None or governor.degrade != "sequential":
+        return None
+    if isinstance(exc, ResourceGovernanceError):
+        return None
+    return getattr(impl, "degrade_target", None)
+
+
+def _run_strategy(
+    impl: object,
+    query: NestedQuery,
+    db: Database,
+    governor: Optional[ResourceGovernor],
+) -> Relation:
+    """Execute *impl*, applying the governor's degradation ladder."""
+    from .. import strategies as registry
+    from ..errors import ReproError
+
+    try:
+        return impl.execute(query, db)
+    except ReproError as exc:
+        target = _degrade_target(governor, impl, exc)
+        if target is None:
+            raise
+        source = getattr(impl, "name", type(impl).__name__)
+        governor.record_degradation(source, target, type(exc).__name__)
+        governor.check("degrade")  # a passed deadline beats the retry
+        retry = registry.make(target)
+        with op_span(
+            "degrade",
+            kind=KIND_GOVERNOR,
+            source=source,
+            target=target,
+            reason=type(exc).__name__,
+        ):
+            return retry.execute(query, db)
+
+
 def run(
     query: NestedQuery,
     db: Database,
     strategy: Union[str, object] = "auto",
     backend: Optional[str] = None,
     threads: Optional[int] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Relation:
     """Evaluate *query* against *db* (internal, non-deprecated entry).
 
     This is the single execution path behind
     :meth:`repro.session.PreparedQuery.execute`; it resolves the
     strategy (routing *threads* > 1 onto the parallel vector strategy),
-    runs it (under the root trace span when tracing is active), applies
+    runs it (under the root trace span when tracing is active, and under
+    the ambient *governor* scope when one is supplied), applies
     root-level ORDER BY/LIMIT and charges the ``rows_produced`` metric.
     """
     impl = resolve_strategy(strategy, query, backend, threads=threads)
-    tracer = current_tracer()
-    if tracer is None:
-        result = _finalize(impl.execute(query, db), query)
-        current_metrics().add("rows_produced", len(result))
-        return result
-    name = getattr(impl, "name", type(impl).__name__)
-    with tracer.span("execute", {"strategy": name}, kind="root") as span:
-        result = _finalize(impl.execute(query, db), query)
-        current_metrics().add("rows_produced", len(result))
-        span.add("rows_out", len(result))
+    with governed(governor):
+        if governor is not None:
+            governor.start()
+        checkpoint("plan")
+        tracer = current_tracer()
+        if tracer is None:
+            result = _finalize(_run_strategy(impl, query, db, governor), query)
+            current_metrics().add("rows_produced", len(result))
+            return result
+        name = getattr(impl, "name", type(impl).__name__)
+        with tracer.span("execute", {"strategy": name}, kind="root") as span:
+            if governor is not None:
+                with tracer.span(
+                    "governor", governor.describe_attrs(), kind=KIND_GOVERNOR
+                ):
+                    result = _run_strategy(impl, query, db, governor)
+            else:
+                result = _run_strategy(impl, query, db, governor)
+            result = _finalize(result, query)
+            current_metrics().add("rows_produced", len(result))
+            span.add("rows_out", len(result))
     return result
 
 
@@ -151,6 +214,7 @@ def run_traced(
     strategy: Union[str, object] = "auto",
     backend: Optional[str] = None,
     threads: Optional[int] = None,
+    governor: Optional[ResourceGovernor] = None,
 ):
     """Like :func:`run`, under a fresh tracing scope; returns
     ``(result, trace)``."""
@@ -158,7 +222,8 @@ def run_traced(
 
     with tracing() as trace:
         result = run(
-            query, db, strategy=strategy, backend=backend, threads=threads
+            query, db, strategy=strategy, backend=backend, threads=threads,
+            governor=governor,
         )
     return result, trace
 

@@ -30,6 +30,7 @@ from ..engine.expressions import (
     conjoin,
     split_conjuncts,
 )
+from ..engine.governor import checkpoint
 from ..engine.operators import Filter, HashJoin, NestedLoopJoin, as_relation
 from ..engine.trace import op_span
 from ..engine.relation import Relation
@@ -64,6 +65,7 @@ def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
         kind="phase",
         tables=",".join(block.alias_list),
     ) as span:
+        checkpoint("reduce")
         joined = _join_block_tables(block, db)
         if span is not None:
             span.add("rows_out", len(joined.rows))

@@ -116,6 +116,46 @@ class Database:
     def relation(self, name: str) -> Relation:
         return self.table(name).relation
 
+    def mutate_table(
+        self,
+        name: str,
+        rows: Optional[Iterable[Row]] = None,
+        mutator=None,
+    ) -> Table:
+        """Mutate a table's rows *through the catalog*.
+
+        Either pass *rows* (wholesale replacement) or a *mutator*
+        callable receiving the :class:`Table` to edit in place.  Both
+        ways, the catalog then rebuilds the table's indexes, drops its
+        cached columnar image and bumps :attr:`version` — so every
+        session-level cache (compiled plans, strategy routes, reduced
+        relations) keyed against the old contents is invalidated.
+
+        This is the sanctioned write path.  Editing
+        ``table.relation.rows`` directly leaves :attr:`version`
+        unchanged; the reduce and batch caches still *detect* such edits
+        via a cheap fingerprint probe, but indexes go silently stale —
+        don't do that.
+        """
+        table = self.table(name)
+        if rows is not None and mutator is not None:
+            raise CatalogError("pass either rows or mutator, not both")
+        if rows is not None:
+            table.relation = Relation(table.schema, rows)
+        elif mutator is not None:
+            mutator(table)
+        table.hash_indexes = {
+            key: HashIndex(table.relation, key) for key in table.hash_indexes
+        }
+        table.sorted_indexes = {
+            ref: SortedIndex(table.relation, ref) for ref in table.sorted_indexes
+        }
+        from .vector.batch import invalidate_table_batch
+
+        invalidate_table_batch(table)
+        self.version += 1
+        return table
+
     def create_hash_index(self, table_name: str, refs: Sequence[str]) -> HashIndex:
         """Build (or return an existing) equality index on *refs*."""
         table = self.table(table_name)

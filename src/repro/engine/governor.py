@@ -1,0 +1,375 @@
+"""Resource governance: deadlines, memory budgets, cooperative cancellation.
+
+The engine's operators are pure and uninterruptible from the outside —
+Algorithm 1 guarantees a correct answer only if every operator runs to
+completion.  A serving layer needs the complement: *bounded* execution
+that can be timed out, cancelled, or capped on memory, and whose
+degraded paths still honor the pk-NULL convention and Kleene 3VL
+semantics (the rewrites that *A Formalisation of SQL with Nulls* shows
+are so easy to break are never re-derived here — degradation re-runs
+the same plan on a slower backend, it never changes the plan).
+
+One :class:`ResourceGovernor` governs one execution.  It carries
+
+* a **deadline** (``timeout_ms``, armed by :meth:`start`),
+* a **cooperative cancellation token** (:meth:`cancel`, thread-safe),
+* a **memory budget** (``memory_limit_mb``) fed by accounting hooks in
+  the hash-join builds, nest grouping and batch materialization
+  (:func:`charge_batch` / :func:`charge_rows` — the same observed
+  row/byte figures the :mod:`~repro.engine.metrics` counters record),
+* a **degradation policy** (``degrade='sequential'`` retries a failed
+  parallel execution once on the single-threaded vectorized backend).
+
+All three limits are checked at *morsel and operator boundaries* via
+:func:`checkpoint`; a breach raises the typed
+:class:`~repro.errors.QueryTimeoutError` /
+:class:`~repro.errors.ResourceExhaustedError` /
+:class:`~repro.errors.QueryCancelledError`.  The governor is installed
+as an ambient, thread-local scope (:func:`governed` /
+:func:`current_governor`) exactly like metrics and tracing; the morsel
+scheduler re-installs the *same* governor object in each worker thread,
+so cancellation and budget accounting are shared across the pool (the
+governor's mutable state is lock-protected).
+
+Fault injection
+---------------
+
+``REPRO_FAULT`` selects a deliberate failure mode that tests, the
+fuzzer and the CI fault-injection job use to exercise every degraded
+path:
+
+* ``worker_crash`` — every morsel dispatched to a *pool thread* raises
+  :class:`~repro.errors.InjectedFaultError`; inline (single-threaded)
+  execution is unaffected, so ``degrade='sequential'`` recovers.
+* ``slow_morsel`` — every checkpoint sleeps ``REPRO_FAULT_MS``
+  milliseconds (default 20) before checking, making any plan
+  deliberately slow so deadline tests are deterministic.
+* ``alloc_spike`` — every checkpoint under a memory-limited governor
+  charges the whole budget at once, tripping
+  :class:`~repro.errors.ResourceExhaustedError` on the next check.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import (
+    InjectedFaultError,
+    InvalidArgumentError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+
+#: accepted values of the ``degrade`` policy
+DEGRADE_MODES = ("sequential",)
+
+#: accepted values of the ``REPRO_FAULT`` environment variable
+FAULT_MODES = ("worker_crash", "slow_morsel", "alloc_spike")
+
+#: rough per-value cost of a Python-object row cell, used by the row
+#: backend's accounting (the vector backend measures array bytes).
+EST_BYTES_PER_VALUE = 48
+
+
+def _positive(value, name: str, unit: str):
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidArgumentError(
+            f"{name} must be a positive number of {unit}, got {value!r}"
+        )
+    if value <= 0:
+        raise InvalidArgumentError(
+            f"{name} must be > 0 ({unit}); got {value!r} — omit it (None) "
+            f"to run ungoverned"
+        )
+    return value
+
+
+def validate_degrade(degrade: Optional[str]) -> Optional[str]:
+    """Normalize/validate a ``degrade`` policy value."""
+    if degrade is None:
+        return None
+    if degrade not in DEGRADE_MODES:
+        raise InvalidArgumentError(
+            f"unknown degrade policy {degrade!r}; expected one of "
+            f"{DEGRADE_MODES} or None"
+        )
+    return degrade
+
+
+class ResourceGovernor:
+    """Per-execution deadline + memory budget + cancellation token.
+
+    Thread-safe: one governor is shared by the dispatching thread and
+    every morsel worker of the execution it governs.  Re-usable: each
+    :meth:`start` re-arms the deadline and zeroes the accounted bytes,
+    so a session-level governor template can be executed repeatedly
+    (the Session API builds a fresh one per call anyway).
+    """
+
+    def __init__(
+        self,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
+    ):
+        self.timeout_ms = _positive(timeout_ms, "timeout_ms", "milliseconds")
+        limit = _positive(memory_limit_mb, "memory_limit_mb", "megabytes")
+        self.memory_limit_bytes: Optional[int] = (
+            None if limit is None else int(limit * 1024 * 1024)
+        )
+        self.degrade = validate_degrade(degrade)
+        self._lock = threading.Lock()
+        self._cancelled = threading.Event()
+        self._deadline: Optional[float] = None
+        self._reserved = 0
+        self._peak = 0
+        #: (from_strategy, to_strategy, reason) degradations this
+        #: governor witnessed — recorded by the planner's ladder
+        self.degradations: List[Tuple[str, str, str]] = []
+        if self.timeout_ms is not None:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ResourceGovernor":
+        """(Re-)arm the deadline and zero the memory account."""
+        with self._lock:
+            self._deadline = (
+                None
+                if self.timeout_ms is None
+                else time.monotonic() + self.timeout_ms / 1000.0
+            )
+            self._reserved = 0
+        return self
+
+    def cancel(self) -> None:
+        """Trip the cancellation token (callable from any thread)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds until the deadline, or None when unbounded."""
+        if self._deadline is None:
+            return None
+        return (self._deadline - time.monotonic()) * 1000.0
+
+    # ------------------------------------------------------------------ #
+    # the checks
+    # ------------------------------------------------------------------ #
+
+    def check(self, site: str = "operator") -> None:
+        """Raise the typed governance error for any tripped limit."""
+        if self._cancelled.is_set():
+            raise QueryCancelledError(
+                f"query cancelled (checked at {site} boundary)"
+            )
+        deadline = self._deadline
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueryTimeoutError(
+                f"query exceeded timeout_ms={self.timeout_ms:g} "
+                f"(checked at {site} boundary)"
+            )
+        limit = self.memory_limit_bytes
+        if limit is not None and self._reserved > limit:
+            self._raise_exhausted(site)
+
+    def charge(self, n_bytes: int, what: str = "allocation") -> None:
+        """Account *n_bytes* of observed allocation; raise on breach.
+
+        The account is cumulative over one execution — a cheap, monotone
+        over-approximation of peak usage that never misses a runaway
+        build (operators materialize their outputs, so sustained growth
+        is exactly what the counter sees).
+        """
+        if n_bytes <= 0:
+            return
+        with self._lock:
+            self._reserved += int(n_bytes)
+            if self._reserved > self._peak:
+                self._peak = self._reserved
+        limit = self.memory_limit_bytes
+        if limit is not None and self._reserved > limit:
+            self._raise_exhausted(what)
+
+    def _raise_exhausted(self, what: str) -> None:
+        limit = self.memory_limit_bytes or 0
+        raise ResourceExhaustedError(
+            f"memory budget exceeded at {what}: ~{self._reserved} bytes "
+            f"accounted > memory_limit_mb={limit / (1024 * 1024):g}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def record_degradation(self, source: str, target: str, reason: str) -> None:
+        self.degradations.append((source, target, reason))
+
+    def describe_attrs(self) -> Dict[str, Any]:
+        """The span attributes a governed execution is tagged with."""
+        attrs: Dict[str, Any] = {}
+        if self.timeout_ms is not None:
+            attrs["timeout_ms"] = self.timeout_ms
+        if self.memory_limit_bytes is not None:
+            attrs["memory_limit_mb"] = self.memory_limit_bytes // (1024 * 1024)
+        if self.degrade is not None:
+            attrs["degrade"] = self.degrade
+        return attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.describe_attrs().items())
+        return f"ResourceGovernor({inner})"
+
+
+# --------------------------------------------------------------------- #
+# Ambient scope (thread-local, explicitly re-installed in pool workers)
+# --------------------------------------------------------------------- #
+
+_ambient = threading.local()
+
+
+def current_governor() -> Optional[ResourceGovernor]:
+    """The governor of this thread's execution, or None (ungoverned)."""
+    return getattr(_ambient, "governor", None)
+
+
+@contextmanager
+def governed(governor: Optional[ResourceGovernor]) -> Iterator[None]:
+    """Install *governor* as the ambient governor for a block.
+
+    ``None`` installs nothing, so call sites need no conditional.  The
+    morsel scheduler uses this to propagate the dispatching thread's
+    governor into each worker (same object — shared token and budget).
+    """
+    if governor is None:
+        yield
+        return
+    previous = getattr(_ambient, "governor", None)
+    _ambient.governor = governor
+    try:
+        yield
+    finally:
+        _ambient.governor = previous
+
+
+# --------------------------------------------------------------------- #
+# Fault injection (REPRO_FAULT)
+# --------------------------------------------------------------------- #
+
+
+def active_fault() -> Optional[str]:
+    """The fault mode selected by ``REPRO_FAULT``, or None.
+
+    Unknown values raise :class:`InvalidArgumentError` rather than
+    silently running fault-free — a typo'd CI matrix entry must fail
+    loudly, not pass vacuously.
+    """
+    value = os.environ.get("REPRO_FAULT", "").strip()
+    if not value:
+        return None
+    if value not in FAULT_MODES:
+        raise InvalidArgumentError(
+            f"unknown REPRO_FAULT mode {value!r}; expected one of {FAULT_MODES}"
+        )
+    return value
+
+
+def fault_sleep_seconds() -> float:
+    """The ``slow_morsel`` per-checkpoint sleep (``REPRO_FAULT_MS``)."""
+    env = os.environ.get("REPRO_FAULT_MS")
+    if env:
+        try:
+            return max(0.0, float(env)) / 1000.0
+        except ValueError:
+            pass
+    return 0.020
+
+
+def maybe_worker_crash() -> None:
+    """Raise the injected crash when ``REPRO_FAULT=worker_crash``.
+
+    Called only from morsels actually dispatched onto a pool thread, so
+    the sequential retry of ``degrade='sequential'`` never re-triggers
+    it.
+    """
+    if active_fault() == "worker_crash":
+        raise InjectedFaultError(
+            "injected worker crash (REPRO_FAULT=worker_crash)"
+        )
+
+
+def checkpoint(site: str = "operator") -> None:
+    """The cooperative boundary check every operator/morsel passes.
+
+    Applies the active fault (sleep / allocation spike) *first*, then
+    checks the ambient governor — so an injected slowdown is observed by
+    the very next deadline check, keeping timeout overshoot bounded by
+    one checkpoint interval.  Ungoverned, fault-free executions pay one
+    ``os.environ`` lookup and one thread-local read.
+    """
+    fault = active_fault()
+    governor = current_governor()
+    if fault == "slow_morsel":
+        time.sleep(fault_sleep_seconds())
+    elif (
+        fault == "alloc_spike"
+        and governor is not None
+        and governor.memory_limit_bytes is not None
+    ):
+        governor.charge(
+            governor.memory_limit_bytes + 1,
+            "injected allocation spike (REPRO_FAULT=alloc_spike)",
+        )
+    if governor is not None:
+        governor.check(site)
+
+
+# --------------------------------------------------------------------- #
+# Accounting hooks (called from the kernels; no-ops when ungoverned)
+# --------------------------------------------------------------------- #
+
+
+def batch_nbytes(batch) -> int:
+    """Observed bytes of a columnar :class:`~...vector.batch.Batch`."""
+    total = 0
+    for column in batch.columns:
+        data = getattr(column.data, "nbytes", 0)
+        valid = getattr(column.valid, "nbytes", 0)
+        total += int(data) + int(valid)
+    return total
+
+
+def charge_batch(batch, what: str = "batch materialization") -> None:
+    """Account a materialized batch against the ambient budget."""
+    governor = current_governor()
+    if governor is None or governor.memory_limit_bytes is None:
+        return
+    governor.charge(batch_nbytes(batch), what)
+
+
+def charge_rows(n_rows: int, width: int, what: str = "build") -> None:
+    """Account *n_rows* × *width* row-engine values against the budget."""
+    governor = current_governor()
+    if governor is None or governor.memory_limit_bytes is None:
+        return
+    governor.charge(n_rows * max(1, width) * EST_BYTES_PER_VALUE, what)

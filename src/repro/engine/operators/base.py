@@ -20,15 +20,29 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, Optional
 
 from ...errors import ExecutionError
+from ..governor import checkpoint, current_governor
 from ..metrics import current_metrics
 from ..relation import Relation, Row
 from ..schema import Schema
 from ..trace import CONTRACT_PRESERVING, Span, Tracer, current_tracer
 
+#: rows between cooperative checkpoints while an operator drains under a
+#: governor — bounds timeout overshoot by the time 512 rows take
+_CHECKPOINT_EVERY = 512
+
 
 def _count_rows_in(source, span: Span) -> Iterator[Row]:
     for row in source:
         span.add("rows_in")
+        yield row
+
+
+def _governed_iter(it: Iterator[Row]) -> Iterator[Row]:
+    n = 0
+    for row in it:
+        n += 1
+        if not n % _CHECKPOINT_EVERY:
+            checkpoint("operator-rows")
         yield row
 
 
@@ -47,9 +61,10 @@ class Operator:
 
     def __iter__(self) -> Iterator[Row]:
         tracer = current_tracer()
-        if tracer is None:
-            return self._iterate()
-        return self._traced_iter(tracer)
+        it = self._iterate() if tracer is None else self._traced_iter(tracer)
+        if current_governor() is None:
+            return it
+        return _governed_iter(it)
 
     def _iterate(self) -> Iterator[Row]:
         raise NotImplementedError

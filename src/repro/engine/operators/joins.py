@@ -56,9 +56,17 @@ class JoinSpec:
 
     def build(self) -> Dict[tuple, List[Row]]:
         """Hash the right input on its key columns (NULL keys skipped)."""
+        from ..governor import charge_rows, checkpoint
+
+        checkpoint("hash-build")
+        charge_rows(
+            len(self.right.rows), len(self.right.schema), "hash-join build"
+        )
         metrics = current_metrics()
         table: Dict[tuple, List[Row]] = {}
-        for row in self.right.rows:
+        for n, row in enumerate(self.right.rows, 1):
+            if not n % 2048:
+                checkpoint("hash-build")
             metrics.add("hash_build_rows")
             key_vals = tuple(row[i] for i in self.right_idx)
             if any(is_null(v) for v in key_vals):

@@ -51,6 +51,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import InvalidArgumentError
+from .governor import (
+    charge_batch,
+    checkpoint,
+    current_governor,
+    governed,
+    maybe_worker_crash,
+)
 from .metrics import collect, current_metrics
 from .trace import (
     CONTRACT_EXPANDING,
@@ -75,15 +83,51 @@ DEFAULT_MIN_PARTITION_ROWS = 2048
 _FLOAT_EXACT_INT = 2 ** 53
 
 
+def validate_threads(value, source: str = "threads") -> Optional[int]:
+    """Validate a worker-count setting; returns the int (or None).
+
+    Shared by every entry point that accepts a thread count
+    (:func:`repro.connect`, ``--threads``, ``REPRO_THREADS``,
+    ``set_threads``), so a bad value fails identically everywhere with
+    :class:`~repro.errors.InvalidArgumentError` instead of being
+    silently clamped.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise InvalidArgumentError(
+            f"{source} must be an integer >= 1, got {value!r}"
+        )
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise InvalidArgumentError(
+                f"{source} must be an integer >= 1, got {value!r}"
+            ) from None
+    if not isinstance(value, int):
+        raise InvalidArgumentError(
+            f"{source} must be an integer >= 1, got {value!r}"
+        )
+    if value < 1:
+        raise InvalidArgumentError(
+            f"{source} must be >= 1, got {value}; pass 1 for sequential "
+            f"execution"
+        )
+    return value
+
+
 def default_threads() -> int:
     """The scheduler's default worker count: ``REPRO_THREADS`` env var
-    if set, else ``os.cpu_count()``."""
+    if set, else ``os.cpu_count()``.
+
+    A malformed ``REPRO_THREADS`` raises instead of silently falling
+    back — a typo'd CI matrix entry must not quietly change the tested
+    configuration.
+    """
     env = os.environ.get("REPRO_THREADS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    if env and env.strip():
+        return validate_threads(env, "REPRO_THREADS")
     return os.cpu_count() or 1
 
 
@@ -135,7 +179,8 @@ class MorselScheduler:
         threads: Optional[int] = None,
         min_partition_rows: Optional[int] = None,
     ):
-        self.threads = threads if threads is not None else default_threads()
+        validated = validate_threads(threads)
+        self.threads = validated if validated is not None else default_threads()
         self.min_partition_rows = (
             min_partition_rows
             if min_partition_rows is not None
@@ -145,8 +190,14 @@ class MorselScheduler:
     # ------------------------------------------------------------------ #
 
     def sequential(self, n_rows: int) -> bool:
-        """Whether an operator over *n_rows* should skip partitioning."""
-        return self.threads <= 0 or n_rows < max(1, self.min_partition_rows)
+        """Whether an operator over *n_rows* should skip partitioning.
+
+        One worker still takes the partitioned path: the shared-build
+        codes kernels beat the sequential dict kernels even on a single
+        core (``threads=0`` is rejected at construction, not treated as
+        a sequential spelling).
+        """
+        return n_rows < max(1, self.min_partition_rows)
 
     def partition_count(self, n_rows: int) -> int:
         """Number of hash partitions for an *n_rows* input."""
@@ -169,37 +220,73 @@ class MorselScheduler:
         Each task receives its (possibly ``None``) morsel span.  Metric
         deltas are merged into the caller's ambient scope and span trees
         are grafted under *parent* after all tasks complete.
+
+        **Clean drain on failure**: a morsel that raises does not poison
+        the pool — every submitted future still runs to completion, every
+        morsel's metric deltas are merged and every (possibly aborted)
+        span tree is grafted, and only *then* is the first error in task
+        order re-raised.  That keeps partial traces structurally valid
+        (aborted spans are skipped by the contract checks) and Metrics
+        reconciliation exact even for failed or degraded executions.
+
+        The dispatching thread's ambient :class:`ResourceGovernor` is
+        re-installed inside each worker (same object — shared deadline,
+        budget and cancellation token), and each morsel passes a
+        :func:`~repro.engine.governor.checkpoint` before doing work.
         """
         traced = parent is not None and current_tracer() is not None
+        governor = current_governor()
 
-        def harness(index: int, task) -> Tuple[object, Dict[str, int], list]:
-            with collect() as local:
-                if not traced:
-                    return task(None), local.counters, []
-                with tracing() as trace:
-                    with op_span(
-                        f"morsel[{index}]", kind=KIND_MORSEL, part=index
-                    ) as span:
-                        value = task(span)
-                return value, local.counters, trace.roots
+        def harness(
+            index: int, task, pooled: bool
+        ) -> Tuple[object, Dict[str, int], list, Optional[Exception]]:
+            value: object = None
+            roots: list = []
+            err: Optional[Exception] = None
+            with governed(governor), collect() as local:
+                try:
+                    if pooled:
+                        maybe_worker_crash()
+                    checkpoint("morsel")
+                    if not traced:
+                        value = task(None)
+                    else:
+                        with tracing() as trace:
+                            try:
+                                with op_span(
+                                    f"morsel[{index}]",
+                                    kind=KIND_MORSEL,
+                                    part=index,
+                                ) as span:
+                                    value = task(span)
+                            finally:
+                                roots = trace.roots
+                except Exception as exc:
+                    err = exc
+            return value, local.counters, roots, err
 
         if self.threads <= 1 or len(tasks) <= 1:
-            outcomes = [harness(i, t) for i, t in enumerate(tasks)]
+            outcomes = [harness(i, t, False) for i, t in enumerate(tasks)]
         else:
             pool = _pool(self.threads)
             futures = [
-                pool.submit(harness, i, t) for i, t in enumerate(tasks)
+                pool.submit(harness, i, t, True) for i, t in enumerate(tasks)
             ]
             outcomes = [f.result() for f in futures]
 
         metrics = current_metrics()
         results: List[object] = []
-        for value, counters, roots in outcomes:
+        first_err: Optional[Exception] = None
+        for value, counters, roots, err in outcomes:
             for name, amount in counters.items():
                 metrics.add(name, amount)
             if parent is not None:
                 parent.children.extend(roots)
+            if err is not None and first_err is None:
+                first_err = err
             results.append(value)
+        if first_err is not None:
+            raise first_err
         return results
 
 
@@ -362,6 +449,7 @@ def _vstack_all(batches: Sequence[Batch]) -> Batch:
     parts = [b for b in batches if b is not None]
     assert parts, "vstack of no batches"
     if len(parts) == 1:
+        charge_batch(parts[0], "morsel output materialization")
         return parts[0]
     first = parts[0]
     columns = []
@@ -381,7 +469,9 @@ def _vstack_all(batches: Sequence[Batch]) -> Batch:
             for v in vecs[1:]:
                 col = Vector.vstack(col, v)
             columns.append(col)
-    return Batch(first.schema, columns, sum(len(b) for b in parts))
+    out = Batch(first.schema, columns, sum(len(b) for b in parts))
+    charge_batch(out, "morsel output materialization")
+    return out
 
 
 def _describe_keys(left_keys: Sequence[str], right_keys: Sequence[str]) -> str:
@@ -425,6 +515,12 @@ def _prepare_join(
         return None
     codes_l, codes_r = codes
     sorted_codes, build_rows = build_side(codes_r)
+    governor = current_governor()
+    if governor is not None and governor.memory_limit_bytes is not None:
+        governor.charge(
+            codes_l.nbytes + sorted_codes.nbytes + build_rows.nbytes,
+            "morsel-join build structure",
+        )
     return codes_l, sorted_codes, build_rows, _row_slices(sched, len(left))
 
 
@@ -855,7 +951,12 @@ class ParallelVectorBackend(VectorBackend):
         return self.scheduler.threads
 
     def set_threads(self, threads: int) -> None:
-        self.scheduler.threads = max(1, int(threads))
+        value = validate_threads(threads)
+        if value is None:
+            raise InvalidArgumentError(
+                "threads must be an integer >= 1, got None"
+            )
+        self.scheduler.threads = value
 
     # -- reduce-plan kernels (used by _reduce_block) -------------------- #
 

@@ -84,6 +84,23 @@ class Relation:
         i = self.schema.index_of(ref)
         return [r[i] for r in self.rows]
 
+    def fingerprint(self) -> Tuple[int, int, int]:
+        """A cheap staleness probe: ``(len, hash(first), hash(last))``.
+
+        Caches keyed on a relation compare this on every hit to catch
+        *in-place* row mutation that bypassed the catalog's version
+        counter (see :meth:`~repro.engine.catalog.Database.mutate_table`).
+        O(1) — it deliberately trades completeness (same-length interior
+        edits with untouched endpoints slip through) for zero overhead on
+        the hot path; use ``mutate_table`` for guaranteed invalidation.
+        """
+        if not self.rows:
+            return (0, 0, 0)
+        try:
+            return (len(self.rows), hash(self.rows[0]), hash(self.rows[-1]))
+        except TypeError:  # unhashable cell (nested relation value)
+            return (len(self.rows), id(self.rows[0]), id(self.rows[-1]))
+
     def distinct(self) -> "Relation":
         """Set-semantics copy: duplicates removed (NULLs group together)."""
         seen = set()

@@ -48,7 +48,11 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from .metrics import current_metrics
 
-TRACE_FORMAT_VERSION = 1
+#: version 2 added ``kind="governor"`` spans (resource governance /
+#: degradation events) and the ``aborted`` span attribute; version-1
+#: documents remain valid (the change is purely additive).
+TRACE_FORMAT_VERSION = 2
+SUPPORTED_TRACE_VERSIONS = (1, TRACE_FORMAT_VERSION)
 
 #: cardinality contracts — see module docstring
 CONTRACT_FILTERING = "filtering"  # rows_out <= rows_in
@@ -62,6 +66,14 @@ _CONTRACTS = (CONTRACT_FILTERING, CONTRACT_PRESERVING, CONTRACT_EXPANDING)
 #: skips them, since the partitions of one parallel operator collectively
 #: re-describe the parent's own input rather than feeding it.
 KIND_MORSEL = "morsel"
+
+#: span kind of resource-governance events: the wrapper span tagging a
+#: governed execution with its limits, and the ``degrade`` span that
+#: contains a sequential retry after a parallel failure.  Governor spans
+#: are bookkeeping, not operators: the row-accounting and contract
+#: checks skip them, but their children (the retried operator tree) are
+#: checked as usual.
+KIND_GOVERNOR = "governor"
 
 #: self-metrics worth surfacing on an EXPLAIN ANALYZE line, in order
 RENDER_METRICS = (
@@ -118,6 +130,21 @@ class Span:
 
     def add(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def mark_aborted(self, reason: str = "error") -> None:
+        """Tag the span as unwound by an exception.
+
+        An aborted span's counters describe *partial* work (an operator
+        may have recorded ``rows_in`` but died before ``rows_out``), so
+        the cardinality-contract and row-accounting invariants skip it —
+        that is what keeps partial span trees from failed or degraded
+        executions valid.
+        """
+        self.attrs["aborted"] = reason
+
+    @property
+    def aborted(self) -> bool:
+        return "aborted" in self.attrs
 
     def set(self, name: str, value: int) -> None:
         self.counters[name] = value
@@ -239,6 +266,9 @@ class Tracer:
         span = self.open(name, attrs, kind=kind, contract=contract)
         try:
             yield span
+        except BaseException as exc:
+            span.mark_aborted(type(exc).__name__)
+            raise
         finally:
             self.close(span)
 
@@ -337,6 +367,9 @@ def op_span(
     span = tracer.open(name, attrs, kind=kind, contract=contract)
     try:
         yield span
+    except BaseException as exc:
+        span.mark_aborted(type(exc).__name__)
+        raise
     finally:
         tracer.close(span)
 
@@ -376,6 +409,10 @@ def _span_violations(span: Span) -> List[str]:
     for name, value in sorted(span.counters.items()):
         if value < 0:
             out.append(f"{where} counter {name!r} is negative ({value})")
+    if span.aborted:
+        # partial work: the structural checks below assume the operator
+        # ran to completion, which an aborted span by definition did not
+        return out
     rows_in = span.counters.get("rows_in")
     rows_out = span.counters.get("rows_out", 0)
     if span.contract is not None and rows_in is not None:
@@ -491,9 +528,10 @@ def validate_trace_dict(data: Any) -> List[str]:
     problems: List[str] = []
     if not isinstance(data, dict):
         return ["trace document must be an object"]
-    if data.get("version") != TRACE_FORMAT_VERSION:
+    if data.get("version") not in SUPPORTED_TRACE_VERSIONS:
         problems.append(
-            f"version must be {TRACE_FORMAT_VERSION}, got {data.get('version')!r}"
+            f"version must be one of {SUPPORTED_TRACE_VERSIONS}, "
+            f"got {data.get('version')!r}"
         )
     spans = data.get("spans")
     if not isinstance(spans, list):

@@ -17,6 +17,7 @@ import numpy as np
 from ...core.blocks import NestedQuery, QueryBlock
 from ...core.reduce import ReducedBlock, plan_block_join, rid_name
 from ..catalog import Database
+from ..governor import charge_batch, checkpoint
 from ..schema import Column, Schema
 from ..trace import op_span
 from .batch import Batch, table_batch
@@ -41,12 +42,20 @@ class VectorBackend:
     def _reduce_block(self, block: QueryBlock, db: Database) -> ReducedBlock:
         from ...core.plancache import current_reduce_cache
 
+        checkpoint("reduce-block")
         plan = plan_block_join(block)
         cache = current_reduce_cache()
         # the build depends only on the syntactic join plan and the base
         # tables, never on the block index (the _rid column is attached
-        # below, outside the cached image)
-        key = (repr(plan), self.kind) if cache is not None else None
+        # below, outside the cached image).  The base tables' fingerprints
+        # are part of the key: a cached build over rows that were since
+        # mutated in place (bypassing Database.version) misses instead of
+        # serving stale data.
+        key = (
+            (repr(plan), self.kind, self._tables_fingerprint(plan, db))
+            if cache is not None
+            else None
+        )
         cached = cache.reduced(key) if cache is not None else None
         with op_span(
             f"reduce[T{block.index}]",
@@ -76,11 +85,21 @@ class VectorBackend:
             attr_refs=current.schema.names,
         )
 
+    @staticmethod
+    def _tables_fingerprint(plan, db: Database):
+        """The fingerprints of every base table a join plan reads."""
+        return tuple(
+            db.table(table_name).relation.fingerprint()
+            for _alias, table_name in plan.table_names
+        )
+
     def _execute_join_plan(self, plan, db: Database) -> Batch:
         """Run one block's scan/filter/join pipeline (cache-oblivious)."""
         parts: Dict[str, Batch] = {}
         for alias, table_name in plan.table_names:
+            checkpoint("scan")
             batch = table_batch(db.table(table_name))
+            charge_batch(batch, f"table materialization ({table_name})")
             if alias != table_name:
                 batch = batch.rename_table(alias)
             batch = kernels.scan(batch, alias)
@@ -90,6 +109,7 @@ class VectorBackend:
             parts[alias] = batch
         current = parts[plan.aliases[0]]
         for step in plan.steps:
+            checkpoint("join-step")
             if step.left_keys:
                 current = self._kernel_hash_join(
                     current,

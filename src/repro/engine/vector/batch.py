@@ -9,9 +9,10 @@ boundary back to rows is crossed exactly once, in
 ``VectorBackend.finalize``.
 
 Base tables are converted lazily and the conversion is cached on the
-:class:`~repro.engine.catalog.Table` object (tables are immutable once
-created), so repeated queries over one database pay the row→column cost
-once.
+:class:`~repro.engine.catalog.Table` object, revalidated against the
+relation's fingerprint on every hit, so repeated queries over one
+database pay the row→column cost once while catalog mutations (and even
+direct row edits) take effect.
 """
 
 from __future__ import annotations
@@ -121,9 +122,27 @@ class Batch:
 
 
 def table_batch(table: Table) -> Batch:
-    """The columnar image of a base table, cached on the table object."""
+    """The columnar image of a base table, cached on the table object.
+
+    The cache entry stores the source relation's
+    :meth:`~repro.engine.relation.Relation.fingerprint` and is rebuilt
+    whenever it no longer matches — so direct in-place row mutation that
+    bypassed :meth:`~repro.engine.catalog.Database.mutate_table` is
+    still *detected* (cheaply, not exhaustively: the probe is
+    length + endpoint hashes, see ``fingerprint``).
+    """
+    fp = table.relation.fingerprint()
     cached = getattr(table, _TABLE_CACHE_ATTR, None)
-    if cached is None:
-        cached = Batch.from_relation(table.relation)
-        setattr(table, _TABLE_CACHE_ATTR, cached)
-    return cached
+    if cached is not None:
+        batch, cached_fp = cached
+        if cached_fp == fp:
+            return batch
+    batch = Batch.from_relation(table.relation)
+    setattr(table, _TABLE_CACHE_ATTR, (batch, fp))
+    return batch
+
+
+def invalidate_table_batch(table: Table) -> None:
+    """Drop a table's cached columnar image (catalog mutation hook)."""
+    if getattr(table, _TABLE_CACHE_ATTR, None) is not None:
+        setattr(table, _TABLE_CACHE_ATTR, None)

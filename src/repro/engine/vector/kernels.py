@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..governor import charge_batch, charge_rows
 from ..metrics import current_metrics
 from ..trace import (
     CONTRACT_EXPANDING,
@@ -105,6 +106,7 @@ def _match_pairs(
         ri = np.tile(np.arange(nr, dtype=np.int64), nl)
         return li, ri
     metrics.add("hash_build_rows", nr)
+    charge_rows(nr, len(right_keys), "hash-join build")
     index: dict = {}
     for j, key in enumerate(_key_rows(right, right_keys)):
         if key is None:
@@ -149,6 +151,7 @@ def hash_join(
         if residual is not None:
             keep = _residual_keep(out, residual)
             out = out.take(np.flatnonzero(keep))
+        charge_batch(out, "hash-join output")
         current_metrics().add("rows_out", len(out))
         _note(span, len(left), len(out))
     return out
@@ -186,6 +189,7 @@ def left_outer_hash_join(
         out = Batch.concat_columns(
             left.take(all_li), right.take_padded(all_ri)
         )
+        charge_batch(out, "outer-join output")
         metrics.add("null_padded_rows", len(pad))
         metrics.add("rows_out", len(out))
         _note(span, len(left), len(out))
@@ -263,6 +267,7 @@ def cross_join(left: Batch, right: Batch, residual=None) -> Batch:
         if residual is not None:
             keep = _residual_keep(out, residual)
             out = out.take(np.flatnonzero(keep))
+        charge_batch(out, "cross-join output")
         current_metrics().add("rows_out", len(out))
         _note(span, len(left), len(out))
     return out
@@ -311,6 +316,7 @@ def group_ids(batch: Batch, by: Sequence[str], method: str) -> Tuple[np.ndarray,
         return np.empty(0, dtype=np.int64), 0
     if not by:
         return np.zeros(n, dtype=np.int64), 1
+    charge_rows(n, len(by), "nest grouping")
     if method == "hash":
         key_cols = [batch.column(r).join_keys() for r in by]
         mapping: dict = {}

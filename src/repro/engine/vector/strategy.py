@@ -63,6 +63,9 @@ class ParallelNestedRelationalStrategy(NestedRelationalStrategy):
     """Algorithm 1 on morsels over a worker pool."""
 
     name = "nested-relational-parallel"
+    #: where the governor's ``degrade='sequential'`` ladder retries a
+    #: failed parallel execution: same plan, single-threaded kernels
+    degrade_target = "nested-relational-vectorized"
 
     def __init__(
         self,

@@ -71,3 +71,44 @@ class CatalogError(ReproError):
 
 class ExecutionError(ReproError):
     """A physical operator failed at run time."""
+
+
+class InjectedFaultError(ExecutionError):
+    """A deliberate failure injected via ``REPRO_FAULT`` (tests/fuzzing).
+
+    Subclasses :class:`ExecutionError` so the fault exercises exactly the
+    recovery paths a real worker failure would: the morsel pool drains,
+    and ``degrade='sequential'`` retries on the single-threaded backend.
+    """
+
+
+class ResourceGovernanceError(ExecutionError):
+    """Base class for errors raised by the per-execution
+    :class:`~repro.engine.governor.ResourceGovernor` (deadline, memory
+    budget, cooperative cancellation).
+
+    These are *final* verdicts: the degradation ladder never retries a
+    governance breach — a deadline that passed on the parallel backend
+    has also passed for a sequential retry.
+    """
+
+
+class QueryTimeoutError(ResourceGovernanceError):
+    """The execution ran past its ``timeout_ms`` deadline.
+
+    Raised cooperatively at morsel and operator boundaries, so the
+    overshoot is bounded by the longest uninterruptible operator step.
+    """
+
+
+class ResourceExhaustedError(ResourceGovernanceError):
+    """The execution's accounted allocations exceeded ``memory_limit_mb``.
+
+    Fed by the accounting hooks in hash-join builds, nest grouping and
+    batch materialization; the estimate is approximate but monotone.
+    """
+
+
+class QueryCancelledError(ResourceGovernanceError):
+    """The execution's cancellation token was triggered
+    (:meth:`~repro.engine.governor.ResourceGovernor.cancel`)."""

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.blocks import NestedQuery
 from ..core.planner import make_strategy, run
 from ..engine.catalog import Database
+from ..engine.governor import ResourceGovernor, active_fault
 from ..engine.metrics import collect
 from ..engine.trace import (
     Trace,
@@ -328,7 +329,14 @@ class DifferentialRunner:
     ) -> Relation:
         if impl is not None:
             return impl.execute(query, db)
-        return run(query, db, strategy=name)
+        governor = None
+        if active_fault() is not None:
+            # CI's fault-injection job rotates REPRO_FAULT while running
+            # this same differential sweep: injected worker crashes must
+            # degrade to the sequential backend and still match the
+            # oracle, so every fault-mode run is governed.
+            governor = ResourceGovernor(degrade="sequential")
+        return run(query, db, strategy=name, governor=governor)
 
     # ------------------------------------------------------------------ #
     # trace provenance

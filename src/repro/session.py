@@ -34,6 +34,8 @@ from typing import Optional, Union
 
 from .core.plancache import SessionCache, reduce_scope
 from .engine.catalog import Database
+from .engine.governor import ResourceGovernor, validate_degrade
+from .engine.parallel import validate_threads
 from .engine.relation import Relation
 from .errors import InvalidArgumentError
 
@@ -62,6 +64,9 @@ class PreparedQuery:
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
         threads: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
     ) -> Relation:
         """Run the query and return the result :class:`Relation`.
 
@@ -71,10 +76,18 @@ class PreparedQuery:
         (follow the strategy's registration).  *threads* > 1 routes onto
         the morsel-driven parallel strategy (defaults to the session's
         ``threads`` setting).
+
+        *timeout_ms* / *memory_limit_mb* bound the execution (typed
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.ResourceExhaustedError` on breach);
+        ``degrade="sequential"`` retries a failed parallel execution
+        once on the single-threaded vectorized backend.  Each setting
+        defaults to the session-wide value from :func:`connect`.
         """
         from .core import planner
 
         strategy, backend, threads = self._resolve(strategy, backend, threads)
+        governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
         with reduce_scope(self._session.reduce_cache()):
             return planner.run(
                 self.query,
@@ -82,6 +95,7 @@ class PreparedQuery:
                 strategy=strategy,
                 backend=backend,
                 threads=threads,
+                governor=governor,
             )
 
     def trace(
@@ -89,15 +103,22 @@ class PreparedQuery:
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
         threads: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
     ):
         """Run the query under a tracing scope.
 
         Returns ``(result, trace)`` where *trace* is the
         :class:`~repro.engine.trace.Trace` span tree of the execution.
+        Governance options match :meth:`execute`; a governed execution's
+        trace carries a ``kind="governor"`` span recording the limits
+        (and a ``degrade`` span around any sequential retry).
         """
         from .core import planner
 
         strategy, backend, threads = self._resolve(strategy, backend, threads)
+        governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
         with reduce_scope(self._session.reduce_cache()):
             return planner.run_traced(
                 self.query,
@@ -105,6 +126,7 @@ class PreparedQuery:
                 strategy=strategy,
                 backend=backend,
                 threads=threads,
+                governor=governor,
             )
 
     def _resolve(self, strategy, backend, threads):
@@ -185,14 +207,51 @@ class Session:
         db: Database,
         plan_cache: bool = True,
         threads: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
     ):
         if not isinstance(db, Database):
             raise InvalidArgumentError(
                 f"connect() expects a Database, got {type(db).__name__}"
             )
         self.db = db
-        self.threads = threads
+        self.threads = validate_threads(threads)
+        self.timeout_ms = timeout_ms
+        self.memory_limit_mb = memory_limit_mb
+        self.degrade = validate_degrade(degrade)
+        # fail at connect() time, not first execute: build a throwaway
+        # governor so bad session-wide limits are rejected immediately
+        if timeout_ms is not None or memory_limit_mb is not None:
+            ResourceGovernor(timeout_ms, memory_limit_mb, self.degrade)
         self._cache = SessionCache(enabled=plan_cache)
+
+    def governor(
+        self,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
+    ) -> Optional[ResourceGovernor]:
+        """A fresh per-execution governor, or None when ungoverned.
+
+        Per-call settings override the session-wide defaults
+        individually; a governor is built as soon as any of the three is
+        set (a bare ``degrade`` policy still changes error handling).
+        """
+        timeout_ms = timeout_ms if timeout_ms is not None else self.timeout_ms
+        memory_limit_mb = (
+            memory_limit_mb
+            if memory_limit_mb is not None
+            else self.memory_limit_mb
+        )
+        degrade = degrade if degrade is not None else self.degrade
+        if timeout_ms is None and memory_limit_mb is None and degrade is None:
+            return None
+        return ResourceGovernor(
+            timeout_ms=timeout_ms,
+            memory_limit_mb=memory_limit_mb,
+            degrade=degrade,
+        )
 
     @property
     def cache_stats(self):
@@ -228,10 +287,18 @@ class Session:
         strategy: Union[str, object] = "auto",
         backend: Optional[str] = None,
         threads: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        degrade: Optional[str] = None,
     ) -> Relation:
         """One-shot convenience: ``prepare(sql).execute(...)``."""
         return self.prepare(sql).execute(
-            strategy=strategy, backend=backend, threads=threads
+            strategy=strategy,
+            backend=backend,
+            threads=threads,
+            timeout_ms=timeout_ms,
+            memory_limit_mb=memory_limit_mb,
+            degrade=degrade,
         )
 
     def strategies(self) -> list:
@@ -248,11 +315,24 @@ def connect(
     db: Database,
     plan_cache: bool = True,
     threads: Optional[int] = None,
+    timeout_ms: Optional[float] = None,
+    memory_limit_mb: Optional[float] = None,
+    degrade: Optional[str] = None,
 ) -> Session:
     """Open a :class:`Session` over an in-memory :class:`Database`.
 
     ``plan_cache=False`` disables cross-query strategy/build reuse
     (identical-SQL compilation is still memoized); *threads* sets the
     session's default worker count for parallel execution.
+    *timeout_ms*, *memory_limit_mb* and *degrade* set session-wide
+    resource-governance defaults, overridable per
+    ``execute``/``trace`` call.
     """
-    return Session(db, plan_cache=plan_cache, threads=threads)
+    return Session(
+        db,
+        plan_cache=plan_cache,
+        threads=threads,
+        timeout_ms=timeout_ms,
+        memory_limit_mb=memory_limit_mb,
+        degrade=degrade,
+    )

@@ -1,0 +1,534 @@
+"""Resource governance: deadlines, memory budgets, cancellation,
+degradation and fault injection.
+
+The fault matrix runs every ``REPRO_FAULT`` mode against all three
+execution substrates (row, vectorized, morsel-parallel) and asserts the
+governed contract: either a *typed* governance error or a result
+identical to the ungoverned oracle — never a wrong answer, never an
+untyped crash.  The parallel strategy is forced onto the partitioned
+pool path (``min_partition_rows=1``) so the tiny fixture exercises real
+worker dispatch, crash drain and sequential degradation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.core import planner
+from repro.engine.governor import (
+    EST_BYTES_PER_VALUE,
+    FAULT_MODES,
+    ResourceGovernor,
+    active_fault,
+    checkpoint,
+    current_governor,
+    governed,
+    validate_degrade,
+)
+from repro.engine.metrics import collect
+from repro.engine.trace import (
+    KIND_GOVERNOR,
+    reconcile_with_metrics,
+    trace_invariant_violations,
+    tracing,
+    validate_trace_dict,
+)
+from repro.engine.vector.strategy import ParallelNestedRelationalStrategy
+from repro.errors import (
+    InjectedFaultError,
+    InvalidArgumentError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+    ResourceGovernanceError,
+)
+
+SQL = (
+    "select o_orderkey from orders where o_totalprice > all "
+    "(select l_extendedprice from lineitem where l_orderkey = o_orderkey)"
+)
+
+ROW = "nested-relational"
+VEC = "nested-relational-vectorized"
+PAR = "nested-relational-parallel"
+
+
+def parallel_impl() -> ParallelNestedRelationalStrategy:
+    """The parallel strategy forced onto the pooled, partitioned path."""
+    return ParallelNestedRelationalStrategy(threads=4, min_partition_rows=1)
+
+
+def strategies():
+    return [ROW, VEC, parallel_impl()]
+
+
+def strategy_ids():
+    return [ROW, VEC, PAR]
+
+
+@pytest.fixture(scope="module")
+def oracle(tiny_tpch):
+    """The ungoverned, fault-free answer every governed run must match."""
+    return repro.connect(tiny_tpch).execute(SQL, strategy=VEC).sorted().rows
+
+
+# --------------------------------------------------------------------- #
+# Governor object
+# --------------------------------------------------------------------- #
+
+
+class TestGovernorValidation:
+    @pytest.mark.parametrize("bad", [0, -5, "fast", True, -0.5])
+    def test_bad_timeout_rejected(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            ResourceGovernor(timeout_ms=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, "lots", False])
+    def test_bad_memory_limit_rejected(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            ResourceGovernor(memory_limit_mb=bad)
+
+    def test_bad_degrade_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ResourceGovernor(degrade="parallel-again")
+        with pytest.raises(InvalidArgumentError):
+            validate_degrade("never")
+        assert validate_degrade(None) is None
+        assert validate_degrade("sequential") == "sequential"
+
+    def test_connect_rejects_bad_limits_immediately(self, tiny_tpch):
+        with pytest.raises(InvalidArgumentError):
+            repro.connect(tiny_tpch, timeout_ms=-1)
+        with pytest.raises(InvalidArgumentError):
+            repro.connect(tiny_tpch, memory_limit_mb=0)
+        with pytest.raises(InvalidArgumentError):
+            repro.connect(tiny_tpch, degrade="row")
+
+    def test_execute_rejects_bad_per_call_limits(self, tiny_tpch):
+        session = repro.connect(tiny_tpch)
+        with pytest.raises(InvalidArgumentError):
+            session.execute(SQL, timeout_ms=0)
+        with pytest.raises(InvalidArgumentError):
+            session.execute(SQL, degrade="magic")
+
+    def test_unknown_fault_mode_fails_loudly(self, tiny_tpch, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crush")
+        with pytest.raises(InvalidArgumentError):
+            active_fault()
+        with pytest.raises(InvalidArgumentError):
+            repro.connect(tiny_tpch).execute(SQL, timeout_ms=10_000)
+
+
+class TestGovernorUnit:
+    def test_untimed_governor_has_no_deadline(self):
+        gov = ResourceGovernor(memory_limit_mb=1)
+        assert gov.remaining_ms() is None
+        gov.check("anywhere")  # nothing tripped
+
+    def test_deadline_counts_down_and_trips(self):
+        gov = ResourceGovernor(timeout_ms=10_000)
+        remaining = gov.remaining_ms()
+        assert remaining is not None and 0 < remaining <= 10_000
+        gov = ResourceGovernor(timeout_ms=1)
+        time.sleep(0.005)
+        with pytest.raises(QueryTimeoutError) as err:
+            gov.check("unit")
+        assert "timeout_ms=1" in str(err.value)
+        assert "unit boundary" in str(err.value)
+
+    def test_start_rearms_deadline_and_account(self):
+        gov = ResourceGovernor(timeout_ms=1, memory_limit_mb=1)
+        gov.charge(500_000)
+        time.sleep(0.005)
+        gov.start()
+        assert gov.reserved_bytes == 0
+        assert gov.remaining_ms() > 0
+        gov.check("rearmed")
+
+    def test_cancel_trips_typed_error(self):
+        gov = ResourceGovernor()
+        assert not gov.cancelled
+        gov.cancel()
+        assert gov.cancelled
+        with pytest.raises(QueryCancelledError):
+            gov.check("morsel")
+
+    def test_charge_over_budget_raises(self):
+        gov = ResourceGovernor(memory_limit_mb=1)
+        gov.charge(512 * 1024, "half")
+        assert gov.reserved_bytes == 512 * 1024
+        with pytest.raises(ResourceExhaustedError) as err:
+            gov.charge(600 * 1024, "the rest")
+        assert "memory_limit_mb=1" in str(err.value)
+        assert gov.peak_bytes >= 1024 * 1024
+
+    def test_charge_without_limit_only_accounts(self):
+        gov = ResourceGovernor()
+        gov.charge(10**9)
+        gov.charge(10**9)
+        assert gov.reserved_bytes == 2 * 10**9
+        gov.check("still fine")
+
+    def test_governance_errors_are_typed(self):
+        for exc in (QueryTimeoutError, ResourceExhaustedError,
+                    QueryCancelledError):
+            assert issubclass(exc, ResourceGovernanceError)
+
+    def test_describe_attrs(self):
+        gov = ResourceGovernor(
+            timeout_ms=250, memory_limit_mb=64, degrade="sequential"
+        )
+        assert gov.describe_attrs() == {
+            "timeout_ms": 250, "memory_limit_mb": 64, "degrade": "sequential"
+        }
+
+    def test_ambient_scope_installs_and_restores(self):
+        assert current_governor() is None
+        checkpoint("ungoverned no-op")
+        gov = ResourceGovernor()
+        with governed(gov):
+            assert current_governor() is gov
+            with governed(None):  # None installs nothing
+                assert current_governor() is gov
+        assert current_governor() is None
+
+
+# --------------------------------------------------------------------- #
+# Governed execution without faults
+# --------------------------------------------------------------------- #
+
+
+class TestGovernedExecution:
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_generous_limits_change_nothing(self, tiny_tpch, oracle, strategy):
+        session = repro.connect(tiny_tpch)
+        result = session.execute(
+            SQL, strategy=strategy, timeout_ms=60_000, memory_limit_mb=2048
+        )
+        assert result.sorted().rows == oracle
+
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_tiny_memory_budget_trips_real_accounting(
+        self, tiny_tpch, strategy
+    ):
+        # no fault injected: the breach comes from the actual accounting
+        # hooks (batch materialization / hash-join build / nest grouping)
+        session = repro.connect(tiny_tpch)
+        with pytest.raises(ResourceExhaustedError):
+            session.execute(SQL, strategy=strategy, memory_limit_mb=0.05)
+
+    def test_precancelled_governor_stops_before_work(self, tiny_tpch):
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        gov = ResourceGovernor()
+        gov.cancel()
+        with pytest.raises(QueryCancelledError):
+            planner.run(query, tiny_tpch, strategy=VEC, governor=gov)
+
+    def test_governed_trace_carries_governor_span(self, tiny_tpch, oracle):
+        result, trace = repro.connect(tiny_tpch).prepare(SQL).trace(
+            strategy=VEC, timeout_ms=60_000, memory_limit_mb=2048
+        )
+        assert result.sorted().rows == oracle
+        spans = trace.find("governor")
+        assert spans and spans[0].kind == KIND_GOVERNOR
+        assert spans[0].attrs["timeout_ms"] == 60_000
+        assert trace_invariant_violations(trace) == []
+        assert validate_trace_dict(trace.to_dict()) == []
+
+    def test_session_wide_defaults_flow_into_execute(self, tiny_tpch):
+        session = repro.connect(tiny_tpch, memory_limit_mb=0.05)
+        with pytest.raises(ResourceExhaustedError):
+            session.execute(SQL, strategy=VEC)
+        # per-call override loosens the session default
+        session.execute(SQL, strategy=VEC, memory_limit_mb=2048)
+
+
+# --------------------------------------------------------------------- #
+# The fault matrix: every REPRO_FAULT mode x every substrate
+# --------------------------------------------------------------------- #
+
+
+class TestFaultMatrix:
+    def test_fault_modes_are_covered(self):
+        assert set(FAULT_MODES) == {
+            "worker_crash", "slow_morsel", "alloc_spike"
+        }
+
+    @pytest.mark.parametrize("strategy", [ROW, VEC], ids=[ROW, VEC])
+    def test_worker_crash_spares_sequential_backends(
+        self, tiny_tpch, oracle, monkeypatch, strategy
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        result = repro.connect(tiny_tpch).execute(
+            SQL, strategy=strategy, timeout_ms=60_000
+        )
+        assert result.sorted().rows == oracle
+
+    def test_worker_crash_surfaces_typed_on_parallel(
+        self, tiny_tpch, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        with pytest.raises(InjectedFaultError):
+            repro.connect(tiny_tpch).execute(SQL, strategy=parallel_impl())
+
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_slow_morsel_is_slow_but_correct(
+        self, tiny_tpch, oracle, monkeypatch, strategy
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "slow_morsel")
+        monkeypatch.setenv("REPRO_FAULT_MS", "1")
+        result = repro.connect(tiny_tpch).execute(
+            SQL, strategy=strategy, timeout_ms=60_000
+        )
+        assert result.sorted().rows == oracle
+
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_alloc_spike_trips_memory_budget(
+        self, tiny_tpch, monkeypatch, strategy
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "alloc_spike")
+        with pytest.raises(ResourceExhaustedError):
+            repro.connect(tiny_tpch).execute(
+                SQL, strategy=strategy, memory_limit_mb=64
+            )
+
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_alloc_spike_without_budget_is_inert(
+        self, tiny_tpch, oracle, monkeypatch, strategy
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "alloc_spike")
+        result = repro.connect(tiny_tpch).execute(
+            SQL, strategy=strategy, timeout_ms=60_000
+        )
+        assert result.sorted().rows == oracle
+
+    @pytest.mark.parametrize("strategy", strategies(), ids=strategy_ids())
+    def test_timeout_within_twice_the_deadline(
+        self, tiny_tpch, monkeypatch, strategy
+    ):
+        # the acceptance bar: timeout_ms=50 against a deliberately slow
+        # plan raises within 2x the deadline on every substrate
+        session = repro.connect(tiny_tpch)
+        # fault-free warm-up: pay one-time costs (pool spin-up, batch
+        # conversion) outside the timed window so the bound measures the
+        # engine's checkpoint coverage
+        session.execute(SQL, strategy=strategy, timeout_ms=60_000)
+        monkeypatch.setenv("REPRO_FAULT", "slow_morsel")
+        monkeypatch.setenv("REPRO_FAULT_MS", "10")
+        t0 = time.perf_counter()
+        with pytest.raises(QueryTimeoutError) as err:
+            session.execute(SQL, strategy=strategy, timeout_ms=50)
+        elapsed_ms = (time.perf_counter() - t0) * 1000
+        assert "timeout_ms=50" in str(err.value)
+        assert elapsed_ms <= 100, (
+            f"QueryTimeoutError took {elapsed_ms:.1f}ms, over 2x the "
+            f"50ms deadline"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Graceful degradation (degrade='sequential')
+# --------------------------------------------------------------------- #
+
+
+class TestDegradation:
+    def test_crash_recovers_to_oracle_result(
+        self, tiny_tpch, oracle, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        result = repro.connect(tiny_tpch).execute(
+            SQL, strategy=parallel_impl(), degrade="sequential"
+        )
+        assert result.sorted().rows == oracle
+
+    def test_degradation_is_recorded_on_the_governor(
+        self, tiny_tpch, oracle, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        gov = ResourceGovernor(degrade="sequential")
+        result = planner.run(
+            query, tiny_tpch, strategy=parallel_impl(), governor=gov
+        )
+        assert result.sorted().rows == oracle
+        assert gov.degradations == [(PAR, VEC, "InjectedFaultError")]
+
+    def test_degraded_trace_has_spans_and_stays_invariant(
+        self, tiny_tpch, oracle, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        result, trace = repro.connect(tiny_tpch).prepare(SQL).trace(
+            strategy=parallel_impl(), degrade="sequential"
+        )
+        assert result.sorted().rows == oracle
+        degrades = trace.find("degrade")
+        assert len(degrades) == 1 and degrades[0].kind == KIND_GOVERNOR
+        assert degrades[0].attrs["source"] == PAR
+        assert degrades[0].attrs["target"] == VEC
+        assert degrades[0].attrs["reason"] == "InjectedFaultError"
+        assert trace.find("governor"), "governed run must tag its trace"
+        assert trace_invariant_violations(trace) == []
+        assert validate_trace_dict(trace.to_dict()) == []
+
+    def test_degradation_never_masks_governance_errors(
+        self, tiny_tpch, monkeypatch
+    ):
+        # a blown budget must surface, not silently retry sequentially
+        monkeypatch.setenv("REPRO_FAULT", "alloc_spike")
+        with pytest.raises(ResourceExhaustedError):
+            repro.connect(tiny_tpch).execute(
+                SQL,
+                strategy=parallel_impl(),
+                memory_limit_mb=64,
+                degrade="sequential",
+            )
+
+    def test_sequential_strategies_do_not_degrade(
+        self, tiny_tpch, monkeypatch
+    ):
+        # worker_crash never fires off-pool, so this exercises the
+        # no-degrade-target path for an unrelated error instead
+        from repro.errors import PlanError
+
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+
+        class Exploding:
+            name = "exploding"
+
+            def execute(self, query, db):
+                raise PlanError("deliberate")
+
+        gov = ResourceGovernor(degrade="sequential")
+        with pytest.raises(PlanError):
+            planner.run(query, tiny_tpch, strategy=Exploding(), governor=gov)
+        assert gov.degradations == []
+
+
+# --------------------------------------------------------------------- #
+# Partial traces from failed pools
+# --------------------------------------------------------------------- #
+
+
+class TestPartialTraces:
+    def test_crashed_pool_drains_to_a_valid_partial_trace(
+        self, tiny_tpch, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "worker_crash")
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        with collect() as m:
+            with tracing() as trace:
+                with pytest.raises(InjectedFaultError):
+                    planner.run(query, tiny_tpch, strategy=parallel_impl())
+        aborted = [s for s in trace.spans() if s.aborted]
+        assert aborted, "the failing spans must be marked aborted"
+        assert all(s.closed for s in trace.spans())
+        assert trace_invariant_violations(trace) == []
+        assert reconcile_with_metrics(trace, m.counters) == []
+
+    def test_timeout_mid_flight_leaves_valid_trace(
+        self, tiny_tpch, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "slow_morsel")
+        monkeypatch.setenv("REPRO_FAULT_MS", "10")
+        query = repro.connect(tiny_tpch).prepare(SQL).query
+        gov = ResourceGovernor(timeout_ms=50)
+        with tracing() as trace:
+            with pytest.raises(QueryTimeoutError):
+                planner.run(query, tiny_tpch, strategy=VEC, governor=gov)
+        assert all(s.closed for s in trace.spans())
+        assert trace_invariant_violations(trace) == []
+
+
+# --------------------------------------------------------------------- #
+# Thread-count validation (the parallel seam bugfix)
+# --------------------------------------------------------------------- #
+
+
+class TestThreadValidation:
+    def test_validate_threads_accepts_sane_values(self):
+        from repro.engine.parallel import validate_threads
+
+        assert validate_threads(None) is None
+        assert validate_threads(1) == 1
+        assert validate_threads("4") == 4
+
+    @pytest.mark.parametrize("bad", [0, -3, "x", "", 2.5, True, False])
+    def test_validate_threads_rejects(self, bad):
+        from repro.engine.parallel import validate_threads
+
+        with pytest.raises(InvalidArgumentError):
+            validate_threads(bad)
+
+    @pytest.mark.parametrize("bad", [0, -2, "many", True])
+    def test_connect_rejects_bad_threads(self, tiny_tpch, bad):
+        with pytest.raises(InvalidArgumentError) as err:
+            repro.connect(tiny_tpch, threads=bad)
+        assert "threads" in str(err.value)
+
+    def test_scheduler_and_backend_reject_bad_threads(self):
+        from repro.engine.parallel import (
+            MorselScheduler,
+            ParallelVectorBackend,
+        )
+
+        with pytest.raises(InvalidArgumentError):
+            MorselScheduler(threads=0)
+        with pytest.raises(InvalidArgumentError):
+            ParallelVectorBackend(threads=-1)
+        backend = ParallelVectorBackend(threads=2)
+        with pytest.raises(InvalidArgumentError):
+            backend.set_threads(0)
+        with pytest.raises(InvalidArgumentError):
+            backend.set_threads(None)
+
+    def test_env_threads_must_be_numeric(self, monkeypatch):
+        from repro.engine.parallel import default_threads
+
+        monkeypatch.setenv("REPRO_THREADS", "3")
+        assert default_threads() == 3
+        monkeypatch.setenv("REPRO_THREADS", "banana")
+        with pytest.raises(InvalidArgumentError) as err:
+            default_threads()
+        assert "REPRO_THREADS" in str(err.value)
+
+    def test_cli_rejects_negative_threads(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", "select n_name from nation where n_nationkey < 3",
+             "--tpch", "0.001", "--threads", "-2"]
+        )
+        assert code != 0
+        assert "threads" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# CLI governance flags
+# --------------------------------------------------------------------- #
+
+
+class TestCliGovernance:
+    def test_timeout_flag_surfaces_typed_error(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FAULT", "slow_morsel")
+        monkeypatch.setenv("REPRO_FAULT_MS", "10")
+        code = main(
+            ["run", SQL, "--tpch", "0.002", "--timeout-ms", "50"]
+        )
+        assert code != 0
+        assert "timeout_ms=50" in capsys.readouterr().err
+
+    def test_generous_flags_run_clean(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", "select n_name from nation where n_nationkey < 3",
+             "--tpch", "0.001", "--timeout-ms", "60000",
+             "--memory-limit-mb", "2048", "--degrade", "sequential"]
+        )
+        assert code == 0
+        assert "row(s)" in capsys.readouterr().out

@@ -246,10 +246,20 @@ class TestScheduler:
         assert sched.partition_count(25) == 2
         assert sched.partition_count(5) == 1
 
-    def test_zero_threads_always_sequential(self):
-        assert MorselScheduler(threads=0, min_partition_rows=1).sequential(
-            10**9
-        )
+    def test_zero_threads_rejected(self):
+        # threads=0 used to silently mean "sequential"; it is now a
+        # config error
+        from repro.errors import InvalidArgumentError
+
+        with pytest.raises(InvalidArgumentError):
+            MorselScheduler(threads=0, min_partition_rows=1)
+
+    def test_one_worker_still_partitions(self):
+        # the codes kernels win even single-threaded, so threads=1 is
+        # not a sequential spelling — only small inputs are
+        sched = MorselScheduler(threads=1, min_partition_rows=100)
+        assert not sched.sequential(1000)
+        assert sched.sequential(99)
 
     def test_env_overrides(self, monkeypatch):
         monkeypatch.setenv("REPRO_THREADS", "7")
@@ -265,10 +275,17 @@ class TestScheduler:
         assert default_threads() >= 1
         assert default_min_partition_rows() == DEFAULT_MIN_PARTITION_ROWS
 
-    def test_set_threads_floor(self):
+    def test_set_threads_rejects_bad_counts(self):
+        # negative counts used to be silently clamped to 1; they are
+        # now a config error, and good counts still apply
+        from repro.errors import InvalidArgumentError
+
         backend = ParallelVectorBackend(threads=4)
-        backend.set_threads(-3)
-        assert backend.threads == 1
+        with pytest.raises(InvalidArgumentError):
+            backend.set_threads(-3)
+        assert backend.threads == 4
+        backend.set_threads(2)
+        assert backend.threads == 2
 
 
 SQL = (

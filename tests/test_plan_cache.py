@@ -139,6 +139,140 @@ class TestInvalidation:
         assert after.rows == [(99,)]
 
 
+class TestMutateTable:
+    """`Database.mutate_table` — the sanctioned row-write path."""
+
+    def test_rows_replacement_bumps_version_and_result(self, micro_db):
+        session = repro.connect(micro_db)
+        before = session.execute("select a from t", backend="vector")
+        assert before.sorted().rows == [(1,), (2,), (3,)]
+        v0 = micro_db.version
+        micro_db.mutate_table("t", rows=[(10,), (20,)])
+        assert micro_db.version == v0 + 1
+        after = session.execute("select a from t", backend="vector")
+        assert after.sorted().rows == [(10,), (20,)]
+        assert session.cache_stats.invalidations >= 1
+
+    def test_mutator_callable_edits_in_place(self, micro_db):
+        session = repro.connect(micro_db)
+        session.execute("select a from t", backend="vector")
+
+        def bump(table):
+            from repro.engine.relation import Relation
+
+            table.relation = Relation(
+                table.schema, [(a + 100,) for (a,) in table.relation.rows]
+            )
+
+        micro_db.mutate_table("t", mutator=bump)
+        after = session.execute("select a from t", backend="vector")
+        assert after.sorted().rows == [(101,), (102,), (103,)]
+
+    def test_rows_and_mutator_together_rejected(self, micro_db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            micro_db.mutate_table("t", rows=[(1,)], mutator=lambda t: None)
+
+    def test_mutation_rebuilds_indexes(self, micro_db):
+        micro_db.create_hash_index("t", ["a"])
+        stale = micro_db.table("t").hash_indexes[("a",)]
+        micro_db.mutate_table("t", rows=[(7,), (8,)])
+        rebuilt = micro_db.table("t").hash_indexes[("a",)]
+        assert rebuilt is not stale
+        # the rebuilt index answers for the new rows
+        result = repro.connect(micro_db).execute(
+            "select a from t where a = 7"
+        )
+        assert result.rows == [(7,)]
+
+
+class TestInPlaceMutationStaleness:
+    """Direct `table.relation.rows` edits bypass the version counter;
+    the reduce and batch caches must still detect them via the
+    fingerprint probe instead of serving stale images."""
+
+    def test_appended_row_is_seen_by_vector_backend(self, micro_db):
+        session = repro.connect(micro_db)
+        before = session.execute("select a from t", backend="vector")
+        assert before.sorted().rows == [(1,), (2,), (3,)]
+        micro_db.table("t").relation.rows.append((4,))
+        after = session.execute("select a from t", backend="vector")
+        assert after.sorted().rows == [(1,), (2,), (3,), (4,)]
+
+    def test_endpoint_edit_is_seen_on_cache_hit(self, micro_db):
+        session = repro.connect(micro_db)
+        prepared = session.prepare("select a from t where a > 0")
+        assert prepared.execute(backend="vector").sorted().rows == [
+            (1,), (2,), (3,)
+        ]
+        micro_db.table("t").relation.rows[-1] = (42,)
+        assert prepared.execute(backend="vector").sorted().rows == [
+            (1,), (2,), (42,)
+        ]
+
+    def test_fingerprint_probe_shape(self, micro_db):
+        rel = micro_db.table("t").relation
+        fp = rel.fingerprint()
+        assert fp[0] == len(rel.rows)
+        rel.rows[-1] = (999,)
+        assert rel.fingerprint() != fp
+
+    def test_fingerprint_of_empty_relation(self):
+        from repro.engine import Schema
+        from repro.engine.relation import Relation
+
+        assert Relation(Schema([Column("a")]), []).fingerprint() == (0, 0, 0)
+
+
+class TestEviction:
+    """Per-table FIFO eviction: one overflowing memo must not nuke the
+    other memo tables, and the stats counters stay monotonic."""
+
+    def test_overflow_evicts_only_the_full_table(self):
+        from repro.core.plancache import _MAX_ENTRIES, SessionCache
+
+        cache = SessionCache()
+        cache.validate(0)
+        cache.store_strategy(("sticky",), "impl")
+        cache.store_reduced(("sticky-build",), "batch")
+        for i in range(_MAX_ENTRIES + 10):
+            cache.store_plan(f"select {i}", object())
+        # the plan memo is bounded ...
+        assert len(cache._plans) <= _MAX_ENTRIES
+        # ... and the other memos were not collaterally cleared
+        assert cache.strategy(("sticky",)) == "impl"
+        assert cache.reduced(("sticky-build",)) == "batch"
+        assert cache.stats.evictions >= 10
+
+    def test_eviction_is_fifo(self):
+        from repro.core.plancache import _MAX_ENTRIES, SessionCache
+
+        cache = SessionCache()
+        cache.validate(0)
+        for i in range(_MAX_ENTRIES + 1):
+            cache.store_plan(f"select {i}", i)
+        assert cache.plan("select 0") is None  # the oldest went first
+        assert cache.plan(f"select {_MAX_ENTRIES}") == _MAX_ENTRIES
+
+    def test_counters_stay_monotonic_across_evictions(self):
+        from repro.core.plancache import _MAX_ENTRIES, SessionCache
+
+        cache = SessionCache()
+        cache.validate(0)
+        seen = []
+        for i in range(3 * _MAX_ENTRIES):
+            cache.store_plan(f"select {i}", i)
+            snap = cache.stats.snapshot()
+            if seen:
+                assert all(
+                    snap[key] >= seen[-1][key] for key in snap
+                ), "stats counters must never decrease"
+            seen.append(snap)
+        assert cache.stats.evictions == 2 * _MAX_ENTRIES
+        assert "evictions" in cache.stats.describe()
+
+
 @pytest.fixture
 def micro_db():
     from repro.engine import Database
