@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""External-engine baseline for the six paper queries (CI gate).
+
+Runs Figures 4-9 on a real engine (SQLite by default, DuckDB with
+``--engine duckdb``) over the same TPC-H database our strategies use,
+captures the engine's plan text and wall time alongside ours, writes a
+``BENCH_oracle_<engine>.json`` artifact, and **fails** (exit 1) if any
+query's row bag disagrees with the engine — unless the known-divergence
+registry documents the disagreement as expected.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_oracle.py [--engine sqlite]
+
+Environment:
+    REPRO_BENCH_SF  TPC-H scale factor (default 0.01)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import default_db  # noqa: E402
+from repro.oracle import (  # noqa: E402
+    engine_available,
+    external_baseline,
+    write_oracle_artifact,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", default="sqlite",
+                        choices=("sqlite", "duckdb", "internal"))
+    parser.add_argument("--strategy", default="auto",
+                        help="our strategy to time against the engine")
+    parser.add_argument("--sf", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SF", "0.01")))
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--out", default="traces",
+                        help="directory for the BENCH_oracle_<engine>.json artifact")
+    args = parser.parse_args(argv)
+
+    if not engine_available(args.engine):
+        print(f"error: engine {args.engine!r} is not available", file=sys.stderr)
+        return 2
+
+    print(f"generating TPC-H sf={args.sf} ...", flush=True)
+    db = default_db(sf=args.sf, seed=args.seed)
+    print(f"cross-checking the six paper queries against {args.engine} ...",
+          flush=True)
+    artifact = external_baseline(
+        db, engine=args.engine, strategy=args.strategy, sf=args.sf
+    )
+
+    diverged = []
+    for query in artifact["queries"]:
+        status = "agree" if query["agree"] else "DIVERGE"
+        if query["known_divergence"]:
+            status += f" (known: {query['known_divergence']})"
+        print(
+            f"  {query['name']:<9} {status:<10} "
+            f"rows={query['rows']:<5} "
+            f"ours={query['repro_seconds']:.4f}s "
+            f"{args.engine}={query['engine_seconds']:.4f}s"
+        )
+        if not query["agree"]:
+            diverged.append(query["name"])
+
+    path = write_oracle_artifact(artifact, args.out)
+    print(f"wrote {path}")
+    if diverged:
+        print(
+            f"error: {len(diverged)} query/queries diverge from "
+            f"{args.engine}: {', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from . import sql
 from . import baselines
 from . import tpch
 from . import fuzz
+from . import oracle
 from .engine import (
     Column,
     Database,
@@ -110,6 +111,7 @@ __all__ = [
     "baselines",
     "tpch",
     "fuzz",
+    "oracle",
     "NULL",
     "is_null",
     "Column",

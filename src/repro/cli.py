@@ -10,6 +10,8 @@ Subcommands::
     python -m repro explain "select ..." --tpch 0.002 --strategy system-a-native
     python -m repro bench --figure fig4 --sf 0.005         # one paper figure
     python -m repro fuzz --iterations 500 --seed 42        # differential fuzz
+    python -m repro fuzz --oracle sqlite                   # + external oracle
+    python -m repro diff "select ..." --tpch 0.002         # vs real engine
     python -m repro strategies                             # list strategies
 
 All execution goes through the Session API (:func:`repro.connect` /
@@ -245,11 +247,23 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.oracle != "internal":
+        from .oracle import engine_available
+
+        if not engine_available(args.oracle):
+            print(
+                f"error: oracle engine {args.oracle!r} is not available "
+                "(package not installed?)",
+                file=sys.stderr,
+            )
+            return 2
     extra = [MutatedLinkStrategy()] if args.inject_bug else []
     if args.inject_trace_bug:
         extra.append(MiscountingSpanStrategy())
     runner = DifferentialRunner(
-        strategies=config.strategies, extra_strategies=extra
+        strategies=config.strategies,
+        extra_strategies=extra,
+        oracle=args.oracle,
     )
 
     def progress(i: int, report) -> None:
@@ -277,6 +291,40 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"\nregression written to {outcome.corpus_path}")
         print("re-run it with: python -m pytest " + outcome.corpus_path)
     return 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .oracle import cross_check, engine_available
+
+    if not engine_available(args.engine):
+        print(
+            f"error: oracle engine {args.engine!r} is not available "
+            "(package not installed?)",
+            file=sys.stderr,
+        )
+        return 2
+    strategies = tuple(
+        name.strip() for name in args.strategies.split(",") if name.strip()
+    ) or ("auto",)
+    reports = cross_check(
+        _load_db(args),
+        _read_sql(args),
+        engine=args.engine,
+        strategies=strategies,
+        backend=args.backend,
+        threads=args.threads,
+        capture_plans=args.explain,
+    )
+    diverged = False
+    for report in reports:
+        print(report.describe())
+        if args.explain and report.plan_theirs:
+            print(f"  {args.engine} plan:")
+            for line in report.plan_theirs.splitlines():
+                print(f"    {line}")
+        if not report.acceptable:
+            diverged = True
+    return 1 if diverged else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,8 +440,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-test: add a strategy whose results are right "
                         "but whose operator spans miscount rows; the trace "
                         "invariants must catch it")
+    p.add_argument("--oracle", default="internal",
+                   choices=("internal", "sqlite", "duckdb"),
+                   help="also cross-check the tuple-iteration oracle "
+                        "against a real engine on every case; external "
+                        "divergences ddmin-shrink into the corpus like "
+                        "internal disagreements (default: internal only)")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "diff",
+        help="cross-check strategies against an external engine",
+    )
+    p.add_argument("sql", nargs="?", help="SQL text (or use --file)")
+    p.add_argument("--file", help="read SQL from a file")
+    p.add_argument("--data", help="CSV directory from 'generate'")
+    p.add_argument("--tpch", type=float, help="generate TPC-H at this sf")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--not-null", action="store_true", dest="not_null")
+    p.add_argument("--engine", default="sqlite",
+                   choices=("sqlite", "duckdb", "internal"),
+                   help="external engine to diff against")
+    p.add_argument("--strategies", default="auto",
+                   help="comma-separated strategy names (default: auto)")
+    p.add_argument("--backend", choices=("row", "vector"))
+    p.add_argument("--threads", type=int)
+    p.add_argument("--explain", action="store_true",
+                   help="also print the external engine's plan text")
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("strategies", help="list strategy names")
     p.set_defaults(func=cmd_strategies)

@@ -112,3 +112,38 @@ class ResourceExhaustedError(ResourceGovernanceError):
 class QueryCancelledError(ResourceGovernanceError):
     """The execution's cancellation token was triggered
     (:meth:`~repro.engine.governor.ResourceGovernor.cancel`)."""
+
+
+class OracleError(ReproError):
+    """Base class for errors raised by the external differential oracle
+    (:mod:`repro.oracle`): adapter setup, dialect translation, and
+    cross-engine result comparison."""
+
+
+class OracleUnavailableError(OracleError):
+    """The requested external engine cannot be used — its package is not
+    installed (DuckDB) or the adapter name is unknown.  Callers that
+    treat the external oracle as optional catch this and skip."""
+
+
+class OracleUnsupportedError(OracleError):
+    """The query uses a construct the oracle cannot compare faithfully
+    (e.g. ``LIMIT`` without a total ``ORDER BY``, whose row choice is
+    implementation-defined), or a construct the dialect renderer cannot
+    translate for the target engine."""
+
+
+class OracleDivergenceError(OracleError):
+    """An external engine disagreed with one of our strategies on the
+    same SQL over the same data.
+
+    Carries the full :class:`repro.oracle.diff.OracleComparison` report
+    as :attr:`comparison` — first differing row, per-side counts, the
+    strategy/backend that produced our rows, and the dialect SQL the
+    external engine actually ran.
+    """
+
+    def __init__(self, message: str, comparison=None):
+        super().__init__(message)
+        #: the :class:`repro.oracle.diff.OracleComparison` behind this error
+        self.comparison = comparison

@@ -93,8 +93,16 @@ def run_fuzz(
     # strategy at the minimized case into the failure's provenance.
     runner.attach_trace_text(failure)
     if corpus_dir is not None:
+        # External divergences get a second, engine-gated test in the
+        # frozen module so the regression keeps exercising the real
+        # engine wherever that engine is installed.
+        oracle = (
+            getattr(runner, "oracle", None)
+            if failure.kind in ("external-divergence", "external-error")
+            else None
+        )
         outcome.corpus_path = write_corpus_file(
-            case, corpus_dir, failure=failure
+            case, corpus_dir, failure=failure, oracle=oracle
         )
     return outcome
 

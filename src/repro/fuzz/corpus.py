@@ -59,6 +59,21 @@ def test_all_strategies_agree_with_oracle():
         assert result == oracle, f"{{strategy}} disagrees with the oracle"
 '''
 
+_EXTERNAL_TEMPLATE = '''
+
+def test_agrees_with_external_oracle():
+    import pytest
+
+    from repro.oracle import cross_check, engine_available
+
+    engine = "{engine}"
+    if not engine_available(engine):
+        pytest.skip(f"{{engine}} not installed")
+    db = build_db()
+    for report in cross_check(db, SQL, engine=engine, strategies=STRATEGIES):
+        assert report.acceptable, report.describe()
+'''
+
 
 def _pyvalue(value: object) -> str:
     if is_null(value):
@@ -102,8 +117,15 @@ def corpus_module_source(
     failure: Optional[Failure] = None,
     title: Optional[str] = None,
     strategies: Optional[Sequence[str]] = None,
+    oracle: Optional[str] = None,
 ) -> str:
-    """Render *case* as the source of a self-contained pytest module."""
+    """Render *case* as the source of a self-contained pytest module.
+
+    When *oracle* names an external engine ("sqlite"/"duckdb") the module
+    gains a second test that replays the case through
+    :func:`repro.oracle.cross_check` — skipped when the engine's package
+    is missing, so a DuckDB-found divergence still runs everywhere.
+    """
     if strategies is None:
         strategies = applicable_strategies(case)
     if title is None:
@@ -142,7 +164,7 @@ def corpus_module_source(
             f"    )"
         )
 
-    return _TEMPLATE.format(
+    source = _TEMPLATE.format(
         title=title,
         provenance=provenance,
         seed=case.seed,
@@ -151,6 +173,9 @@ def corpus_module_source(
         strategies="\n".join(f'    "{name}",' for name in strategies),
         tables="\n".join(table_lines),
     )
+    if oracle not in (None, "internal"):
+        source += _EXTERNAL_TEMPLATE.format(engine=oracle)
+    return source
 
 
 def case_digest(case: FuzzCase) -> str:
@@ -167,6 +192,7 @@ def write_corpus_file(
     name: Optional[str] = None,
     title: Optional[str] = None,
     strategies: Optional[Sequence[str]] = None,
+    oracle: Optional[str] = None,
 ) -> str:
     """Write the regression module under *directory*; returns its path.
 
@@ -186,7 +212,11 @@ def write_corpus_file(
     with open(path, "w") as handle:
         handle.write(
             corpus_module_source(
-                case, failure=failure, title=title, strategies=strategies
+                case,
+                failure=failure,
+                title=title,
+                strategies=strategies,
+                oracle=oracle,
             )
         )
     return path

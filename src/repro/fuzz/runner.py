@@ -100,11 +100,14 @@ class FuzzCase:
 @dataclass
 class Failure:
     """A strategy disagreeing with the oracle (or crashing, or breaking a
-    metrics or trace invariant) on one case."""
+    metrics or trace invariant, or diverging from an external engine) on
+    one case."""
 
     case: FuzzCase
     strategy: str
-    kind: str  # "disagreement" | "error" | "metrics" | "trace" | "compile-error"
+    # "disagreement" | "error" | "metrics" | "trace" | "compile-error"
+    # | "external-divergence" | "external-error"
+    kind: str
     detail: str
     expected: Optional[Relation] = None
     actual: Optional[Relation] = None
@@ -135,6 +138,10 @@ class FuzzReport:
     cases_run: int = 0
     strategy_checks: int = 0
     skipped_inapplicable: int = 0
+    #: cross-engine comparisons run (``--oracle=sqlite|duckdb``)
+    external_checks: int = 0
+    #: external disagreements matched by the known-divergence registry
+    known_divergences: int = 0
     failures: List[Failure] = field(default_factory=list)
     elapsed: float = 0.0
     operator_histogram: Dict[str, int] = field(default_factory=dict)
@@ -148,10 +155,21 @@ class FuzzReport:
         ops = " ".join(
             f"{op}={n}" for op, n in sorted(self.operator_histogram.items())
         )
+        external = ""
+        if self.external_checks:
+            external = (
+                f", {self.external_checks} external oracle check(s)"
+                + (
+                    f" ({self.known_divergences} known divergence(s))"
+                    if self.known_divergences
+                    else ""
+                )
+            )
         return (
             f"{verdict}: {self.cases_run} case(s), "
             f"{self.strategy_checks} strategy check(s), "
-            f"{self.skipped_inapplicable} inapplicable skip(s) "
+            f"{self.skipped_inapplicable} inapplicable skip(s)"
+            f"{external} "
             f"in {self.elapsed:.1f}s\n  linking operators seen: {ops}"
         )
 
@@ -187,6 +205,7 @@ class DifferentialRunner:
         extra_strategies: Sequence[object] = (),
         check_metrics: bool = True,
         check_traces: bool = True,
+        oracle: Optional[str] = None,
     ):
         self.strategies = tuple(strategies or DEFAULT_STRATEGIES)
         #: objects with ``name`` and ``execute(query, db)`` — used to
@@ -197,6 +216,10 @@ class DifferentialRunner:
         #: span-tree invariants (contracts, row accounting, Metrics
         #: reconciliation) on top of the differential check.
         self.check_traces = check_traces
+        #: external engine to cross-check the internal oracle against
+        #: ("sqlite" / "duckdb"); None or "internal" keeps the classic
+        #: strategies-vs-nested-iteration mode only.
+        self.oracle = None if oracle in (None, "internal") else oracle
         self.last_report: Optional[FuzzReport] = None
 
     # ------------------------------------------------------------------ #
@@ -225,6 +248,11 @@ class DifferentialRunner:
         if oracle_failure is not None:
             return oracle_failure
         assert expected is not None
+
+        if self.oracle is not None:
+            failure = self._check_external(case, db, expected, report)
+            if failure is not None:
+                return failure
 
         for name in self.strategies:
             if name in GUARDED_STRATEGIES and not _applies(
@@ -271,6 +299,59 @@ class DifferentialRunner:
                 expected=expected, actual=result,
             )
         return None
+
+    def _check_external(
+        self,
+        case: FuzzCase,
+        db: Database,
+        expected: Relation,
+        report: Optional[FuzzReport],
+    ) -> Optional[Failure]:
+        """Cross-check the internal oracle's rows against ``self.oracle``.
+
+        The internal strategies are differentially checked against
+        ``nested-iteration`` below, so grounding *that one* result in a
+        real engine transitively grounds every strategy that matches it.
+        A divergence the known-divergence registry explains is counted
+        and skipped; anything else becomes an ``external-divergence``
+        failure that shrinks into the corpus like any other.
+        """
+        from ..oracle.adapter import make_adapter
+        from ..oracle.diff import diff_bags
+        from ..oracle.dialect import comparable
+        from ..oracle.known import find_known
+        from ..errors import OracleError, OracleUnsupportedError
+
+        label = f"oracle:{self.oracle}"
+        try:
+            comparable(case.stmt)
+        except OracleUnsupportedError:
+            if report is not None:
+                report.skipped_inapplicable += 1
+            return None
+        try:
+            with make_adapter(self.oracle, db) as adapter:
+                rows, dialect_sql, _ = adapter.execute(case.stmt)
+        except OracleError as exc:
+            return Failure(
+                case, label, "external-error",
+                f"{self.oracle} rejected the dialect SQL: {exc}",
+            )
+        if report is not None:
+            report.external_checks += 1
+        diff = diff_bags(expected.rows, rows)
+        if diff is None:
+            return None
+        known = find_known(case.sql, self.oracle, case.stmt)
+        if known is not None:
+            if report is not None:
+                report.known_divergences += 1
+            return None
+        return Failure(
+            case, label, "external-divergence",
+            f"{diff.describe()}\n  dialect SQL: {dialect_sql}",
+            expected=expected,
+        )
 
     def _run_one(
         self,
@@ -363,6 +444,10 @@ class DifferentialRunner:
         for label, name in (("oracle", ORACLE), ("strategy", failure.strategy)):
             if label == "strategy" and name == ORACLE:
                 continue  # the oracle itself failed; one trace suffices
+            if label == "strategy" and failure.strategy.startswith("oracle:"):
+                # external-divergence / external-error: the "strategy" is a
+                # real engine — nothing of ours to trace on that side.
+                continue
             try:
                 with tracing() as trace:
                     self._execute(query, db, name, impls.get(name))

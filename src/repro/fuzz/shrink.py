@@ -31,7 +31,16 @@ from .runner import Failure, FuzzCase
 #: Failure kinds worth preserving while shrinking.  A candidate that
 #: merely fails to compile is *not* interesting: it means the
 #: simplification left dangling references, not that the engine is wrong.
-INTERESTING_KINDS = ("disagreement", "error", "metrics", "trace")
+#: External-oracle kinds shrink like internal ones: the check re-loads
+#: the candidate database into the engine, so ddmin stays sound.
+INTERESTING_KINDS = (
+    "disagreement",
+    "error",
+    "metrics",
+    "trace",
+    "external-divergence",
+    "external-error",
+)
 
 
 def is_interesting(failure: Optional[Failure]) -> bool:

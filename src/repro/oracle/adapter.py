@@ -1,0 +1,166 @@
+"""The engine-adapter protocol and its registry.
+
+An adapter owns one external engine connection: it loads a
+:class:`~repro.engine.catalog.Database` into the engine, executes
+dialect-rendered SQL, and exposes the engine's plan text.  Adapters are
+cheap to build and single-use-friendly — the fuzzer builds a fresh one
+per case; ``PreparedQuery.verify`` keeps one per call.
+
+Registering a new engine means subclassing :class:`EngineAdapter`,
+adding a :class:`~repro.oracle.dialect.Dialect` if the engine needs
+non-default rendering, and listing the constructor in
+:data:`ADAPTER_FACTORIES` (see DESIGN.md §12 for the walkthrough).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..engine.catalog import Database
+from ..errors import OracleError, OracleUnavailableError
+from ..sql import ast as A
+from ..sql.parser import parse
+from .dialect import Dialect, render_for
+
+
+class EngineAdapter:
+    """Base class for external (and internal) engine adapters."""
+
+    #: registry name, e.g. ``"sqlite"``
+    name: str = "?"
+    #: the dialect the adapter renders SQL in
+    dialect: Optional[Dialect] = None
+
+    def load(self, db: Database) -> None:
+        """(Re)create every table of *db* inside the engine."""
+        raise NotImplementedError
+
+    def execute_sql(self, sql: str) -> List[tuple]:
+        """Run already-rendered dialect SQL; DB-API rows (None = NULL)."""
+        raise NotImplementedError
+
+    def explain(self, sql: str) -> str:
+        """The engine's plan text for dialect SQL (best effort)."""
+        return ""
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------ #
+    # conveniences shared by every adapter
+    # ------------------------------------------------------------------ #
+
+    def render(self, stmt: A.SelectStmt) -> str:
+        assert self.dialect is not None
+        return render_for(stmt, self.dialect)
+
+    def execute(self, stmt: A.SelectStmt) -> Tuple[List[tuple], str, float]:
+        """Render and run *stmt*; ``(rows, dialect_sql, seconds)``."""
+        sql = self.render(stmt)
+        start = time.perf_counter()
+        rows = self.execute_sql(sql)
+        return rows, sql, time.perf_counter() - start
+
+    def execute_text(self, sql: str) -> Tuple[List[tuple], str, float]:
+        """Parse our SQL text, then :meth:`execute` it."""
+        return self.execute(parse(sql))
+
+    def __enter__(self) -> "EngineAdapter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class InternalAdapter(EngineAdapter):
+    """The tuple-iteration evaluator behind the adapter protocol.
+
+    ``repro diff --engine internal`` and ``repro fuzz --oracle=internal``
+    go through this, so the external and internal oracles share one code
+    path (and one report format).
+    """
+
+    name = "internal"
+
+    def __init__(self) -> None:
+        self._db: Optional[Database] = None
+
+    def load(self, db: Database) -> None:
+        self._db = db
+
+    def render(self, stmt: A.SelectStmt) -> str:
+        from ..sql.unparse import render_sql
+
+        return render_sql(stmt)
+
+    def execute_sql(self, sql: str) -> List[tuple]:
+        from ..core.planner import run
+        from ..sql.analyzer import compile_sql
+
+        if self._db is None:
+            raise OracleError("internal adapter: load() a database first")
+        query = compile_sql(sql, self._db)
+        return list(run(query, self._db, strategy="nested-iteration").rows)
+
+    def explain(self, sql: str) -> str:
+        from ..sql.analyzer import compile_sql
+        from ..core.explain import explain as explain_plan
+
+        if self._db is None:
+            raise OracleError("internal adapter: load() a database first")
+        return explain_plan(
+            compile_sql(sql, self._db), self._db, strategy="nested-iteration"
+        )
+
+
+def _make_sqlite() -> EngineAdapter:
+    from .sqlite_adapter import SqliteAdapter
+
+    return SqliteAdapter()
+
+
+def _make_duckdb() -> EngineAdapter:
+    from .duckdb_adapter import DuckDbAdapter
+
+    return DuckDbAdapter()
+
+
+#: engine name -> adapter constructor (may raise OracleUnavailableError)
+ADAPTER_FACTORIES: Dict[str, Callable[[], EngineAdapter]] = {
+    "sqlite": _make_sqlite,
+    "duckdb": _make_duckdb,
+    "internal": InternalAdapter,
+}
+
+
+def adapter_names() -> List[str]:
+    """Every registered adapter name (available or not)."""
+    return sorted(ADAPTER_FACTORIES)
+
+
+def make_adapter(engine: str, db: Optional[Database] = None) -> EngineAdapter:
+    """Build an adapter by name, optionally loading *db* into it.
+
+    Raises :class:`OracleUnavailableError` for unknown names and for
+    engines whose package is not installed (DuckDB).
+    """
+    factory = ADAPTER_FACTORIES.get(engine)
+    if factory is None:
+        raise OracleUnavailableError(
+            f"unknown oracle engine {engine!r}; "
+            f"registered: {', '.join(adapter_names())}"
+        )
+    adapter = factory()
+    if db is not None:
+        adapter.load(db)
+    return adapter
+
+
+def engine_available(engine: str) -> bool:
+    """Whether :func:`make_adapter` would succeed for *engine*."""
+    try:
+        make_adapter(engine).close()
+        return True
+    except OracleUnavailableError:
+        return False

@@ -1,0 +1,121 @@
+"""External baseline capture: plan shape + wall time as a BENCH artifact.
+
+The paper's figures compare our strategies against each other; this
+module adds the ROADMAP's "external yardstick": the same six queries
+(Figures 4-9) run on a real engine over the same TPC-H data, recording
+the engine's plan text (``EXPLAIN QUERY PLAN`` on SQLite, ``EXPLAIN
+ANALYZE`` on DuckDB), its wall time, our chosen strategy's wall time,
+and whether the row bags agree.  ``scripts/bench_oracle.py`` writes the
+result as ``BENCH_oracle_<engine>.json`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.catalog import Database
+from ..tpch.queries import (
+    pick_availqty,
+    pick_date_window,
+    pick_size_window,
+    query1,
+    query2,
+    query3,
+)
+from .adapter import make_adapter
+from .verify import cross_check
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def paper_query_suite(db: Database, target_rows: int = 32) -> List[Tuple[str, str]]:
+    """The six paper queries (Figures 4-9) with selection constants
+    derived from *db* so every block is non-trivially sized."""
+    lo, hi = pick_date_window(db, target_rows)
+    size_lo, size_hi = pick_size_window(db, target_rows)
+    availqty = pick_availqty(db, target_rows * 2)
+    quantities = db.relation("lineitem").column_values("l_quantity")
+    quantity = quantities[0] if quantities else 1
+    return [
+        ("fig4_q1", query1(lo, hi)),
+        ("fig5_q2a", query2("any", size_lo, size_hi, availqty, quantity)),
+        ("fig6_q2b", query2("all", size_lo, size_hi, availqty, quantity)),
+        (
+            "fig7_q3a",
+            query3("all", "exists", "a", size_lo, size_hi, availqty, quantity),
+        ),
+        (
+            "fig8_q3b",
+            query3("all", "not exists", "b", size_lo, size_hi, availqty, quantity),
+        ),
+        (
+            "fig9_q3c",
+            query3("any", "exists", "c", size_lo, size_hi, availqty, quantity),
+        ),
+    ]
+
+
+def external_baseline(
+    db: Database,
+    engine: str = "sqlite",
+    strategy: str = "auto",
+    sf: Optional[float] = None,
+    target_rows: int = 32,
+) -> Dict:
+    """Run the paper suite on *engine* and on *strategy*; the artifact dict."""
+    adapter = make_adapter(engine, db)
+    queries = []
+    try:
+        for name, sql in paper_query_suite(db, target_rows=target_rows):
+            reports = cross_check(
+                db,
+                sql,
+                engine=engine,
+                strategies=(strategy,),
+                adapter=adapter,
+                capture_plans=True,
+            )
+            report = reports[0]
+            queries.append(
+                {
+                    "name": name,
+                    "sql": " ".join(sql.split()),
+                    "dialect_sql": report.dialect_sql,
+                    "agree": report.acceptable,
+                    "rows": report.ours_rows,
+                    "engine_rows": report.theirs_rows,
+                    "repro_strategy": report.strategy,
+                    "repro_seconds": report.elapsed_ours,
+                    "engine_seconds": report.elapsed_theirs,
+                    "engine_plan": report.plan_theirs,
+                    "known_divergence": (
+                        report.known.key if report.known else None
+                    ),
+                }
+            )
+        version = getattr(adapter, "engine_version", "?")
+    finally:
+        adapter.close()
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "kind": "oracle-baseline",
+        "engine": engine,
+        "engine_version": version,
+        "strategy": strategy,
+        "scale_factor": sf,
+        "generated_unix": time.time(),
+        "queries": queries,
+    }
+
+
+def write_oracle_artifact(artifact: Dict, out_dir: str) -> str:
+    """Write ``BENCH_oracle_<engine>.json`` under *out_dir*; the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_oracle_{artifact['engine']}.json")
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,0 +1,145 @@
+"""The known-divergence registry.
+
+Real engines legitimately disagree with a textbook 3VL evaluator in a
+few corners (Libkin's 2VL survey and Ricciotti & Cheney's SQL
+formalization catalogue them; see PAPERS.md).  When the external oracle
+hits one of these, the divergence is *expected*: it must not flake CI,
+but it must stay visible — each registry entry carries a written
+explanation and the check report records which entry matched.
+
+An entry matches either
+
+* **structurally** — a predicate over the parsed statement and engine
+  name (e.g. "LIMIT without a total ORDER BY", where any row subset is a
+  correct answer and engines pick different ones), or
+* **by case digest** — a specific fuzz case catalogued after
+  investigation (``sql_digest`` from
+  :func:`repro.fuzz.corpus.case_digest`-style hashing of the SQL text).
+
+``repro fuzz --oracle=...``, the corpus replay test and
+``PreparedQuery.verify`` all consult the same registry, so an entry
+added once silences the case everywhere while keeping it in the
+research catalogue (:func:`registry_report`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..sql import ast as A
+from ..sql.parser import parse
+
+
+def sql_digest(sql: str) -> str:
+    """A stable short hash of normalized SQL text."""
+    normalized = " ".join(sql.split()).lower()
+    return hashlib.sha1(normalized.encode()).hexdigest()[:10]
+
+
+@dataclass(frozen=True)
+class KnownDivergence:
+    """One documented, expected disagreement with an external engine."""
+
+    key: str
+    #: engines the divergence applies to; ``("*",)`` = all engines
+    engines: Tuple[str, ...]
+    #: the written explanation — *why* both answers are defensible
+    reason: str
+    #: structural matcher over (stmt, engine); None = digest-only entry
+    matches: Optional[Callable[[A.SelectStmt, str], bool]] = None
+    #: exact-case matcher by normalized SQL hash; None = structural-only
+    sql_digest: Optional[str] = None
+
+    def applies(self, stmt: Optional[A.SelectStmt], sql: str, engine: str) -> bool:
+        if "*" not in self.engines and engine not in self.engines:
+            return False
+        if self.sql_digest is not None:
+            return sql_digest(sql) == self.sql_digest
+        if self.matches is not None and stmt is not None:
+            return self.matches(stmt, engine)
+        return False
+
+
+def _limit_without_total_order(stmt: A.SelectStmt, engine: str) -> bool:
+    """LIMIT is only deterministic when ORDER BY covers the output.
+
+    Any engine may return any qualifying subset of rows; diffing two
+    engines' choices is meaningless, so such statements are registered
+    rather than reported.  (:func:`repro.oracle.dialect.comparable`
+    refuses them up front; this entry documents the *why* and catches
+    statements that arrive through other paths.)
+    """
+    if stmt.limit is None:
+        return False
+    ordered = {item.expr.text for item in stmt.order_by}
+    output = {
+        item.expr.text for item in stmt.items if item.expr is not None
+    }
+    return not stmt.order_by or not output or not output <= ordered
+
+
+_BUILTIN: List[KnownDivergence] = [
+    KnownDivergence(
+        key="limit-without-total-order",
+        engines=("*",),
+        reason=(
+            "LIMIT n without an ORDER BY that totally orders the output "
+            "permits any n qualifying rows; every engine's answer is "
+            "correct and they need not match"
+        ),
+        matches=_limit_without_total_order,
+    ),
+]
+
+_REGISTERED: List[KnownDivergence] = []
+
+
+def register_known_divergence(entry: KnownDivergence) -> KnownDivergence:
+    """Add a registry entry (idempotent on ``key``)."""
+    if any(e.key == entry.key for e in known_divergences()):
+        return entry
+    _REGISTERED.append(entry)
+    return entry
+
+
+def clear_registered() -> None:
+    """Drop non-builtin entries (test isolation)."""
+    _REGISTERED.clear()
+
+
+def known_divergences() -> List[KnownDivergence]:
+    return list(_BUILTIN) + list(_REGISTERED)
+
+
+def find_known(
+    sql: str, engine: str, stmt: Optional[A.SelectStmt] = None
+) -> Optional[KnownDivergence]:
+    """The first registry entry matching this (sql, engine), if any."""
+    if stmt is None:
+        try:
+            stmt = parse(sql)
+        except Exception:
+            stmt = None
+    for entry in known_divergences():
+        if entry.applies(stmt, sql, engine):
+            return entry
+    return None
+
+
+def registry_report() -> str:
+    """Human-readable catalogue of every registered divergence."""
+    lines = ["known-divergence registry:"]
+    for entry in known_divergences():
+        scope = ",".join(entry.engines)
+        kind = (
+            f"digest={entry.sql_digest}"
+            if entry.sql_digest is not None
+            else "structural"
+        )
+        lines.append(f"  [{entry.key}] engines={scope} ({kind})")
+        lines.append(f"      {entry.reason}")
+    if len(lines) == 1:
+        lines.append("  (empty)")
+    return "\n".join(lines)

@@ -155,6 +155,42 @@ class PreparedQuery:
             cache.store_strategy(key, impl)
         return impl, None, None
 
+    def verify(
+        self,
+        engine: str = "sqlite",
+        strategy: Union[str, object] = "auto",
+        backend: Optional[str] = None,
+        threads: Optional[int] = None,
+        raise_on_divergence: bool = True,
+        capture_plans: bool = False,
+    ):
+        """Cross-check this query against an external engine.
+
+        Loads the session's database into *engine* ("sqlite" always
+        available; "duckdb" when installed; "internal" for the
+        tuple-iteration evaluator), runs the dialect-rendered SQL there,
+        executes *strategy* here, and diffs the row bags under canonical
+        NULL handling.  Returns the
+        :class:`~repro.oracle.diff.OracleComparison` report; with
+        *raise_on_divergence* (the default) an unexpected mismatch —
+        one the known-divergence registry does not explain — raises
+        :class:`~repro.errors.OracleDivergenceError` instead.
+        """
+        from .oracle import cross_check, verify_or_raise
+
+        reports = cross_check(
+            self._session.db,
+            self.sql,
+            engine=engine,
+            strategies=(strategy,),
+            backend=backend,
+            threads=threads,
+            capture_plans=capture_plans,
+        )
+        if raise_on_divergence:
+            verify_or_raise(reports)
+        return reports[0]
+
     def explain(
         self,
         strategy: str = "auto",

@@ -111,6 +111,17 @@ def tokenize(text: str) -> List[Token]:
                         break
                     seen_dot = True
                 j += 1
+            # optional exponent: e/E, optional sign, at least one digit
+            # (an 'e' not followed by digits starts an identifier instead,
+            # e.g. the alias in "... from t e")
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
             tokens.append(Token("number", text[i:j], i, line))
             i = j
             continue

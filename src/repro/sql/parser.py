@@ -135,7 +135,7 @@ class Parser:
         limit: Optional[int] = None
         if self.accept_kw("limit"):
             tok = self.cur
-            if tok.kind != "number" or "." in tok.value:
+            if tok.kind != "number" or any(c in tok.value for c in ".eE"):
                 raise ParseError(
                     "LIMIT expects an integer", tok.position, tok.line
                 )
@@ -330,7 +330,7 @@ class Parser:
         tok = self.cur
         if tok.kind == "number":
             self.advance()
-            if "." in tok.value:
+            if any(c in tok.value for c in ".eE"):
                 return Constant(float(tok.value))
             return Constant(int(tok.value))
         if tok.kind == "string":

@@ -13,9 +13,16 @@ immediately rather than silently emitting unparseable corpus files.
 
 from __future__ import annotations
 
+import math
+import re
+
 from ..engine.types import is_null
 from ..errors import ReproError
 from . import ast as A
+from .lexer import KEYWORDS
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+_EXPONENT = re.compile(r"[eE]")
 
 
 def render_sql(stmt: A.SelectStmt) -> str:
@@ -33,7 +40,7 @@ def render_sql(stmt: A.SelectStmt) -> str:
         parts.append("order by")
         parts.append(
             ", ".join(
-                item.expr.text + (" desc" if item.descending else "")
+                _colref(item.expr) + (" desc" if item.descending else "")
                 for item in stmt.order_by
             )
         )
@@ -42,22 +49,41 @@ def render_sql(stmt: A.SelectStmt) -> str:
     return " ".join(parts)
 
 
+def _ident(name: str) -> str:
+    """Validate an identifier; our grammar has no quoting, so a name the
+    lexer would read back as a keyword, number or operator soup cannot
+    round-trip and must be rejected rather than silently mangled."""
+    if not _IDENT.match(name) or name.lower() in KEYWORDS:
+        raise ReproError(
+            f"identifier {name!r} cannot be rendered: it is a reserved "
+            "word or not of the form [A-Za-z_][A-Za-z0-9_]*"
+        )
+    return name
+
+
+def _colref(ref: A.ColumnRef) -> str:
+    column = _ident(ref.column)
+    if ref.table:
+        return f"{_ident(ref.table)}.{column}"
+    return column
+
+
 def _select_item(item: A.SelectItem) -> str:
     if item.star:
         return "*"
     assert item.expr is not None
-    return item.expr.text
+    return _colref(item.expr)
 
 
 def _table_ref(tref: A.TableRef) -> str:
     if tref.alias:
-        return f"{tref.name} {tref.alias}"
-    return tref.name
+        return f"{_ident(tref.name)} {_ident(tref.alias)}"
+    return _ident(tref.name)
 
 
 def _value(expr: A.ValueExpr) -> str:
     if isinstance(expr, A.ColumnRef):
-        return expr.text
+        return _colref(expr)
     if isinstance(expr, A.Constant):
         return _constant(expr.value)
     if isinstance(expr, A.BinaryArith):
@@ -67,6 +93,30 @@ def _value(expr: A.ValueExpr) -> str:
     raise ReproError(f"cannot render value expression {expr!r}")
 
 
+def render_float_literal(value: float) -> str:
+    """A float literal that parses everywhere, preferring plain decimal.
+
+    ``repr`` switches to exponent notation (``1e-05``) below 1e-4 and
+    above 1e16; small-magnitude exponent forms are expanded into
+    positional decimal when the expansion round-trips exactly, so the
+    literal also survives parsers without exponent support.  Infinities
+    and NaNs have no SQL literal at all and are rejected.
+    """
+    if math.isinf(value) or math.isnan(value):
+        raise ReproError(f"{value!r} has no SQL literal")
+    text = repr(value)
+    if not _EXPONENT.search(text):
+        return text
+    expanded = format(value, ".17f").rstrip("0")
+    if expanded.endswith("."):
+        expanded += "0"
+    if float(expanded) == value:
+        return expanded
+    # huge/tiny magnitudes where positional form loses precision: keep
+    # exponent notation (the lexer understands it)
+    return text
+
+
 def _constant(value: object) -> str:
     if is_null(value):
         return "null"
@@ -74,7 +124,9 @@ def _constant(value: object) -> str:
         return "true"
     if value is False:
         return "false"
-    if isinstance(value, (int, float)):
+    if isinstance(value, float):
+        return render_float_literal(value)
+    if isinstance(value, int):
         return repr(value)
     if isinstance(value, str):
         escaped = value.replace("'", "''")

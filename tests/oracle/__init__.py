@@ -1,0 +1,1 @@
+"""External differential oracle tests (repro.oracle)."""

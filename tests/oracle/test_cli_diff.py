@@ -1,0 +1,117 @@
+"""The ``repro diff`` verb and ``repro fuzz --oracle``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDiff:
+    def test_diff_agreement_exits_zero(self, capsys):
+        code = main(
+            [
+                "diff",
+                "select o_orderkey from orders where o_totalprice > 100000",
+                "--tpch", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vs sqlite: agree" in out
+
+    def test_diff_multiple_strategies(self, capsys):
+        code = main(
+            [
+                "diff",
+                "select c_name from customer where exists (select o_orderkey "
+                "from orders where o_custkey = c_custkey)",
+                "--tpch", "0.001",
+                "--strategies", "nested-iteration,nested-relational,auto",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("agree") == 3
+
+    def test_diff_explain_prints_engine_plan(self, capsys):
+        code = main(
+            [
+                "diff",
+                "select p_partkey from part where p_size > 10",
+                "--tpch", "0.001",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sqlite plan:" in out
+        assert "SCAN" in out
+
+    def test_diff_quantified_rewrite_roundtrips(self, capsys):
+        code = main(
+            [
+                "diff",
+                "select o_orderkey from orders where o_totalprice > all "
+                "(select l_extendedprice from lineitem "
+                "where l_orderkey = o_orderkey)",
+                "--tpch", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "case when exists" in out  # the 3VL rewrite is visible
+
+    def test_diff_limit_query_is_rejected(self, capsys):
+        code = main(
+            [
+                "diff",
+                "select p_partkey from part limit 3",
+                "--tpch", "0.001",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_diff_file_input(self, tmp_path, capsys):
+        query = tmp_path / "q.sql"
+        query.write_text("select n_name from nation where n_regionkey = 0\n")
+        code = main(["diff", "--file", str(query), "--tpch", "0.001"])
+        assert code == 0
+        assert "agree" in capsys.readouterr().out
+
+
+class TestFuzzOracle:
+    def test_fuzz_with_sqlite_oracle(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "25",
+                "--seed", "11",
+                "--oracle", "sqlite",
+                "--corpus-dir", str(tmp_path),
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "external oracle check(s)" in out
+
+    def test_fuzz_internal_oracle_unchanged(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "10",
+                "--seed", "11",
+                "--corpus-dir", str(tmp_path),
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "external oracle" not in out
+
+    def test_fuzz_rejects_unknown_oracle(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--oracle", "postgres", "--iterations", "1"])

@@ -1,0 +1,61 @@
+"""Every checked-in fuzz regression replayed through the SQLite oracle.
+
+The corpus is the fuzzer's memory of every bug it ever caught; each
+module already asserts internal agreement (all strategies vs the
+tuple-iteration oracle).  This test grounds the same cases externally:
+the module's database and SQL go through :func:`repro.oracle.cross_check`
+against SQLite, and every strategy the module lists must agree — or hit
+a registered known divergence, which is then asserted *as* expected.
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib.util
+import os
+
+import pytest
+
+from repro.oracle import cross_check, find_known
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "fuzz_corpus")
+
+_MODULES = sorted(
+    path
+    for path in glob.glob(os.path.join(CORPUS_DIR, "test_fuzz_*.py"))
+)
+
+
+def _load(path: str):
+    name = "corpus_replay_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_corpus_is_nonempty():
+    assert _MODULES, f"no corpus modules under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", _MODULES, ids=[os.path.basename(p) for p in _MODULES]
+)
+def test_corpus_case_agrees_with_sqlite(path):
+    module = _load(path)
+    db = module.build_db()
+    strategies = ["nested-iteration"] + [
+        s for s in module.STRATEGIES if s != "nested-iteration"
+    ]
+    reports = cross_check(db, module.SQL, engine="sqlite", strategies=strategies)
+    for report in reports:
+        if report.ok:
+            continue
+        known = find_known(module.SQL, "sqlite")
+        assert known is not None, (
+            f"{os.path.basename(path)}: unregistered divergence\n"
+            + report.describe()
+        )
+        # a registered divergence must actually *be* diverging — if the
+        # engines start agreeing, the registry entry has gone stale
+        assert report.known is not None and report.known.key == known.key

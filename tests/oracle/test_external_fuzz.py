@@ -1,0 +1,117 @@
+"""The external oracle wired through the fuzz pipeline.
+
+The self-test mirror of the internal ``--inject-bug`` flow: a
+deliberately lying engine adapter is registered, the runner must catch
+the divergence as an ``external-divergence`` failure, ddmin must shrink
+it, and the corpus writer must freeze a module whose second test
+replays the case through the real engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    DifferentialRunner,
+    FuzzConfig,
+    run_fuzz,
+)
+from repro.fuzz.shrink import INTERESTING_KINDS, shrink_case
+from repro.oracle import ADAPTER_FACTORIES
+from repro.oracle.sqlite_adapter import SqliteAdapter
+
+
+class LyingSqliteAdapter(SqliteAdapter):
+    """SQLite, except the first result row of every query is dropped."""
+
+    name = "lying-sqlite"
+
+    def execute_sql(self, sql):
+        rows = super().execute_sql(sql)
+        return rows[1:]
+
+
+@pytest.fixture
+def lying_engine():
+    ADAPTER_FACTORIES["lying-sqlite"] = LyingSqliteAdapter
+    try:
+        yield "lying-sqlite"
+    finally:
+        del ADAPTER_FACTORIES["lying-sqlite"]
+
+
+def test_external_kinds_are_interesting_to_the_shrinker():
+    assert "external-divergence" in INTERESTING_KINDS
+    assert "external-error" in INTERESTING_KINDS
+
+
+def test_runner_counts_external_checks():
+    runner = DifferentialRunner(
+        strategies=("nested-relational",), oracle="sqlite"
+    )
+    report = runner.run(FuzzConfig(iterations=20, seed=5))
+    assert report.ok, report.failures and report.failures[0].describe()
+    assert report.external_checks == 20
+    assert "external oracle check(s)" in report.summary()
+
+
+def test_internal_mode_skips_external_checks():
+    runner = DifferentialRunner(
+        strategies=("nested-relational",), oracle="internal"
+    )
+    assert runner.oracle is None
+    report = runner.run(FuzzConfig(iterations=5, seed=5))
+    assert report.external_checks == 0
+
+
+def test_lying_engine_is_caught_and_shrunk(lying_engine):
+    runner = DifferentialRunner(
+        strategies=("nested-relational",), oracle=lying_engine
+    )
+    report = runner.run(FuzzConfig(iterations=50, seed=5))
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.kind == "external-divergence"
+    assert failure.strategy == f"oracle:{lying_engine}"
+    assert "dialect SQL" in failure.detail
+
+    case, shrunk = shrink_case(failure.case, runner.check_case)
+    assert shrunk.kind == "external-divergence"
+    assert case.db_spec.total_rows <= failure.case.db_spec.total_rows
+
+
+def test_lying_engine_corpus_file_replays_external(lying_engine, tmp_path):
+    runner = DifferentialRunner(
+        strategies=("nested-relational",), oracle=lying_engine
+    )
+    outcome = run_fuzz(
+        FuzzConfig(iterations=50, seed=5),
+        runner=runner,
+        corpus_dir=str(tmp_path),
+    )
+    assert not outcome.ok
+    assert outcome.corpus_path is not None
+    source = open(outcome.corpus_path).read()
+    assert "test_agrees_with_external_oracle" in source
+    assert f'engine = "{lying_engine}"' in source
+    assert "external-divergence" in source  # provenance docstring
+
+    # the frozen module is importable and its internal test still passes
+    namespace: dict = {}
+    exec(compile(source, outcome.corpus_path, "exec"), namespace)
+    namespace["test_all_strategies_agree_with_oracle"]()
+    # replaying through the lying engine reproduces the divergence
+    with pytest.raises(AssertionError):
+        namespace["test_agrees_with_external_oracle"]()
+
+
+def test_attach_trace_text_handles_external_failure(lying_engine):
+    runner = DifferentialRunner(
+        strategies=("nested-relational",), oracle=lying_engine
+    )
+    report = runner.run(FuzzConfig(iterations=50, seed=5))
+    failure = runner.attach_trace_text(report.failures[0])
+    assert failure.trace_text is not None
+    assert "oracle 'nested-iteration' trace" in failure.trace_text
+    # no attempt to execute "oracle:lying-sqlite" as a strategy
+    assert "strategy 'oracle:" not in failure.trace_text

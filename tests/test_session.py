@@ -162,6 +162,33 @@ class TestCliErrorMapping:
         assert "backend=vector" in out
 
 
+class TestVerify:
+    def test_verify_against_sqlite(self, micro_tpch):
+        report = repro.connect(micro_tpch).prepare(SQL).verify()
+        assert report.ok
+        assert report.engine == "sqlite"
+        assert report.strategy == "auto"
+
+    def test_verify_specific_strategy_and_plans(self, micro_tpch):
+        report = repro.connect(micro_tpch).prepare(SQL).verify(
+            strategy="nested-relational-vectorized", capture_plans=True
+        )
+        assert report.ok
+        assert report.plan_theirs  # EXPLAIN QUERY PLAN text captured
+
+    def test_verify_internal_engine(self, micro_tpch):
+        report = repro.connect(micro_tpch).prepare(SQL).verify(
+            engine="internal", strategy="nested-relational"
+        )
+        assert report.ok and report.engine == "internal"
+
+    def test_verify_unknown_engine_raises(self, micro_tpch):
+        from repro.errors import OracleUnavailableError
+
+        with pytest.raises(OracleUnavailableError):
+            repro.connect(micro_tpch).prepare(SQL).verify(engine="warp-db")
+
+
 class TestDeprecatedShims:
     def test_run_sql_warns_but_works(self, tiny_tpch):
         with pytest.warns(DeprecationWarning, match="run_sql"):
