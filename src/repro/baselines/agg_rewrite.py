@@ -73,6 +73,11 @@ class AggregateRewriteStrategy:
         """None when the rewrite applies; otherwise the blocking reason."""
         if query.nesting_depth != 1:
             return "aggregate rewrite handles one-level queries only"
+        if query.has_disjunction:
+            return (
+                "marked (disjunctive) linking predicates keep their "
+                "residual semantics only in the nested pipeline"
+            )
         for child in query.root.children:
             link = child.link
             assert link is not None

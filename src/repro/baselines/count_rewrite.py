@@ -52,7 +52,12 @@ class CountRewriteStrategy:
     name = "count-rewrite"
 
     def applicable(self, query: NestedQuery) -> bool:
-        return query.is_linear and query.is_linearly_correlated()
+        return (
+            query.is_linear
+            and query.is_linearly_correlated()
+            and not query.has_aggregate_link
+            and not query.has_disjunction
+        )
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
         if not self.applicable(query):

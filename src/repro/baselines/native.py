@@ -54,9 +54,20 @@ from ..engine.metrics import current_metrics
 from ..engine.operators import AntiJoin, Filter, SemiJoin, as_relation
 from ..engine.relation import Relation, Row
 from ..engine.trace import CONTRACT_FILTERING, op_span
-from ..engine.types import NULL, TriBool, negate_op, tri_all, tri_any
-from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
+from ..engine.schema import Column, Schema
+from ..engine.types import (
+    NULL,
+    TriBool,
+    is_null,
+    negate_op,
+    sql_compare,
+    tri_all,
+    tri_any,
+)
+from ..core.blocks import AGG_OP, LinkSpec, NestedQuery, QueryBlock
+from ..core.linking import aggregate_value
 from ..core.reduce import ReducedBlock, reduce_all
+from ..core.selection import _tri_value
 
 #: plan actions for a child subquery
 SEMIJOIN = "semijoin"
@@ -111,6 +122,16 @@ class SystemAEmulationStrategy:
     ) -> Tuple[str, str]:
         link = child.link
         assert link is not None
+        if link.mark is not None:
+            return (
+                NESTED_ITERATION,
+                "disjunctive linking predicate (no unnesting under OR/NOT)",
+            )
+        if link.operator == AGG_OP:
+            return (
+                NESTED_ITERATION,
+                f"aggregate linking predicate {link.agg_text}",
+            )
         shape_reason = self._self_contained(child, query)
         if shape_reason is not None:
             return NESTED_ITERATION, shape_reason
@@ -221,9 +242,11 @@ class SystemAEmulationStrategy:
         Blocks evaluated by nested iteration are accessed through base
         tables and indexes per outer tuple — materializing their reduced
         relation up front would charge System A for scans its plan never
-        performs.
+        performs.  Grouped subquery blocks are the exception even under
+        nested iteration: they are uncorrelated by construction, so their
+        aggregation happens exactly once here rather than per probe.
         """
-        from ..core.reduce import reduce_block
+        from ..core.reduce import _is_grouped_subquery, reduce_block
 
         reduced: Dict[int, ReducedBlock] = {
             query.root.index: reduce_block(query.root, db)
@@ -233,7 +256,9 @@ class SystemAEmulationStrategy:
             for child in block.children:
                 if plans[child.index].action != NESTED_ITERATION:
                     reduced[child.index] = reduce_block(child, db)
-                    visit(child)
+                elif _is_grouped_subquery(child):
+                    reduced[child.index] = reduce_block(child, db)
+                visit(child)
 
         visit(query.root)
         return reduced
@@ -248,16 +273,64 @@ class SystemAEmulationStrategy:
         db: Database,
     ) -> Relation:
         for child in block.children:
+            if child.link is not None and child.link.mark is not None:
+                continue  # combined via the block residual below
             plan = plans[child.index]
             if plan.action == NESTED_ITERATION:
-                rel = self._nested_iterate(rel, child, query, db)
+                rel = self._nested_iterate(rel, child, query, db, reduced)
             else:
                 child_rel = self._apply_children(
                     child, reduced[child.index].relation, plans, reduced,
                     query, db,
                 )
                 rel = self._join_unnested(rel, child, child_rel, plan.action)
+        if block.residual is not None:
+            rel = self._apply_residual(block, rel, query, db, reduced)
         return rel
+
+    def _apply_residual(
+        self,
+        block: QueryBlock,
+        rel: Relation,
+        query: NestedQuery,
+        db: Database,
+        reduced: Dict[int, ReducedBlock],
+    ) -> Relation:
+        """Filter by the block's disjunctive residual: evaluate every
+        marked child's linking predicate per tuple, bind the verdicts as
+        mark values and keep rows where the residual is TRUE."""
+        marked = [
+            c
+            for c in block.children
+            if c.link is not None and c.link.mark is not None
+        ]
+        names = sorted(c.link.mark for c in marked)
+        by_name = {c.link.mark: c for c in marked}
+        mark_schema = Schema([Column(name) for name in names])
+        metrics = current_metrics()
+        out_rows: List[Row] = []
+        with op_span(
+            "residual-probe",
+            contract=CONTRACT_FILTERING,
+            block=block.index,
+        ) as span:
+            for row in rel.rows:
+                metrics.add("rows_scanned")
+                ctx = EvalContext.single(rel.schema, row)
+                mark_row = tuple(
+                    _tri_value(
+                        self._link_holds(by_name[name], ctx, query, db, reduced)
+                    )
+                    for name in names
+                )
+                rctx = ctx.push(mark_schema, mark_row)
+                metrics.add("linking_evals")
+                if truth(block.residual, rctx).is_true():
+                    out_rows.append(row)
+            if span is not None:
+                span.add("rows_in", len(rel.rows))
+                span.add("rows_out", len(out_rows))
+        return Relation(rel.schema, out_rows)
 
     @staticmethod
     def _join_unnested(
@@ -312,6 +385,7 @@ class SystemAEmulationStrategy:
         child: QueryBlock,
         query: NestedQuery,
         db: Database,
+        reduced: Dict[int, ReducedBlock],
     ) -> Relation:
         out_rows: List[Row] = []
         metrics = current_metrics()
@@ -323,7 +397,7 @@ class SystemAEmulationStrategy:
             for row in rel.rows:
                 metrics.add("rows_scanned")
                 ctx = EvalContext.single(rel.schema, row)
-                if self._link_holds(child, ctx, query, db).is_true():
+                if self._link_holds(child, ctx, query, db, reduced).is_true():
                     out_rows.append(row)
             if span is not None:
                 span.add("rows_in", len(rel.rows))
@@ -336,17 +410,30 @@ class SystemAEmulationStrategy:
         ctx: EvalContext,
         query: NestedQuery,
         db: Database,
+        reduced: Dict[int, ReducedBlock],
     ) -> TriBool:
         link = child.link
         assert link is not None
-        values = self._iterate_block(child, ctx, query, db)
+        values = self._iterate_block(child, ctx, query, db, reduced)
         if link.operator == "exists":
             # nested-loop semijoin behaviour: stop at the first match
             return TriBool.from_bool(next(iter(values), _SENTINEL) is not _SENTINEL)
         if link.operator == "not_exists":
             return TriBool.from_bool(next(iter(values), _SENTINEL) is _SENTINEL)
+        if link.operator == AGG_OP:
+            all_values = list(values)
+            agg = aggregate_value(
+                link.agg_func,
+                [v for v in all_values if not is_null(v)],
+                len(all_values),
+            )
+            lhs = (
+                link.outer_const[0]
+                if link.outer_const is not None
+                else ctx.lookup(link.outer_ref)
+            )
+            return sql_compare(link.theta, lhs, agg)
         lhs = ctx.lookup(link.outer_ref)
-        from ..engine.types import sql_compare
 
         comparisons = (
             sql_compare(link.effective_theta, lhs, v) for v in values
@@ -363,6 +450,7 @@ class SystemAEmulationStrategy:
         ctx: EvalContext,
         query: NestedQuery,
         db: Database,
+        reduced: Dict[int, ReducedBlock],
     ):
         """Evaluate a subquery block per-tuple, probing indexes.
 
@@ -374,6 +462,19 @@ class SystemAEmulationStrategy:
         """
         link = block.link
         assert link is not None
+        if block.group_by or block.aggregates or block.having is not None:
+            # grouped subquery blocks are uncorrelated, so their
+            # aggregation was reduced exactly once up front; the probe
+            # just re-reads the grouped rows
+            grouped = reduced[block.index].relation
+            pos = (
+                grouped.schema.index_of(link.inner_ref)
+                if link.inner_ref is not None
+                else None
+            )
+            for row in grouped.rows:
+                yield row[pos] if pos is not None else NULL
+            return
         metrics = current_metrics()
         if len(block.tables) != 1:
             candidates = self._scan_multi(block, db)
@@ -406,11 +507,31 @@ class SystemAEmulationStrategy:
                 continue
             passed = True
             for grandchild in block.children:
-                if not self._link_holds(grandchild, row_ctx, query, db).is_true():
+                # marked grandchildren (links under OR/NOT) do not filter
+                # individually; the block residual combines their verdicts
+                if grandchild.link is not None and grandchild.link.mark is not None:
+                    continue
+                if not self._link_holds(
+                    grandchild, row_ctx, query, db, reduced
+                ).is_true():
                     passed = False
                     break
             if not passed:
                 continue
+            if block.residual is not None:
+                marks = {
+                    c.link.mark: self._link_holds(c, row_ctx, query, db, reduced)
+                    for c in block.children
+                    if c.link is not None and c.link.mark is not None
+                }
+                names = sorted(marks)
+                rctx = row_ctx.push(
+                    Schema([Column(name) for name in names]),
+                    tuple(_tri_value(marks[name]) for name in names),
+                )
+                metrics.add("linking_evals")
+                if not truth(block.residual, rctx).is_true():
+                    continue
             yield row[value_pos] if value_pos is not None else NULL
 
     def _access_path(

@@ -21,13 +21,16 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..strategies import register
 from ..engine.catalog import Database
-from ..engine.expressions import EvalContext
+from ..engine.expressions import EvalContext, truth
 from ..engine.metrics import current_metrics
 from ..engine.relation import Relation, Row
+from ..engine.schema import Column, Schema
 from ..engine.trace import CONTRACT_FILTERING, op_span
-from ..engine.types import NULL, TriBool, tri_all, tri_any
-from ..core.blocks import LinkSpec, NestedQuery, QueryBlock
+from ..engine.types import NULL, TriBool, is_null, sql_compare, tri_all, tri_any
+from ..core.blocks import AGG_OP, LinkSpec, NestedQuery, QueryBlock
+from ..core.linking import aggregate_value
 from ..core.reduce import ReducedBlock, reduce_all
+from ..core.selection import _tri_value
 
 
 @register(
@@ -68,9 +71,29 @@ class NestedIterationStrategy:
         ctx: EvalContext,
         reduced: Dict[int, ReducedBlock],
     ) -> bool:
-        """All child linking predicates TRUE for the bound tuple?"""
+        """All child linking predicates TRUE for the bound tuple?
+
+        Marked children (linking predicates under OR/NOT) do not filter
+        individually; their three-valued verdicts are bound as mark
+        values and combined by the block's residual expression.
+        """
         for child in block.children:
+            if child.link is not None and child.link.mark is not None:
+                continue
             if not self._link_result(child, ctx, reduced).is_true():
+                return False
+        if block.residual is not None:
+            marks = {
+                child.link.mark: self._link_result(child, ctx, reduced)
+                for child in block.children
+                if child.link is not None and child.link.mark is not None
+            }
+            names = sorted(marks)
+            rctx = ctx.push(
+                Schema([Column(name) for name in names]),
+                tuple(_tri_value(marks[name]) for name in names),
+            )
+            if not truth(block.residual, rctx).is_true():
                 return False
         return True
 
@@ -88,9 +111,20 @@ class NestedIterationStrategy:
             return TriBool.from_bool(len(values) > 0)
         if link.operator == "not_exists":
             return TriBool.from_bool(len(values) == 0)
+        if link.operator == AGG_OP:
+            agg = aggregate_value(
+                link.agg_func,
+                [v for v in values if not is_null(v)],
+                len(values),
+            )
+            lhs = (
+                link.outer_const[0]
+                if link.outer_const is not None
+                else ctx.lookup(link.outer_ref)
+            )
+            return sql_compare(link.theta, lhs, agg)
         lhs = ctx.lookup(link.outer_ref)
         theta = link.effective_theta
-        from ..engine.types import sql_compare
 
         comparisons = (sql_compare(theta, lhs, v) for v in values)
         if link.quantifier == "all":

@@ -58,6 +58,16 @@ class ClassicalUnnestingStrategy:
 
     def applicable(self, query: NestedQuery, db: Database) -> Optional[str]:
         """None if the query can be rewritten; otherwise the reason why not."""
+        if query.has_aggregate_link:
+            return (
+                "aggregate linking predicates do not fold into "
+                "semijoins/antijoins"
+            )
+        if query.has_disjunction:
+            return (
+                "disjunctive linking predicates (marks) cannot be "
+                "unnested independently"
+            )
         for block in query.root.walk():
             if block.link is None:
                 continue

@@ -90,6 +90,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         timeout_ms=args.timeout_ms,
         memory_limit_mb=args.memory_limit_mb,
         degrade=args.degrade,
+        logic=args.logic,
     )
     prepared = session.prepare(_read_sql(args))
     trace = None
@@ -235,14 +236,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    null_rate = args.null_rate
+    if null_rate is None:
+        # the 2VL leg checks the NULL-free equivalence 2VL == 3VL ==
+        # external engine, so its default data is NULL-free (explicit
+        # --null-rate still overrides for 2VL-vs-oracle exploration)
+        null_rate = 0.0 if args.logic == "2vl" else 0.25
     try:
         config = FuzzConfig(
             iterations=args.iterations,
             seed=args.seed,
             max_depth=args.depth,
-            null_rate=args.null_rate,
+            null_rate=null_rate,
             max_rows=args.max_rows,
             strategies=strategies,
+            logic=args.logic,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -264,6 +272,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         strategies=config.strategies,
         extra_strategies=extra,
         oracle=args.oracle,
+        logic=config.logic,
     )
 
     def progress(i: int, report) -> None:
@@ -379,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="no_plan_cache",
                            help="disable the session's cross-query "
                                 "plan/build cache")
+            p.add_argument("--logic", default="3vl",
+                           choices=("3vl", "2vl"),
+                           help="predicate semantics: SQL-standard "
+                                "three-valued logic or Libkin two-valued "
+                                "logic (NULL comparisons are plain FALSE)")
             p.add_argument("--list-strategies", action="store_true",
                            dest="list_strategies",
                            help="list registered strategies and exit")
@@ -422,8 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RNG seed; (seed, iteration) reproduces a case")
     p.add_argument("--depth", type=int, default=3,
                    help="maximum subquery nesting depth (1-4)")
-    p.add_argument("--null-rate", type=float, default=0.25, dest="null_rate",
-                   help="per-cell NULL probability in generated data")
+    p.add_argument("--null-rate", type=float, default=None, dest="null_rate",
+                   help="per-cell NULL probability in generated data "
+                        "(default 0.25; 0.0 under --logic=2vl, whose "
+                        "default leg checks NULL-free 2VL==3VL==oracle "
+                        "equivalence)")
+    p.add_argument("--logic", default="3vl", choices=("3vl", "2vl"),
+                   help="run every internal strategy under this logic "
+                        "mode; external oracles always evaluate 3VL, so "
+                        "a 2vl run grounds them against a separate 3VL "
+                        "oracle execution")
     p.add_argument("--max-rows", type=int, default=8, dest="max_rows",
                    help="maximum rows per generated table")
     p.add_argument("--strategies",

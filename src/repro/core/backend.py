@@ -42,13 +42,19 @@ from ..engine.catalog import Database
 from ..engine.metrics import current_metrics
 from ..engine.operators import LeftOuterHashJoin, OuterCrossJoin, as_relation
 from ..engine.relation import Relation
+from ..engine.schema import Column, Schema
 from ..engine.trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
 from ..engine.types import NULL
 from .blocks import LinkSpec, NestedQuery
 from .linking import SetPredicate
 from .nest import nest, nest_sorted
 from .reduce import reduce_all
-from .selection import linking_selection, pseudo_selection
+from .selection import (
+    _tri_value,
+    linking_selection,
+    mark_selection,
+    pseudo_selection,
+)
 
 
 class RowBackend:
@@ -104,6 +110,15 @@ class RowBackend:
             if nest_impl == "sorted"
             else nest(rel, by, keep)
         )
+        if link.mark is not None:
+            return mark_selection(
+                nested,
+                predicate,
+                link.outer_ref,
+                link.inner_ref,
+                pk_ref=rid_ref,
+                mark_ref=link.mark,
+            )
         if strict:
             return linking_selection(
                 nested,
@@ -148,6 +163,25 @@ class RowBackend:
         )
         pad_positions = [rel.schema.index_of(r) for r in pad_refs]
         out_rows = []
+        if link.mark is not None:
+            out_schema = Schema(
+                tuple(rel.schema.columns) + (Column(link.mark),)
+            )
+            with op_span(
+                "uncorrelated-link",
+                contract=CONTRACT_PRESERVING,
+                pred=predicate.describe(),
+                mark=link.mark,
+            ) as span:
+                for row in rel.rows:
+                    metrics.add("linking_evals")
+                    lhs = row[lhs_pos] if lhs_pos is not None else NULL
+                    verdict = predicate.evaluate(lhs, members)
+                    out_rows.append(row + (_tri_value(verdict),))
+                if span is not None:
+                    span.add("rows_in", len(rel.rows))
+                    span.add("rows_out", len(out_rows))
+            return Relation(out_schema, out_rows)
         with op_span(
             "uncorrelated-link",
             contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
@@ -168,6 +202,56 @@ class RowBackend:
                 span.add("rows_in", len(rel.rows))
                 span.add("rows_out", len(out_rows))
         return Relation(rel.schema, out_rows)
+
+    # -- disjunctive residual ------------------------------------------- #
+
+    def apply_residual(
+        self,
+        rel: Relation,
+        residual,
+        strict: bool,
+        pad_refs: Sequence[str],
+        mark_refs: Sequence[str],
+    ) -> Relation:
+        """Apply a block's disjunctive linking residual over its marks.
+
+        Evaluates *residual* per row (SQL truth over mark columns and
+        plain predicates), then either deletes failing rows (strict σ)
+        or NULL-pads *pad_refs* (pseudo σ*), and finally projects the
+        consumed mark columns away.
+        """
+        from ..engine.expressions import EvalContext, truth
+
+        keep_refs = [n for n in rel.schema.names if n not in set(mark_refs)]
+        keep_positions = rel.schema.indices_of(keep_refs)
+        out_schema = rel.schema.project(keep_refs)
+        pad_positions = set(out_schema.indices_of(pad_refs))
+        metrics = current_metrics()
+        ctx = EvalContext.single(rel.schema, ())
+        out_rows = []
+        with op_span(
+            "linking-residual",
+            contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+            pred=repr(residual),
+        ) as span:
+            for row in rel.rows:
+                metrics.add("linking_evals")
+                passed = truth(residual, ctx.with_row(rel.schema, row)).is_true()
+                flat = tuple(row[i] for i in keep_positions)
+                if passed:
+                    out_rows.append(flat)
+                elif not strict:
+                    metrics.add("null_padded_rows")
+                    out_rows.append(
+                        tuple(
+                            NULL if i in pad_positions else v
+                            for i, v in enumerate(flat)
+                        )
+                    )
+            if span is not None:
+                span.add("rows_in", len(rel.rows))
+                span.add("rows_out", len(out_rows))
+        return Relation(out_schema, out_rows)
 
     # -- output --------------------------------------------------------- #
 

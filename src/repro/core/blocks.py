@@ -34,7 +34,15 @@ from ..engine.types import flip_op
 #: matching inner tuple exists; "negative" ones pass on the empty set.
 POSITIVE_OPS = ("exists", "in", "some")
 NEGATIVE_OPS = ("not_exists", "not_in", "all")
-LINK_OPS = POSITIVE_OPS + NEGATIVE_OPS
+#: Aggregate linking: ``outer θ (SELECT agg(...) ...)``.  Neither positive
+#: nor negative — ``COUNT(*) = 0`` passes exactly on the empty set, so the
+#: way-up selection above an aggregate link must never be strict.
+AGG_OP = "agg"
+LINK_OPS = POSITIVE_OPS + NEGATIVE_OPS + (AGG_OP,)
+
+#: Aggregate functions an aggregate link can carry.  ``count_star`` is
+#: ``COUNT(*)`` (counts tuples); ``count`` counts non-NULL argument values.
+AGG_FUNCS = ("count_star", "count", "sum", "avg", "min", "max")
 
 #: Comparison thetas allowed in quantified linking predicates.
 THETAS = ("=", "<>", "<", "<=", ">", ">=")
@@ -53,27 +61,72 @@ class LinkSpec:
     ``IN`` is normalized as ``= SOME`` and ``NOT IN`` as ``<> ALL``
     (paper Section 4.1, Example 2) but the original spelling is retained
     in ``operator`` so baselines can reproduce operator-specific plans.
+
+    Aggregate links (``operator == "agg"``) carry the scalar-subquery
+    form ``lhs θ agg(inner)``: *agg_func* names the aggregate,
+    *inner_ref* its argument column (None for ``COUNT(*)``), and the
+    left-hand side is either *outer_ref* (an outer-block column) or
+    *outer_const* — a 1-tuple wrapping a literal, so a NULL constant is
+    distinguishable from "no constant".
+
+    ``mark`` is set when the link appears under OR / NOT rather than as
+    a top-level conjunct: instead of filtering, the way-up selection
+    emits a three-valued mark column of that name, and the parent
+    block's ``residual`` combines the marks (Section 4.1's tree
+    expressions extended with disjunctive linking predicates).
     """
 
     operator: str
     outer_ref: Optional[str] = None
     theta: Optional[str] = None
     inner_ref: Optional[str] = None
+    agg_func: Optional[str] = None
+    outer_const: Optional[Tuple[object]] = None
+    mark: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.operator not in LINK_OPS:
             raise AnalysisError(f"unknown linking operator {self.operator!r}")
-        quantified = self.operator not in ("exists", "not_exists")
-        if quantified and not (self.outer_ref and self.theta and self.inner_ref):
-            raise AnalysisError(
-                f"linking operator {self.operator!r} needs outer_ref/theta/inner_ref"
-            )
+        if self.operator == AGG_OP:
+            if self.agg_func not in AGG_FUNCS:
+                raise AnalysisError(
+                    f"unknown aggregate function {self.agg_func!r}"
+                )
+            if not self.theta:
+                raise AnalysisError("aggregate link needs a comparison theta")
+            if self.agg_func != "count_star" and not self.inner_ref:
+                raise AnalysisError(
+                    f"aggregate {self.agg_func!r} needs an argument column"
+                )
+            if (self.outer_ref is None) == (self.outer_const is None):
+                raise AnalysisError(
+                    "aggregate link needs exactly one of outer_ref/outer_const"
+                )
+        else:
+            if self.agg_func is not None or self.outer_const is not None:
+                raise AnalysisError(
+                    f"agg_func/outer_const only apply to {AGG_OP!r} links"
+                )
+            quantified = self.operator not in ("exists", "not_exists")
+            if quantified and not (
+                self.outer_ref and self.theta and self.inner_ref
+            ):
+                raise AnalysisError(
+                    f"linking operator {self.operator!r} needs outer_ref/theta/inner_ref"
+                )
         if self.theta is not None and self.theta not in THETAS:
             raise AnalysisError(f"unknown linking theta {self.theta!r}")
 
     @property
     def is_positive(self) -> bool:
-        return self.operator in POSITIVE_OPS
+        """Whether a strict way-up selection above this link is sound.
+
+        Aggregate links are never positive (``COUNT(*) = 0`` passes on
+        the empty set), and a *marked* link must not license strictness
+        either: deleting a row below a mark would wrongly erase outer
+        rows whose mark should merely be FALSE inside the residual.
+        """
+        return self.operator in POSITIVE_OPS and self.mark is None
 
     @property
     def is_negative(self) -> bool:
@@ -82,7 +135,7 @@ class LinkSpec:
     @property
     def quantifier(self) -> str:
         """The SOME/ALL quantifier after IN / NOT IN normalization."""
-        if self.operator in ("exists", "not_exists"):
+        if self.operator in ("exists", "not_exists", AGG_OP):
             return self.operator
         if self.operator in ("in", "some"):
             return "some"
@@ -97,10 +150,29 @@ class LinkSpec:
             return "<>"
         return self.theta
 
+    @property
+    def agg_text(self) -> str:
+        """``count(*)`` / ``max(s.b)`` — the aggregate call as SQL text."""
+        assert self.operator == AGG_OP
+        if self.agg_func == "count_star":
+            return "count(*)"
+        return f"{self.agg_func}({self.inner_ref})"
+
     def describe(self) -> str:
         if self.operator in ("exists", "not_exists"):
-            return self.operator.upper().replace("_", " ")
-        return f"{self.outer_ref} {self.effective_theta} {self.quantifier.upper()} {{{self.inner_ref}}}"
+            base = self.operator.upper().replace("_", " ")
+        elif self.operator == AGG_OP:
+            lhs = (
+                self.outer_ref
+                if self.outer_ref is not None
+                else repr(self.outer_const[0])
+            )
+            base = f"{lhs} {self.theta} {self.agg_text}"
+        else:
+            base = f"{self.outer_ref} {self.effective_theta} {self.quantifier.upper()} {{{self.inner_ref}}}"
+        if self.mark is not None:
+            return f"{base} -> {self.mark}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -131,6 +203,29 @@ class Correlation:
         return f"{self.outer_ref} {self.op} {self.inner_ref}"
 
 
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate computed by a ``GROUP BY`` block.
+
+    *arg* is the qualified argument column (None for ``COUNT(*)``) and
+    *name* the synthetic output column the aggregate value is exposed
+    under (e.g. ``"count(*)"`` — referenced by HAVING and SELECT).
+    """
+
+    func: str  # one of AGG_FUNCS
+    arg: Optional[str]
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise AnalysisError(f"unknown aggregate function {self.func!r}")
+        if self.func != "count_star" and self.arg is None:
+            raise AnalysisError(f"aggregate {self.func!r} needs an argument")
+
+    def describe(self) -> str:
+        return self.name
+
+
 @dataclass
 class QueryBlock:
     """One SQL query block.
@@ -156,6 +251,22 @@ class QueryBlock:
     order_by: List[Tuple[str, bool]] = field(default_factory=list)
     #: root only: maximum number of result rows (after ordering)
     limit: Optional[int] = None
+    #: GROUP BY keys (qualified refs).  On the root the grouping runs as
+    #: a post-pass over the strategy result; on a (necessarily
+    #: uncorrelated, childless) subquery block it runs at reduce time.
+    group_by: List[str] = field(default_factory=list)
+    #: aggregates this block computes (root SELECT/HAVING, or a grouped
+    #: subquery's HAVING)
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+    #: HAVING predicate over group keys and aggregate output names
+    having: Optional[Expr] = None
+    #: root only, with grouping: final output columns in SELECT order
+    #: (group keys and aggregate output names)
+    output_refs: List[str] = field(default_factory=list)
+    #: disjunctive linking residual: an expression over the mark columns
+    #: of marked child links plus plain predicates, applied after all
+    #: children are nested in (None when every link is conjunctive)
+    residual: Optional[Expr] = None
     #: assigned by :func:`number_blocks`; 1-based DFS-L2R position.
     index: int = 0
 
@@ -181,6 +292,17 @@ class QueryBlock:
             lines[0] += f"  [link: {self.link.describe()}]"
         for c in self.correlations:
             lines.append(f"{pad}  corr: {c.describe()}")
+        if self.group_by or self.aggregates:
+            parts = []
+            if self.group_by:
+                parts.append("by " + ", ".join(self.group_by))
+            if self.aggregates:
+                parts.append(", ".join(a.describe() for a in self.aggregates))
+            lines.append(f"{pad}  group: {'; '.join(parts)}")
+        if self.having is not None:
+            lines.append(f"{pad}  having: {self.having!r}")
+        if self.residual is not None:
+            lines.append(f"{pad}  residual: {self.residual!r}")
         for child in self.children:
             lines.append(child.describe(depth + 1))
         return "\n".join(lines)
@@ -240,6 +362,27 @@ class NestedQuery:
     @property
     def has_mixed_links(self) -> bool:
         return self.has_negative_link and self.has_positive_link
+
+    @property
+    def has_aggregate_link(self) -> bool:
+        """Some block is linked by ``lhs θ agg(...)`` (scalar subquery)."""
+        return any(
+            b.link is not None and b.link.operator == AGG_OP
+            for b in self.root.walk()
+        )
+
+    @property
+    def has_disjunction(self) -> bool:
+        """Some block combines subqueries under OR/NOT via mark columns."""
+        return any(b.residual is not None for b in self.root.walk())
+
+    @property
+    def has_grouping(self) -> bool:
+        """Some block carries GROUP BY / aggregates / HAVING."""
+        return any(
+            b.group_by or b.aggregates or b.having is not None
+            for b in self.root.walk()
+        )
 
     def is_linearly_correlated(self) -> bool:
         """Each inner block only correlated to its *adjacent* outer block.
@@ -324,6 +467,15 @@ def _validate(root: QueryBlock) -> None:
             raise AnalysisError("root block must not carry a link")
         if block is root and not block.select_refs:
             raise AnalysisError("root block needs a SELECT list")
+        if block is not root and (block.group_by or block.having is not None):
+            # grouped subquery blocks are reduced to their aggregated
+            # relation up front, which is only sound without per-outer
+            # bindings or nested subqueries of their own
+            if block.correlations or block.children:
+                raise AnalysisError(
+                    f"grouped subquery block {block.index} must be "
+                    "uncorrelated and must not nest further subqueries"
+                )
 
     # Every correlation must reference an ancestor block.
     def visit(block: QueryBlock, path: List[QueryBlock]) -> None:

@@ -41,7 +41,7 @@ from ..engine.expressions import conjoin
 from ..engine.governor import checkpoint
 from ..engine.relation import Relation
 from .backend import RowBackend
-from .blocks import LinkSpec, NestedQuery, QueryBlock
+from .blocks import AGG_OP, LinkSpec, NestedQuery, QueryBlock
 from .linking import SetPredicate
 from .reduce import ReducedBlock
 
@@ -50,10 +50,18 @@ def set_predicate_for(link: LinkSpec) -> SetPredicate:
     """Translate a linking operator into its set predicate.
 
     EXISTS -> {B} ≠ ∅, NOT EXISTS -> {B} = ∅, IN -> = SOME,
-    NOT IN -> <> ALL, θ SOME/ALL -> themselves.
+    NOT IN -> <> ALL, θ SOME/ALL -> themselves, and aggregate links to
+    ``lhs θ agg({B})`` over the nested group.
     """
     if link.operator in ("exists", "not_exists"):
         return SetPredicate(link.operator)
+    if link.operator == AGG_OP:
+        return SetPredicate(
+            "agg",
+            link.theta,
+            agg_func=link.agg_func,
+            const=link.outer_const,
+        )
     return SetPredicate(link.quantifier, link.effective_theta)
 
 
@@ -189,6 +197,31 @@ class NestedRelationalStrategy:
                 pad,
                 self.nest_impl,
             )
+            if link.mark is not None:
+                # the mark column now rides with the current node's
+                # attributes: siblings must group by it and the node's
+                # pseudo-selections must pad it
+                owner[link.mark] = node.index
+        if node.residual is not None:
+            checkpoint("operator")
+            marks = {
+                c.link.mark
+                for c in node.children
+                if c.link is not None and c.link.mark is not None
+            }
+            strict = self._use_strict(path)
+            pad = (
+                []
+                if strict
+                else [
+                    r
+                    for r in backend.names(rel)
+                    if owner.get(r) == node.index and r not in marks
+                ]
+            )
+            rel = backend.apply_residual(
+                rel, node.residual, strict, pad, sorted(marks)
+            )
         return rel
 
     def _use_strict(self, path: List[QueryBlock]) -> bool:
@@ -227,7 +260,7 @@ class NestedRelationalStrategy:
             for ref in backend.names(rel)
             if owner.get(ref) == node.index
         ]
-        return backend.uncorrelated_link(
+        rel = backend.uncorrelated_link(
             rel,
             sub,
             set_predicate_for(link),
@@ -236,6 +269,9 @@ class NestedRelationalStrategy:
             strict,
             pad,
         )
+        if link.mark is not None:
+            owner[link.mark] = node.index
+        return rel
 
 
 register(

@@ -50,27 +50,55 @@ from ..engine.types import (
 )
 
 #: quantifiers accepted by :class:`SetPredicate`
-QUANTIFIERS = ("some", "all", "exists", "not_exists")
+QUANTIFIERS = ("some", "all", "exists", "not_exists", "agg")
+
+
+def aggregate_value(
+    func: str, values: Sequence[SqlValue], count_rows: int
+) -> SqlValue:
+    """One SQL aggregate over a group's *non-NULL argument values*.
+
+    *count_rows* is the number of live tuples in the group (the
+    ``COUNT(*)`` answer — it counts empty groups as 0, never NULL, which
+    is exactly the zero-count behaviour the COUNT bug is about).
+    """
+    from ..engine.operators.aggregate import _finish
+
+    return _finish(func, list(values), count_rows)
 
 
 @dataclass(frozen=True)
 class SetPredicate:
     """A compiled linking predicate, ready to evaluate group-by-group.
 
-    ``quantifier`` ∈ {"some", "all", "exists", "not_exists"}; *theta* is
-    required for the quantified forms and ignored for the existential
-    ones.  Evaluation receives the linking value (LHS) and the group
-    members together with their primary-key values.
+    ``quantifier`` ∈ {"some", "all", "exists", "not_exists", "agg"};
+    *theta* is required for the quantified and aggregate forms and
+    ignored for the existential ones.  Evaluation receives the linking
+    value (LHS) and the group members together with their primary-key
+    values.
+
+    The ``"agg"`` form is the paper's nest-based answer to scalar
+    aggregate subqueries: the nest operator already materializes the
+    group, so the predicate aggregates the live members with *agg_func*
+    and compares once — ``lhs θ agg({B})``.  A constant LHS (``0 =
+    (SELECT COUNT(*) …)``) is carried in *const* as a 1-tuple so a NULL
+    literal stays distinguishable from "use the linking value".
     """
 
     quantifier: str
     theta: Optional[str] = None
+    agg_func: Optional[str] = None
+    const: Optional[Tuple[SqlValue]] = None
 
     def __post_init__(self) -> None:
         if self.quantifier not in QUANTIFIERS:
             raise ExpressionError(f"unknown quantifier {self.quantifier!r}")
-        if self.quantifier in ("some", "all") and self.theta is None:
+        if self.quantifier in ("some", "all", "agg") and self.theta is None:
             raise ExpressionError(f"quantifier {self.quantifier!r} needs a theta")
+        if (self.quantifier == "agg") != (self.agg_func is not None):
+            raise ExpressionError(
+                "agg_func is required for (and exclusive to) 'agg' predicates"
+            )
 
     def evaluate(
         self,
@@ -88,6 +116,15 @@ class SetPredicate:
         if self.quantifier == "not_exists":
             return TriBool.from_bool(not live)
         assert self.theta is not None
+        if self.quantifier == "agg":
+            assert self.agg_func is not None
+            agg = aggregate_value(
+                self.agg_func,
+                [v for v in live if not is_null(v)],
+                len(live),
+            )
+            lhs = self.const[0] if self.const is not None else linking_value
+            return sql_compare(self.theta, lhs, agg)
         comparisons = (sql_compare(self.theta, linking_value, v) for v in live)
         if self.quantifier == "all":
             return tri_all(comparisons)
@@ -101,6 +138,9 @@ class SetPredicate:
     def describe(self) -> str:
         if self.quantifier in ("exists", "not_exists"):
             return "{B} ≠ ∅" if self.quantifier == "exists" else "{B} = ∅"
+        if self.quantifier == "agg":
+            lhs = repr(self.const[0]) if self.const is not None else "A"
+            return f"{lhs} {self.theta} {self.agg_func}({{B}})"
         return f"A {self.theta} {self.quantifier.upper()} {{B}}"
 
 

@@ -84,7 +84,10 @@ class OptimizedNestedRelationalStrategy:
         )
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
-        if not query.is_linear:
+        if not query.is_linear or query.has_disjunction:
+            # marked links need the residual combination step of the
+            # general pipeline; the single-pass dead-member trick only
+            # models conjunctive strictness
             return self._fallback.execute(query, db)
         chain = list(query.root.walk())
         reduced = reduce_all(query, db)
@@ -253,7 +256,11 @@ class BottomUpLinearStrategy:
         self.use_pushdown = use_pushdown
 
     def applicable(self, query: NestedQuery) -> bool:
-        return query.is_linear and query.is_linearly_correlated()
+        return (
+            query.is_linear
+            and query.is_linearly_correlated()
+            and not query.has_disjunction
+        )
 
     def execute(self, query: NestedQuery, db: Database) -> Relation:
         if not self.applicable(query):
@@ -485,7 +492,12 @@ class PositiveRewriteStrategy:
         the semijoin discards the ancestor attributes the inner block
         needs.  Such queries keep the nested relational pipeline.
         """
-        if query.has_negative_link:
+        if any(
+            b.link is not None and not b.link.is_positive
+            for b in query.root.walk()
+        ):
+            # excludes negative links, aggregate links and marked
+            # (disjunctive) links alike — none admit a plain semijoin
             return False
 
         def adjacent(block: QueryBlock, parent: QueryBlock) -> bool:

@@ -276,6 +276,8 @@ def _finalize(result: Relation, query: NestedQuery) -> Relation:
     them for free and stays comparable.
     """
     root = query.root
+    if root.group_by or root.aggregates or root.having is not None:
+        result = _group_root_output(result, root)
     if root.order_by:
         from ..engine.types import row_sort_key
 
@@ -290,3 +292,40 @@ def _finalize(result: Relation, query: NestedQuery) -> Relation:
     if root.limit is not None:
         result = Relation(result.schema, result.rows[: root.limit])
     return result
+
+
+def _group_root_output(result: Relation, root) -> Relation:
+    """Root-level GROUP BY / aggregates / HAVING over the strategy's bag.
+
+    Strategies return the root block's ``select_refs`` with multiplicity
+    preserved, so aggregation composes here exactly as in SQL: group,
+    aggregate, filter by HAVING under 3VL truth, project the SELECT list.
+    A global aggregate over zero input rows still yields one row (COUNT
+    becomes 0, every other aggregate NULL).
+    """
+    from ..engine.expressions import EvalContext, truth
+    from ..engine.operators.aggregate import AggSpec, GroupAggregate
+    from ..engine.types import NULL
+
+    aggs = [AggSpec(a.func, a.arg, name=a.name) for a in root.aggregates]
+    grouped = GroupAggregate(result, list(root.group_by), aggs).run()
+    if not root.group_by and not grouped.rows:
+        grouped = Relation(
+            grouped.schema,
+            [
+                tuple(
+                    0 if a.func in ("count", "count_star") else NULL
+                    for a in aggs
+                )
+            ],
+        )
+    if root.having is not None:
+        kept = [
+            row
+            for row in grouped.rows
+            if truth(
+                root.having, EvalContext.single(grouped.schema, row)
+            ).is_true()
+        ]
+        grouped = Relation(grouped.schema, kept)
+    return grouped.project(root.output_refs)

@@ -59,7 +59,14 @@ def rid_name(block: QueryBlock) -> str:
 
 
 def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
-    """Compute T_i = σ_Δi(R_i) and attach the synthetic rid column."""
+    """Compute T_i = σ_Δi(R_i) and attach the synthetic rid column.
+
+    A grouped subquery block (``GROUP BY`` / ``HAVING``; necessarily
+    uncorrelated and childless, see block validation) is aggregated here
+    as well: T_i becomes one row per qualifying group over the group-by
+    columns, so every downstream strategy sees the grouped relation
+    uniformly.
+    """
     with op_span(
         f"reduce[T{block.index}]",
         kind="phase",
@@ -67,6 +74,8 @@ def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
     ) as span:
         checkpoint("reduce")
         joined = _join_block_tables(block, db)
+        if _is_grouped_subquery(block):
+            joined = grouped_subquery_relation(block, joined)
         if span is not None:
             span.add("rows_out", len(joined.rows))
     rid = rid_name(block)
@@ -84,6 +93,40 @@ def reduce_block(block: QueryBlock, db: Database) -> ReducedBlock:
 def reduce_all(query: NestedQuery, db: Database) -> Dict[int, ReducedBlock]:
     """Reduce every block of the query, keyed by block index."""
     return {b.index: reduce_block(b, db) for b in query.root.walk()}
+
+
+def _is_grouped_subquery(block: QueryBlock) -> bool:
+    """Whether *block* is a subquery carrying GROUP BY / HAVING.
+
+    Root-level grouping is *not* reduced here — it runs as a planner
+    post-pass over the strategy result, after linking predicates.
+    """
+    return block.link is not None and bool(
+        block.group_by or block.aggregates or block.having is not None
+    )
+
+
+def grouped_subquery_relation(block: QueryBlock, joined: Relation) -> Relation:
+    """Aggregate a grouped subquery block's joined relation.
+
+    Applies GROUP BY + HAVING, then projects down to the group-by
+    columns (the linked attribute is required to be one of them; the
+    aggregate columns only feed HAVING).
+    """
+    from ..engine.expressions import truth
+    from ..engine.operators.aggregate import AggSpec, GroupAggregate
+
+    aggs = [AggSpec(a.func, a.arg, name=a.name) for a in block.aggregates]
+    grouped = GroupAggregate(joined, list(block.group_by), aggs).run()
+    if block.having is not None:
+        ctx = EvalContext.single(grouped.schema, ())
+        rows = [
+            row
+            for row in grouped.rows
+            if truth(block.having, ctx.with_row(grouped.schema, row)).is_true()
+        ]
+        grouped = Relation(grouped.schema, rows)
+    return grouped.project(list(block.group_by))
 
 
 @dataclass(frozen=True)

@@ -38,7 +38,7 @@ from ..engine.trace import (
     op_span,
 )
 from ..engine.relation import Relation, Row
-from ..engine.schema import Schema
+from ..engine.schema import Column, Schema
 from ..engine.types import NULL, SqlValue, is_null
 from .linking import SetPredicate
 from .nested import NestedRelation, SubSchema
@@ -161,6 +161,56 @@ def pseudo_selection(
             span.add("rows_in", len(nested.rows))
             span.add("rows_out", len(out_rows))
     return Relation(out_schema, out_rows)
+
+
+def mark_selection(
+    nested: NestedRelation,
+    predicate: SetPredicate,
+    linking_ref: Optional[str],
+    linked_ref: Optional[str],
+    pk_ref: str,
+    mark_ref: str,
+    set_name: str = "_nested",
+) -> Relation:
+    """Mark evaluation: keep every tuple, append the predicate verdict.
+
+    Used for linking predicates under OR/NOT: instead of filtering or
+    padding, the three-valued outcome is materialized as a column named
+    *mark_ref* (TRUE/FALSE/NULL) for the parent block's residual to
+    combine.
+    """
+    set_pos, linking_pos, linked_pos, pk_pos, out_schema, atomic = _resolve(
+        nested, set_name, linking_ref, linked_ref, pk_ref
+    )
+    out_schema = Schema(tuple(out_schema.columns) + (Column(mark_ref),))
+    metrics = current_metrics()
+    out_rows: List[Row] = []
+    with op_span(
+        "mark-selection",
+        contract=CONTRACT_PRESERVING,
+        pred=predicate.describe(),
+        mark=mark_ref,
+    ) as span:
+        for row in nested.rows:
+            metrics.add("linking_evals")
+            flat = tuple(row[i] for i in atomic)
+            members = _members(row[set_pos], linked_pos, pk_pos)
+            lhs = flat[linking_pos] if linking_pos is not None else NULL
+            verdict = predicate.evaluate(lhs, members)
+            out_rows.append(flat + (_tri_value(verdict),))
+        if span is not None:
+            span.add("rows_in", len(nested.rows))
+            span.add("rows_out", len(out_rows))
+    return Relation(out_schema, out_rows)
+
+
+def _tri_value(verdict) -> SqlValue:
+    """TriBool -> SQL value (TRUE/FALSE/NULL) for a mark column."""
+    if verdict.is_true():
+        return True
+    if (~verdict).is_true():
+        return False
+    return NULL
 
 
 def _members(

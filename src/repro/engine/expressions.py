@@ -311,11 +311,13 @@ def _value(expr: Expr, ctx: EvalContext) -> SqlValue:
 
 def _truth(expr: Expr, ctx: EvalContext) -> TriBool:
     """Evaluate *expr* as a predicate; values coerce via SQL truth rules."""
+    from .logic import two_valued
+
     result = expr.evaluate(ctx)
     if isinstance(result, TriBool):
         return result
     if is_null(result):
-        return UNKNOWN
+        return FALSE if two_valued() else UNKNOWN
     if isinstance(result, bool):
         return TriBool.from_bool(result)
     raise ExpressionError(f"expression {expr!r} is not a predicate: {result!r}")

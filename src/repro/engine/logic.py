@@ -1,0 +1,75 @@
+"""Session-scoped logic mode: SQL 3VL (default) or Libkin's 2VL.
+
+Standard SQL evaluates predicates under Kleene three-valued logic:
+comparisons involving NULL yield UNKNOWN, and a WHERE clause keeps only
+rows whose predicate is definitely TRUE.  Libkin ("Handling SQL Nulls
+with Two-Valued Logic") argues that the same queries can be evaluated
+under plain two-valued logic by declaring every comparison with NULL to
+be FALSE — ``IS [NOT] NULL`` remains the only way to observe a NULL.
+On NULL-free data the two semantics coincide exactly; with NULLs they
+diverge under explicit negation: ``NOT (x = y)`` and ``NOT (x IN S)``
+become TRUE when ``x`` is NULL under 2VL (classical negation of a
+FALSE atom) where 3VL leaves them UNKNOWN.  Atomic negative links —
+``x NOT IN S``, ``θ ALL`` — do *not* diverge observably: the NULL
+operand fails every comparison, and FALSE and UNKNOWN drop the row
+alike.
+
+The mode is carried in a :class:`contextvars.ContextVar` so that it is
+
+* per-session — :class:`repro.session.Session` sets it around every
+  execution, and cache keys include it;
+* inherited by worker threads *explicitly* — the parallel backend runs
+  morsels through closures built under the ambient mode, and the
+  vectorized kernels consult it at comparison time, so a morsel pool
+  never needs the variable itself.
+
+Three kernels consult the flag, and only three — every other evaluator
+is written in terms of them:
+
+* :func:`repro.engine.types.sql_compare` (row comparisons),
+* :func:`repro.engine.expressions._truth` (NULL-as-predicate coercion),
+* :func:`repro.engine.vector.exprs.compare_vectors` (mask pairs, where
+  2VL collapses ``false_mask`` to ``~true_mask``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+#: The logic modes a session can select.
+LOGIC_MODES = ("3vl", "2vl")
+
+_logic_mode: ContextVar[str] = ContextVar("repro_logic_mode", default="3vl")
+
+
+def current_logic() -> str:
+    """The ambient logic mode: ``"3vl"`` (SQL standard) or ``"2vl"``."""
+    return _logic_mode.get()
+
+
+def two_valued() -> bool:
+    """True when the ambient mode is Libkin two-valued logic."""
+    return _logic_mode.get() == "2vl"
+
+
+def validate_logic(logic: str) -> str:
+    """Return *logic* normalized, or raise on an unknown mode."""
+    from ..errors import InvalidArgumentError
+
+    if not isinstance(logic, str) or logic.lower() not in LOGIC_MODES:
+        raise InvalidArgumentError(
+            f"unknown logic mode {logic!r}; expected one of {LOGIC_MODES}"
+        )
+    return logic.lower()
+
+
+@contextlib.contextmanager
+def logic_mode(logic: str) -> Iterator[None]:
+    """Evaluate the enclosed block under the given logic mode."""
+    token = _logic_mode.set(validate_logic(logic))
+    try:
+        yield
+    finally:
+        _logic_mode.reset(token)

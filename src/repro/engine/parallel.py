@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import InvalidArgumentError
+from .logic import current_logic, logic_mode
 from .governor import (
     charge_batch,
     checkpoint,
@@ -236,6 +237,9 @@ class MorselScheduler:
         """
         traced = parent is not None and current_tracer() is not None
         governor = current_governor()
+        # the ambient logic mode is a ContextVar and does not cross into
+        # pool threads by itself — re-install it inside every morsel
+        mode = current_logic()
 
         def harness(
             index: int, task, pooled: bool
@@ -243,7 +247,7 @@ class MorselScheduler:
             value: object = None
             roots: list = []
             err: Optional[Exception] = None
-            with governed(governor), collect() as local:
+            with governed(governor), logic_mode(mode), collect() as local:
                 try:
                     if pooled:
                         maybe_worker_crash()
@@ -848,7 +852,11 @@ def uncorrelated_link(
     return _sliced(
         sched,
         "par-uncorrelated-link",
-        CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+        (
+            CONTRACT_FILTERING
+            if strict and link.mark is None
+            else CONTRACT_PRESERVING
+        ),
         batch,
         lambda part: nestlink.uncorrelated_link(
             part, sub, predicate, link, rid_ref, strict, pad_refs

@@ -21,6 +21,8 @@ import datetime
 import enum
 from typing import Any, Iterable, Union
 
+from .logic import two_valued
+
 
 class _SqlNull:
     """Singleton marker for SQL NULL.
@@ -166,13 +168,15 @@ def sql_compare(op: str, left: SqlValue, right: SqlValue) -> TriBool:
     """Evaluate ``left op right`` under SQL 3VL semantics.
 
     *op* is one of ``= <> < <= > >=`` (``!=`` accepted as alias of ``<>``).
-    Any comparison involving NULL is UNKNOWN.  Comparing incompatible types
-    raises :class:`repro.errors.TypeError_` rather than guessing.
+    Any comparison involving NULL is UNKNOWN — unless the session runs in
+    Libkin's two-valued mode (:mod:`repro.engine.logic`), where it is
+    FALSE.  Comparing incompatible types raises
+    :class:`repro.errors.TypeError_` rather than guessing.
     """
     from ..errors import TypeError_
 
     if left is NULL or right is NULL:
-        return TriBool.UNKNOWN
+        return TriBool.FALSE if two_valued() else TriBool.UNKNOWN
     if not _comparable(left, right):
         raise TypeError_(
             f"cannot compare {type(left).__name__} with {type(right).__name__}"

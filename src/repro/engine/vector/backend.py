@@ -15,11 +15,19 @@ from typing import Dict, Sequence
 import numpy as np
 
 from ...core.blocks import NestedQuery, QueryBlock
-from ...core.reduce import ReducedBlock, plan_block_join, rid_name
+from ...core.reduce import (
+    ReducedBlock,
+    _is_grouped_subquery,
+    grouped_subquery_relation,
+    plan_block_join,
+    rid_name,
+)
 from ..catalog import Database
 from ..governor import charge_batch, checkpoint
+from ..logic import current_logic
+from ..metrics import current_metrics
 from ..schema import Column, Schema
-from ..trace import op_span
+from ..trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
 from .batch import Batch, table_batch
 from .column import KIND_INT, Vector
 from . import kernels, nestlink
@@ -50,9 +58,15 @@ class VectorBackend:
         # below, outside the cached image).  The base tables' fingerprints
         # are part of the key: a cached build over rows that were since
         # mutated in place (bypassing Database.version) misses instead of
-        # serving stale data.
+        # serving stale data.  The logic mode participates too: a NOT
+        # over a NULL comparison filters differently under 2VL.
         key = (
-            (repr(plan), self.kind, self._tables_fingerprint(plan, db))
+            (
+                repr(plan),
+                self.kind,
+                current_logic(),
+                self._tables_fingerprint(plan, db),
+            )
             if cache is not None
             else None
         )
@@ -70,6 +84,13 @@ class VectorBackend:
                 current = self._execute_join_plan(plan, db)
                 if cache is not None:
                     cache.store_reduced(key, current)
+            if _is_grouped_subquery(block):
+                # GROUP BY / HAVING subquery blocks reuse the row-side
+                # aggregation (outside the cached image, which stays the
+                # plain join result shared with ungrouped lookups)
+                current = Batch.from_relation(
+                    grouped_subquery_relation(block, current.to_relation())
+                )
             if span is not None:
                 span.add("rows_out", len(current))
         rid = rid_name(block)
@@ -194,6 +215,50 @@ class VectorBackend:
         return nestlink.uncorrelated_link(
             rel, sub, predicate, link, rid_ref, strict, pad_refs
         )
+
+    # -- disjunctive residual ------------------------------------------- #
+
+    def apply_residual(
+        self,
+        rel: Batch,
+        residual,
+        strict: bool,
+        pad_refs: Sequence[str],
+        mark_refs: Sequence[str],
+    ) -> Batch:
+        """Apply a block's disjunctive linking residual over its marks.
+
+        Evaluates *residual* over the batch (mark columns are ordinary
+        boolean vectors), deletes failing rows (strict σ) or NULL-pads
+        *pad_refs* (pseudo σ*), then projects the marks away.
+        """
+        from .exprs import eval_truth
+
+        metrics = current_metrics()
+        n = len(rel)
+        with op_span(
+            "vec-linking-residual",
+            contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+            pred=repr(residual),
+        ) as span:
+            metrics.add("linking_evals", n)
+            t, _f = eval_truth(residual, rel)
+            if strict:
+                out = rel.take(np.flatnonzero(t))
+            else:
+                fail = ~t
+                out = (
+                    nestlink._pad_columns(rel, pad_refs, fail)
+                    if fail.any()
+                    else rel
+                )
+                metrics.add("null_padded_rows", int(fail.sum()))
+            keep = [c for c in out.schema.names if c not in set(mark_refs)]
+            out = out.project(keep)
+            if span is not None:
+                span.add("rows_in", n)
+                span.add("rows_out", len(out))
+        return out
 
     # -- output --------------------------------------------------------- #
 

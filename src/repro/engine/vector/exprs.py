@@ -45,6 +45,7 @@ from ..expressions import (
     Not,
     Or,
 )
+from ..logic import two_valued
 from ..types import TriBool, sql_compare
 from .batch import Batch
 from .column import (
@@ -109,11 +110,17 @@ def eval_truth(expr: Expr, batch: Batch) -> MaskPair:
 
 
 def vector_truth(vec: Vector, expr: Expr) -> MaskPair:
-    """SQL truth of a value vector (bools; NULL -> UNKNOWN)."""
+    """SQL truth of a value vector (bools; NULL -> UNKNOWN, or FALSE
+    under the two-valued mode)."""
     if vec.kind == KIND_BOOL:
-        return vec.valid & vec.data, vec.valid & ~vec.data
+        t = vec.valid & vec.data
+        if two_valued():
+            return t, ~t
+        return t, vec.valid & ~vec.data
     if not vec.valid.any():
         zeros = np.zeros(len(vec), dtype=bool)
+        if two_valued():
+            return zeros, np.ones(len(vec), dtype=bool)
         return zeros, zeros.copy()
     raise ExpressionError(f"expression {expr!r} is not a predicate")
 
@@ -163,15 +170,24 @@ def _fast_comparable(a: Vector, b: Vector) -> bool:
 
 
 def compare_vectors(op: str, a: Vector, b: Vector) -> MaskPair:
-    """``a op b`` element-wise, as (true, false) masks."""
+    """``a op b`` element-wise, as (true, false) masks.
+
+    Under the two-valued mode every comparison touching a NULL slot is
+    FALSE, so the false mask collapses to ``~true``.
+    """
     both = a.valid & b.valid
     n = len(a)
     if not both.any():
         zeros = np.zeros(n, dtype=bool)
+        if two_valued():
+            return zeros, np.ones(n, dtype=bool)
         return zeros, zeros.copy()
     if _fast_comparable(a, b):
         result = _CMP[op](a.data, b.data)
-        return both & result, both & ~result
+        t = both & result
+        if two_valued():
+            return t, ~t
+        return t, both & ~result
     # mixed / object kinds: defer to the row engine's semantics per pair
     # (this also raises TypeError_ on incomparable values, as rows do)
     t = np.zeros(n, dtype=bool)
@@ -184,6 +200,8 @@ def compare_vectors(op: str, a: Vector, b: Vector) -> MaskPair:
             t[i] = True
         elif r is TriBool.FALSE:
             f[i] = True
+    if two_valued():
+        return t, ~t
     return t, f
 
 

@@ -11,14 +11,28 @@ and each linking predicate becomes a per-group boolean aggregate:
   synthetic ``_rid`` is non-NULL: the pk-is-NULL convention marks
   padded rows as "not really a member");
 * ``θ SOME`` — TRUE iff some live member's comparison is TRUE
-  (``bincount`` over the comparison's true-mask);
-* ``θ ALL`` — by De Morgan in Kleene logic, ``¬(¬θ SOME)``: TRUE iff no
-  live member makes ``¬θ`` TRUE and none makes it UNKNOWN.  This is
-  exact: SQL's UNKNOWN propagates identically on both sides.
+  (``bincount`` over the comparison's true-mask), FALSE iff every live
+  member's comparison is FALSE (vacuously FALSE on the empty group);
+* ``θ ALL`` — TRUE iff no live member's comparison is FALSE or UNKNOWN
+  (vacuously TRUE on the empty group), FALSE iff some member's
+  comparison is FALSE;
+* aggregate links (``lhs θ agg({B})``) — a validity-bitmap group
+  aggregation (``bincount`` counts and sums, ``ufunc.at`` min/max)
+  followed by one vectorized comparison per group.
+
+Quantifier verdicts are computed from the comparison's own
+``(true, false)`` masks on the *original* θ — never by the De Morgan
+``ALL θ ≡ ¬(SOME ¬θ)`` trick, which is only sound when UNKNOWN
+propagates symmetrically.  Under the two-valued mode a NULL-touching
+comparison is simply FALSE (no UNKNOWN mask), and the direct formulation
+stays exact while De Morgan would not (``5 > ALL {2, NULL}`` must be
+FALSE, not TRUE).
 
 Strict selection keeps the passing groups (one output row per group,
 projected to the nesting attributes); pseudo selection keeps every group
-but NULLs out the current block's attributes of failing groups.
+but NULLs out the current block's attributes of failing groups; mark
+evaluation keeps every group and appends the three-valued verdict as a
+boolean column for the parent block's disjunctive residual.
 
 The uncorrelated link shares the member set across all outer rows, so
 ``θ SOME`` collapses to a single existence test against the member
@@ -28,15 +42,18 @@ min/max bounds for the orderings.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from ..logic import two_valued
 from ..metrics import current_metrics
+from ..operators.aggregate import _finish
+from ..schema import Column
 from ..trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
-from ..types import negate_op
+from ..types import NULL, is_null, negate_op
 from .batch import Batch
-from .column import KIND_INT, Vector
+from .column import KIND_BOOL, KIND_FLOAT, KIND_INT, NUMERIC_KINDS, Vector
 from .exprs import _fast_comparable, compare_vectors
 from .kernels import first_occurrences, group_ids
 
@@ -60,6 +77,7 @@ def nest_link(
         impl=nest_impl,
         pred=predicate.describe(),
         by=",".join(by),
+        **({"mark": link.mark} if link.mark is not None else {}),
     ) as span:
         metrics.add("rows_nested", n)
         if nest_impl == "sorted":
@@ -67,14 +85,22 @@ def nest_link(
         ids, n_groups = group_ids(batch, by, nest_impl)
         rep = first_occurrences(ids, n_groups)
         metrics.add("linking_evals", n_groups)
-        passed = _group_pass(batch, ids, n_groups, predicate, link, rid_ref)
+        vt, vf = _group_verdict(
+            batch, ids, n_groups, rep, predicate, link, rid_ref
+        )
         order = np.argsort(rep, kind="stable")  # groups in appearance order
-        if strict:
-            keep = order[passed[order]]
+        if link.mark is not None:
+            out = batch.take(rep[order]).project(by)
+            out = out.with_column(
+                Column(link.mark),
+                Vector(KIND_BOOL, vt[order], (vt | vf)[order]),
+            )
+        elif strict:
+            keep = order[vt[order]]
             out = batch.take(rep[keep]).project(by)
         else:
             out = batch.take(rep[order]).project(by)
-            fail = ~passed[order]
+            fail = ~vt[order]
             if fail.any():
                 out = _pad_columns(out, pad_refs, fail)
             metrics.add("null_padded_rows", int(fail.sum()))
@@ -87,22 +113,39 @@ def nest_link(
     return out
 
 
-def _group_pass(
+def _group_verdict(
     batch: Batch,
     ids: np.ndarray,
     n_groups: int,
+    rep: np.ndarray,
     predicate,
     link,
     rid_ref: str,
-) -> np.ndarray:
-    """Per-group verdict (is the linking predicate definitely TRUE?)."""
+):
+    """Per-group three-valued verdict as ``(true, false)`` mask arrays."""
     if n_groups == 0:
-        return np.zeros(0, dtype=bool)
+        z = np.zeros(0, dtype=bool)
+        return z, z.copy()
     live = batch.column(rid_ref).valid
     q = predicate.quantifier
     if q in ("exists", "not_exists"):
         live_counts = np.bincount(ids[live], minlength=n_groups)
-        return live_counts > 0 if q == "exists" else live_counts == 0
+        t = live_counts > 0 if q == "exists" else live_counts == 0
+        return t, ~t
+    if q == "agg":
+        values = (
+            batch.column(link.inner_ref)
+            if link.inner_ref is not None
+            else None
+        )
+        agg = _group_aggregate(
+            predicate.agg_func, ids, n_groups, live, values
+        )
+        if predicate.const is not None:
+            lhs = Vector.from_scalar(predicate.const[0], n_groups)
+        else:
+            lhs = batch.column(link.outer_ref).take(rep)
+        return compare_vectors(predicate.theta, lhs, agg)
     n = len(batch)
     lhs = (
         batch.column(link.outer_ref)
@@ -114,17 +157,73 @@ def _group_pass(
         if link.inner_ref is not None
         else Vector.nulls(KIND_INT, n)
     )
-    # ALL θ ≡ ¬(SOME ¬θ) — exact under Kleene logic, since a comparison
-    # is UNKNOWN iff its negation is (both are NULL-driven).
-    theta = predicate.theta if q == "some" else negate_op(predicate.theta)
-    t, f = compare_vectors(theta, lhs, rhs)
+    t, f = compare_vectors(predicate.theta, lhs, rhs)
     some_true = np.bincount(ids[live & t], minlength=n_groups) > 0
+    some_false = np.bincount(ids[live & f], minlength=n_groups) > 0
     some_unknown = (
         np.bincount(ids[live & ~t & ~f], minlength=n_groups) > 0
     )
     if q == "some":
-        return some_true
-    return ~some_true & ~some_unknown
+        # disjunction: vacuously FALSE on the empty group
+        return some_true, ~some_true & ~some_unknown
+    # conjunction: vacuously TRUE on the empty group
+    return ~some_false & ~some_unknown, some_false
+
+
+def _group_aggregate(
+    func: str,
+    ids: np.ndarray,
+    n_groups: int,
+    live: np.ndarray,
+    values: Optional[Vector],
+) -> Vector:
+    """One SQL aggregate per group, over the live members' non-NULL
+    argument values (``count_star`` counts live rows).  Empty or all-NULL
+    groups follow SQL: COUNT -> 0, everything else -> NULL."""
+    counts = np.bincount(ids[live], minlength=n_groups).astype(np.int64)
+    if func == "count_star":
+        return Vector(KIND_INT, counts, np.ones(n_groups, dtype=bool))
+    mask = (
+        live & values.valid
+        if values is not None
+        else np.zeros(len(ids), dtype=bool)
+    )
+    arg_counts = np.bincount(ids[mask], minlength=n_groups).astype(np.int64)
+    if func == "count":
+        return Vector(KIND_INT, arg_counts, np.ones(n_groups, dtype=bool))
+    present = arg_counts > 0
+    if values is not None and values.kind in NUMERIC_KINDS:
+        data = values.data[mask].astype(np.float64)
+        gids = ids[mask]
+        if func in ("sum", "avg"):
+            sums = np.bincount(gids, weights=data, minlength=n_groups)
+            if func == "avg":
+                return Vector(
+                    KIND_FLOAT, sums / np.maximum(arg_counts, 1), present
+                )
+            if values.kind == KIND_INT:
+                return Vector(KIND_INT, sums.astype(np.int64), present)
+            return Vector(KIND_FLOAT, sums, present)
+        if func in ("min", "max"):
+            init = np.inf if func == "min" else -np.inf
+            acc = np.full(n_groups, init, dtype=np.float64)
+            ufunc = np.minimum if func == "min" else np.maximum
+            ufunc.at(acc, gids, data)
+            acc = np.where(present, acc, 0.0)
+            if values.kind == KIND_INT:
+                return Vector(KIND_INT, acc.astype(np.int64), present)
+            return Vector(KIND_FLOAT, acc, present)
+    # non-numeric argument kinds: per-group Python aggregation
+    vals = values.tolist_sql() if values is not None else []
+    groups: list = [[] for _ in range(n_groups)]
+    for i in np.flatnonzero(mask).tolist():
+        groups[ids[i]].append(vals[i])
+    return Vector.from_values(
+        [
+            _finish(func, groups[g], int(counts[g])) if groups[g] else NULL
+            for g in range(n_groups)
+        ]
+    )
 
 
 def _pad_columns(
@@ -158,15 +257,24 @@ def uncorrelated_link(
     n = len(batch)
     with op_span(
         "vec-uncorrelated-link",
-        contract=CONTRACT_FILTERING if strict else CONTRACT_PRESERVING,
+        contract=(
+            CONTRACT_FILTERING
+            if strict and link.mark is None
+            else CONTRACT_PRESERVING
+        ),
         pred=predicate.describe(),
+        **({"mark": link.mark} if link.mark is not None else {}),
     ) as span:
         metrics.add("linking_evals", n)
-        passed = _uncorrelated_pass(batch, sub, predicate, link, rid_ref)
-        if strict:
-            out = batch.take(np.flatnonzero(passed))
+        vt, vf = _uncorrelated_verdict(batch, sub, predicate, link, rid_ref)
+        if link.mark is not None:
+            out = batch.with_column(
+                Column(link.mark), Vector(KIND_BOOL, vt, vt | vf)
+            )
+        elif strict:
+            out = batch.take(np.flatnonzero(vt))
         else:
-            fail = ~passed
+            fail = ~vt
             out = _pad_columns(batch, pad_refs, fail) if fail.any() else batch
             metrics.add("null_padded_rows", int(fail.sum()))
         if span is not None:
@@ -176,21 +284,41 @@ def uncorrelated_link(
     return out
 
 
-def _uncorrelated_pass(
+def _uncorrelated_verdict(
     batch: Batch, sub: Batch, predicate, link, rid_ref: str
-) -> np.ndarray:
+):
+    """Per-outer-row three-valued verdict as ``(true, false)`` masks."""
     n = len(batch)
     pk = sub.column(rid_ref)
     live_idx = np.flatnonzero(pk.valid)
     m = len(live_idx)
     q = predicate.quantifier
     if q == "exists":
-        return np.full(n, m > 0, dtype=bool)
+        t = np.full(n, m > 0, dtype=bool)
+        return t, ~t
     if q == "not_exists":
-        return np.full(n, m == 0, dtype=bool)
+        t = np.full(n, m == 0, dtype=bool)
+        return t, ~t
+    if q == "agg":
+        if link.inner_ref is not None:
+            member_vals = sub.column(link.inner_ref).take(live_idx)
+            arg = [v for v in member_vals.tolist_sql() if not is_null(v)]
+        else:
+            arg = []
+        agg = _finish(predicate.agg_func, arg, m)
+        lhs = (
+            Vector.from_scalar(predicate.const[0], n)
+            if predicate.const is not None
+            else batch.column(link.outer_ref)
+        )
+        return compare_vectors(predicate.theta, lhs, Vector.from_scalar(agg, n))
+    zeros = np.zeros(n, dtype=bool)
+    ones = np.ones(n, dtype=bool)
     if m == 0:
         # SOME over ∅ is FALSE, ALL over ∅ vacuously TRUE
-        return np.full(n, q == "all", dtype=bool)
+        if q == "all":
+            return ones, zeros
+        return zeros, ones
     lhs = (
         batch.column(link.outer_ref)
         if link.outer_ref is not None
@@ -208,25 +336,37 @@ def _uncorrelated_pass(
         # mixed kinds: per-row set-predicate evaluation (row semantics,
         # including TypeError_ on incomparable values)
         members = [(v, 0) for v in values.tolist_sql()]
-        return np.array(
-            [
-                predicate.evaluate(v, members).is_true()
-                for v in lhs.tolist_sql()
-            ],
-            dtype=bool,
-        )
-    theta = predicate.theta if q == "some" else negate_op(predicate.theta)
+        t = zeros.copy()
+        f = zeros.copy()
+        for i, v in enumerate(lhs.tolist_sql()):
+            r = predicate.evaluate(v, members)
+            if r.is_true():
+                t[i] = True
+            elif (~r).is_true():
+                f[i] = True
+        return t, f
+    # ∃ member with θ TRUE, and ∃ member with θ FALSE (i.e. ¬θ TRUE);
+    # both require non-NULL operand pairs, so the masks are logic-neutral
     if len(vals) == 0:
-        some_true = np.zeros(n, dtype=bool)
+        some_true = zeros
+        some_false = zeros
     else:
-        some_true = _exists_test(theta, lhs.data, vals.data) & lhs.valid
-    # an UNKNOWN comparison exists when the lhs is NULL or any member is
-    some_unknown = ~lhs.valid | (
-        np.full(n, has_null_member, dtype=bool) & lhs.valid
-    )
+        some_true = _exists_test(predicate.theta, lhs.data, vals.data) & lhs.valid
+        some_false = (
+            _exists_test(negate_op(predicate.theta), lhs.data, vals.data)
+            & lhs.valid
+        )
+    # a NULL-touching comparison exists wherever the lhs is NULL or some
+    # member is; it is UNKNOWN in Kleene logic and FALSE in two-valued mode
+    nullish = ~lhs.valid | np.full(n, has_null_member, dtype=bool)
+    if two_valued():
+        if q == "some":
+            return some_true, ~some_true
+        f = some_false | nullish
+        return ~f, f
     if q == "some":
-        return some_true
-    return ~some_true & ~some_unknown
+        return some_true, ~some_true & ~nullish
+    return ~some_false & ~nullish, some_false
 
 
 def _exists_test(theta: str, lhs: np.ndarray, vals: np.ndarray) -> np.ndarray:

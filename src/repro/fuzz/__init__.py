@@ -75,7 +75,9 @@ def run_fuzz(
     *corpus_dir* as a pytest regression.
     """
     if runner is None:
-        runner = DifferentialRunner(strategies=config.strategies)
+        runner = DifferentialRunner(
+            strategies=config.strategies, logic=config.logic
+        )
     report = runner.run(config, progress=progress)
     outcome = FuzzOutcome(report=report)
     if report.ok or not report.failures:
@@ -102,7 +104,11 @@ def run_fuzz(
             else None
         )
         outcome.corpus_path = write_corpus_file(
-            case, corpus_dir, failure=failure, oracle=oracle
+            case,
+            corpus_dir,
+            failure=failure,
+            oracle=oracle,
+            logic=getattr(runner, "logic", "3vl"),
         )
     return outcome
 

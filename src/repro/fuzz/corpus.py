@@ -50,13 +50,19 @@ def build_db():
     return db
 
 
+LOGIC = "{logic}"
+
+
 def test_all_strategies_agree_with_oracle():
+    from repro.engine.logic import logic_mode
+
     db = build_db()
     query = repro.compile_sql(SQL, db)
-    oracle = repro.execute(query, db, strategy="nested-iteration").sorted()
-    for strategy in STRATEGIES:
-        result = repro.execute(query, db, strategy=strategy).sorted()
-        assert result == oracle, f"{{strategy}} disagrees with the oracle"
+    with logic_mode(LOGIC):
+        oracle = repro.execute(query, db, strategy="nested-iteration").sorted()
+        for strategy in STRATEGIES:
+            result = repro.execute(query, db, strategy=strategy).sorted()
+            assert result == oracle, f"{{strategy}} disagrees with the oracle"
 '''
 
 _EXTERNAL_TEMPLATE = '''
@@ -118,6 +124,7 @@ def corpus_module_source(
     title: Optional[str] = None,
     strategies: Optional[Sequence[str]] = None,
     oracle: Optional[str] = None,
+    logic: str = "3vl",
 ) -> str:
     """Render *case* as the source of a self-contained pytest module.
 
@@ -172,6 +179,7 @@ def corpus_module_source(
         sql_literal=_sql_literal(case.sql),
         strategies="\n".join(f'    "{name}",' for name in strategies),
         tables="\n".join(table_lines),
+        logic=logic,
     )
     if oracle not in (None, "internal"):
         source += _EXTERNAL_TEMPLATE.format(engine=oracle)
@@ -193,6 +201,7 @@ def write_corpus_file(
     title: Optional[str] = None,
     strategies: Optional[Sequence[str]] = None,
     oracle: Optional[str] = None,
+    logic: str = "3vl",
 ) -> str:
     """Write the regression module under *directory*; returns its path.
 
@@ -217,6 +226,7 @@ def write_corpus_file(
                 title=title,
                 strategies=strategies,
                 oracle=oracle,
+                logic=logic,
             )
         )
     return path

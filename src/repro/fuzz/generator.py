@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..sql import ast as A
+from ..engine.logic import validate_logic
 from ..engine.types import NULL
 from ..errors import InvalidArgumentError
 from .datagen import ALL_COLUMNS, DatabaseSpec, PK_COLUMN, VALUE_COLUMNS
@@ -34,6 +35,9 @@ from .datagen import ALL_COLUMNS, DatabaseSpec, PK_COLUMN, VALUE_COLUMNS
 #: Linking operator families the generator draws from.
 LINK_KINDS = ("exists", "not_exists", "in", "not_in", "some", "all")
 THETAS = ("=", "<>", "<", "<=", ">", ">=")
+#: Aggregate functions scalar-subquery links draw from; ``count(*)`` is
+#: modelled as the pair ("count", star=True).
+AGG_CHOICES = ("count_star", "count", "sum", "avg", "min", "max")
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,19 @@ class FuzzConfig:
     distinct_probability: float = 0.15
     #: probability the root block joins two tables.
     two_table_root_probability: float = 0.2
+    #: probability a subquery link is a scalar-aggregate comparison
+    #: (``x θ (SELECT agg(...) ...)``) instead of a set-membership link.
+    aggregate_probability: float = 0.2
+    #: probability a subquery link lands under OR / NOT instead of being
+    #: a plain top-level conjunct (the disjunctive mark path).
+    disjunction_probability: float = 0.15
+    #: probability an IN / θ-quantified child becomes an uncorrelated
+    #: ``GROUP BY ... HAVING`` block.
+    group_probability: float = 0.15
+    #: probability the root block carries GROUP BY + aggregates.
+    root_group_probability: float = 0.15
+    #: predicate semantics every strategy runs under: "3vl" or "2vl".
+    logic: str = "3vl"
     #: strategy names to check (None = the runner's default set).
     strategies: Optional[Tuple[str, ...]] = None
 
@@ -69,6 +86,7 @@ class FuzzConfig:
             raise InvalidArgumentError("null_rate must be a probability")
         if self.iterations < 0:
             raise InvalidArgumentError("iterations must be non-negative")
+        object.__setattr__(self, "logic", validate_logic(self.logic))
 
 
 class QueryGenerator:
@@ -142,21 +160,26 @@ class QueryGenerator:
                 if child == 1:
                     # the second branch of a tree may be shallower
                     child_budget = rng.randint(0, budget - 1)
-                conjuncts.append(
-                    self._link(
-                        rng,
-                        spec,
-                        counter,
-                        my_aliases=tuple(aliases),
-                        outer_aliases=outer_aliases,
-                        budget=child_budget,
-                    )
+                link = self._link(
+                    rng,
+                    spec,
+                    counter,
+                    my_aliases=tuple(aliases),
+                    outer_aliases=outer_aliases,
+                    budget=child_budget,
                 )
+                if rng.random() < cfg.disjunction_probability:
+                    link = self._disjoin(rng, aliases, link)
+                conjuncts.append(link)
 
         where = self._conjoin(conjuncts) if conjuncts else None
 
-        if star_ok and rng.random() < 0.5:
-            items: Tuple[A.SelectItem, ...] = (A.SelectItem(expr=None, star=True),)
+        group_by: Tuple[A.ColumnRef, ...] = ()
+        having: Optional[A.Predicate] = None
+        if root and rng.random() < cfg.root_group_probability:
+            group_by, having, items = self._root_grouping(rng, aliases)
+        elif star_ok and rng.random() < 0.5:
+            items = (A.SelectItem(expr=None, star=True),)
         elif root:
             items = tuple(
                 A.SelectItem(expr=A.ColumnRef(alias, col))
@@ -165,11 +188,13 @@ class QueryGenerator:
         else:
             items = (A.SelectItem(expr=self._col(rng, rng.choice(aliases))),)
 
-        distinct = root and rng.random() < cfg.distinct_probability
+        distinct = root and not group_by and rng.random() < cfg.distinct_probability
         return A.SelectStmt(
             items=items,
             tables=tuple(tables),
             where=where,
+            group_by=group_by,
+            having=having,
             distinct=distinct,
         )
 
@@ -182,6 +207,31 @@ class QueryGenerator:
             out.append((rng.choice(list(aliases)), rng.choice(VALUE_COLUMNS)))
         return out
 
+    def _root_grouping(
+        self, rng: random.Random, aliases: Sequence[str]
+    ) -> Tuple[
+        Tuple[A.ColumnRef, ...], Optional[A.Predicate], Tuple[A.SelectItem, ...]
+    ]:
+        """A grouped root: ``SELECT key, agg(...) ... GROUP BY key``
+        with an optional HAVING over an aggregate."""
+        key = self._col(rng, rng.choice(list(aliases)))
+        agg = self._agg_call(rng, rng.choice(list(aliases)))
+        items = (A.SelectItem(expr=key), A.SelectItem(expr=agg))
+        having: Optional[A.Predicate] = None
+        if rng.random() < 0.5:
+            having = A.ComparisonPred(
+                rng.choice(THETAS),
+                self._agg_call(rng, rng.choice(list(aliases))),
+                self._constant(rng),
+            )
+        return (key,), having, items
+
+    def _agg_call(self, rng: random.Random, alias: str) -> A.AggregateCall:
+        func = rng.choice(AGG_CHOICES)
+        if func == "count_star":
+            return A.AggregateCall("count", None, star=True)
+        return A.AggregateCall(func, self._value_col(rng, alias))
+
     # ------------------------------------------------------------------ #
     # predicate pieces
     # ------------------------------------------------------------------ #
@@ -193,7 +243,9 @@ class QueryGenerator:
         return A.ColumnRef(alias, rng.choice(VALUE_COLUMNS))
 
     def _constant(self, rng: random.Random) -> A.Constant:
-        if rng.random() < 0.1:
+        # null_rate=0 means a fully NULL-free case (data *and* literals):
+        # the 2VL-equivalence fuzz leg depends on that invariant.
+        if rng.random() < 0.1 and self.config.null_rate > 0:
             return A.Constant(NULL)
         lo, hi = self.config.domain
         return A.Constant(rng.randint(lo, hi))
@@ -271,16 +323,27 @@ class QueryGenerator:
         budget: int,
     ) -> A.Predicate:
         """A subquery-bearing conjunct linking this block to a child."""
+        if rng.random() < self.config.aggregate_probability:
+            return self._agg_link(
+                rng, spec, counter, my_aliases, outer_aliases, budget
+            )
         kind = rng.choice(LINK_KINDS)
-        sub = self._select(
-            rng,
-            spec,
-            counter,
-            outer_aliases=outer_aliases + my_aliases,
-            budget=budget,
-            root=False,
-            star_ok=kind in ("exists", "not_exists"),
-        )
+        if kind in ("in", "not_in", "some", "all") and (
+            rng.random() < self.config.group_probability
+        ):
+            # grouped subquery blocks must be uncorrelated and childless,
+            # so they are built directly rather than through _select
+            sub = self._grouped_subquery(rng, spec, counter)
+        else:
+            sub = self._select(
+                rng,
+                spec,
+                counter,
+                outer_aliases=outer_aliases + my_aliases,
+                budget=budget,
+                root=False,
+                star_ok=kind in ("exists", "not_exists"),
+            )
         if kind in ("exists", "not_exists"):
             return A.ExistsPred(subquery=sub, negated=kind == "not_exists")
         # the linking attribute lives in the immediate parent block
@@ -295,6 +358,89 @@ class QueryGenerator:
             quantifier=kind,
             subquery=sub,
         )
+
+    def _agg_link(
+        self,
+        rng: random.Random,
+        spec: DatabaseSpec,
+        counter: List[int],
+        my_aliases: Tuple[str, ...],
+        outer_aliases: Tuple[str, ...],
+        budget: int,
+    ) -> A.Predicate:
+        """``x θ (SELECT agg(...) FROM ...)`` — a scalar-aggregate link.
+
+        The COUNT-bug shape (correlated ``count(*) = 0``) falls out of
+        this generator naturally: correlated subqueries frequently match
+        zero inner rows, and ``=`` against a small constant is common.
+        """
+        sub = self._select(
+            rng,
+            spec,
+            counter,
+            outer_aliases=outer_aliases + my_aliases,
+            budget=budget,
+            root=False,
+        )
+        # replace the generated single-column select list with an
+        # aggregate over the subquery's own table
+        agg = self._agg_call(rng, sub.tables[0].alias)
+        sub = A.SelectStmt(
+            items=(A.SelectItem(expr=agg),),
+            tables=sub.tables,
+            where=sub.where,
+        )
+        theta = rng.choice(THETAS)
+        if rng.random() < 0.3:
+            # constant LHS — exercises COUNT(*) = 0 and friends
+            lhs: A.ValueExpr = A.Constant(rng.randint(0, 2))
+        else:
+            lhs = self._col(rng, rng.choice(my_aliases))
+        if rng.random() < 0.5:
+            return A.ComparisonPred(theta, lhs, A.ScalarSubquery(sub))
+        return A.ComparisonPred(theta, A.ScalarSubquery(sub), lhs)
+
+    def _grouped_subquery(
+        self, rng: random.Random, spec: DatabaseSpec, counter: List[int]
+    ) -> A.SelectStmt:
+        """An uncorrelated ``SELECT key ... GROUP BY key [HAVING ...]``
+        membership source for IN / θ-quantified links."""
+        alias = f"b{counter[0]}"
+        counter[0] += 1
+        table = rng.choice(spec.tables).name
+        key = A.ColumnRef(alias, rng.choice(ALL_COLUMNS))
+        where = None
+        if rng.random() < self.config.local_probability:
+            where = self._local_predicate(rng, [alias])
+        having = None
+        if rng.random() < 0.7:
+            having = A.ComparisonPred(
+                rng.choice(THETAS),
+                self._agg_call(rng, alias),
+                self._constant(rng),
+            )
+        return A.SelectStmt(
+            items=(A.SelectItem(expr=key),),
+            tables=(A.TableRef(table, alias),),
+            where=where,
+            group_by=(key,),
+            having=having,
+        )
+
+    def _disjoin(
+        self,
+        rng: random.Random,
+        aliases: Sequence[str],
+        link: A.Predicate,
+    ) -> A.Predicate:
+        """Move a link out of the conjunctive top level: OR it with a
+        plain predicate, or negate it — both lower into marked links."""
+        roll = rng.random()
+        if roll < 0.4:
+            return A.OrPred(link, self._local_predicate(rng, aliases))
+        if roll < 0.7:
+            return A.OrPred(self._local_predicate(rng, aliases), link)
+        return A.NotPred(link)
 
     @staticmethod
     def _conjoin(conjuncts: Sequence[A.Predicate]) -> A.Predicate:

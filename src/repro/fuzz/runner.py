@@ -36,6 +36,7 @@ from ..core.blocks import NestedQuery
 from ..core.planner import make_strategy, run
 from ..engine.catalog import Database
 from ..engine.governor import ResourceGovernor, active_fault
+from ..engine.logic import logic_mode, validate_logic
 from ..engine.metrics import collect
 from ..engine.trace import (
     Trace,
@@ -206,8 +207,14 @@ class DifferentialRunner:
         check_metrics: bool = True,
         check_traces: bool = True,
         oracle: Optional[str] = None,
+        logic: str = "3vl",
     ):
         self.strategies = tuple(strategies or DEFAULT_STRATEGIES)
+        #: predicate semantics every internal execution runs under.
+        #: External engines always evaluate standard 3VL, so under
+        #: ``logic="2vl"`` the external cross-check grounds a separately
+        #: computed 3VL oracle result instead of the 2VL one.
+        self.logic = validate_logic(logic)
         #: objects with ``name`` and ``execute(query, db)`` — used to
         #: inject deliberately broken strategies for self-tests.
         self.extra_strategies = tuple(extra_strategies)
@@ -233,8 +240,15 @@ class DifferentialRunner:
 
         The query is compiled from its rendered SQL text — the exact
         artifact a corpus file replays — so unparser or parser drift
-        surfaces here rather than in a checked-in regression.
+        surfaces here rather than in a checked-in regression.  The whole
+        case runs under the runner's logic mode.
         """
+        with logic_mode(self.logic):
+            return self._check_case(case, report)
+
+    def _check_case(
+        self, case: FuzzCase, report: Optional[FuzzReport]
+    ) -> Optional[Failure]:
         db = case.db_spec.build()
         try:
             query = compile_sql(case.sql, db)
@@ -250,7 +264,16 @@ class DifferentialRunner:
         assert expected is not None
 
         if self.oracle is not None:
-            failure = self._check_external(case, db, expected, report)
+            grounded = expected
+            if self.logic != "3vl":
+                # external engines are 3VL: ground their comparison in a
+                # 3VL oracle run, keeping the 2VL differential leg intact
+                with logic_mode("3vl"):
+                    failure, grounded = self._run_one(case, query, db, ORACLE)
+                if failure is not None:
+                    return failure
+                assert grounded is not None
+            failure = self._check_external(case, db, grounded, report)
             if failure is not None:
                 return failure
 
@@ -449,7 +472,7 @@ class DifferentialRunner:
                 # real engine — nothing of ours to trace on that side.
                 continue
             try:
-                with tracing() as trace:
+                with logic_mode(self.logic), tracing() as trace:
                     self._execute(query, db, name, impls.get(name))
             except ReproError as exc:
                 sections.append(
@@ -513,6 +536,15 @@ def generate_case(
 
 
 def _count_operators(stmt: A.SelectStmt, histogram: Dict[str, int]) -> None:
+    def bump(key: str) -> None:
+        histogram[key] = histogram.get(key, 0) + 1
+
+    def visit_sub(sub: A.SelectStmt) -> None:
+        if sub.group_by:
+            bump("group-by-subquery")
+        visit(sub.where)
+        visit(sub.having)
+
     def visit(pred: Optional[A.Predicate]) -> None:
         if pred is None:
             return
@@ -522,19 +554,30 @@ def _count_operators(stmt: A.SelectStmt, histogram: Dict[str, int]) -> None:
         elif isinstance(pred, A.NotPred):
             visit(pred.operand)
         elif isinstance(pred, A.ExistsPred):
-            histogram_key = "not_exists" if pred.negated else "exists"
-            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
-            visit(pred.subquery.where)
+            bump("not_exists" if pred.negated else "exists")
+            visit_sub(pred.subquery)
         elif isinstance(pred, A.InSubqueryPred):
-            histogram_key = "not_in" if pred.negated else "in"
-            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
-            visit(pred.subquery.where)
+            bump("not_in" if pred.negated else "in")
+            visit_sub(pred.subquery)
         elif isinstance(pred, A.QuantifiedPred):
-            histogram_key = f"{pred.op} {pred.quantifier}"
-            histogram[histogram_key] = histogram.get(histogram_key, 0) + 1
-            visit(pred.subquery.where)
+            bump(f"{pred.op} {pred.quantifier}")
+            visit_sub(pred.subquery)
+        elif isinstance(pred, A.ComparisonPred):
+            for side in (pred.left, pred.right):
+                if isinstance(side, A.ScalarSubquery):
+                    call = side.subquery.items[0].expr
+                    func = (
+                        f"{pred.op} {call.func}{'(*)' if call.star else ''}"
+                        if isinstance(call, A.AggregateCall)
+                        else f"{pred.op} scalar"
+                    )
+                    bump(func)
+                    visit_sub(side.subquery)
 
+    if stmt.group_by:
+        bump("group-by-root")
     visit(stmt.where)
+    visit(stmt.having)
 
 
 # ---------------------------------------------------------------------- #

@@ -106,6 +106,12 @@ class _Renderer:
         if stmt.where is not None:
             parts.append("where")
             parts.append(self.predicate(stmt.where))
+        if stmt.group_by:
+            parts.append("group by")
+            parts.append(", ".join(self._colref(r) for r in stmt.group_by))
+        if stmt.having is not None:
+            parts.append("having")
+            parts.append(self.predicate(stmt.having))
         if stmt.order_by:
             parts.append("order by")
             parts.append(
@@ -122,7 +128,15 @@ class _Renderer:
         if item.star:
             return "*"
         assert item.expr is not None
+        if isinstance(item.expr, A.AggregateCall):
+            return self._agg_call(item.expr)
         return self._colref(item.expr)
+
+    def _agg_call(self, call: A.AggregateCall) -> str:
+        if call.star:
+            return f"{call.func}(*)"
+        assert call.arg is not None
+        return f"{call.func}({self._colref(call.arg)})"
 
     def _table(self, tref: A.TableRef) -> str:
         name = self.d.quote_ident(tref.name)
@@ -152,6 +166,12 @@ class _Renderer:
                 # promote to REAL so int/int matches our true division
                 return f"(({left}) * 1.0 / ({right}))"
             return f"({left} {expr.op} {right})"
+        if isinstance(expr, A.AggregateCall):
+            return self._agg_call(expr)
+        if isinstance(expr, A.ScalarSubquery):
+            # real engines evaluate scalar subqueries natively (empty
+            # result -> NULL), matching our aggregate-link semantics
+            return f"({self.select(expr.subquery)})"
         raise OracleUnsupportedError(
             f"cannot render value expression {expr!r} for {self.d.name}"
         )
@@ -233,17 +253,35 @@ class _Renderer:
                 "preserved through the EXISTS rewrite"
             )
         operand = self.value(pred.operand)
-        element = self._colref(sub.items[0].expr)
-        tables = ", ".join(self._table(t) for t in sub.tables)
-        local = (
-            f"({self.predicate(sub.where, 'and')}) and "
-            if sub.where is not None
-            else ""
-        )
-        compare = f"({operand} {pred.op} {element})"
+        item = sub.items[0].expr
+        if sub.group_by or sub.having is not None:
+            # grouped subquery: probe the aggregated result as a derived
+            # table (inlining WHERE would bypass the HAVING filter)
+            if isinstance(item, A.AggregateCall):
+                raise OracleUnsupportedError(
+                    "quantified grouped subquery must select a group key"
+                )
+            inner = self.select(sub)
+            element = f'"_q".{self.d.quote_ident(item.column)}'
+            compare = f"({operand} {pred.op} {element})"
 
-        def probe(condition: str) -> str:
-            return f"exists (select 1 from {tables} where {local}{condition})"
+            def probe(condition: str) -> str:
+                return f'exists (select 1 from ({inner}) "_q" where {condition})'
+
+        else:
+            element = self._colref(item)
+            tables = ", ".join(self._table(t) for t in sub.tables)
+            local = (
+                f"({self.predicate(sub.where, 'and')}) and "
+                if sub.where is not None
+                else ""
+            )
+            compare = f"({operand} {pred.op} {element})"
+
+            def probe(condition: str) -> str:
+                return (
+                    f"exists (select 1 from {tables} where {local}{condition})"
+                )
 
         # TRUE/FALSE keywords keep the CASE boolean-typed for strict
         # engines (DuckDB); SQLite reads them as 1/0.

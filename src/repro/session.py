@@ -35,6 +35,7 @@ from typing import Optional, Union
 from .core.plancache import SessionCache, reduce_scope
 from .engine.catalog import Database
 from .engine.governor import ResourceGovernor, validate_degrade
+from .engine.logic import logic_mode, validate_logic
 from .engine.parallel import validate_threads
 from .engine.relation import Relation
 from .errors import InvalidArgumentError
@@ -88,7 +89,9 @@ class PreparedQuery:
 
         strategy, backend, threads = self._resolve(strategy, backend, threads)
         governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
-        with reduce_scope(self._session.reduce_cache()):
+        with logic_mode(self._session.logic), reduce_scope(
+            self._session.reduce_cache()
+        ):
             return planner.run(
                 self.query,
                 self._session.db,
@@ -119,7 +122,9 @@ class PreparedQuery:
 
         strategy, backend, threads = self._resolve(strategy, backend, threads)
         governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
-        with reduce_scope(self._session.reduce_cache()):
+        with logic_mode(self._session.logic), reduce_scope(
+            self._session.reduce_cache()
+        ):
             return planner.run_traced(
                 self.query,
                 self._session.db,
@@ -146,7 +151,7 @@ class PreparedQuery:
         cache.validate(self._session.db.version)
         if not isinstance(strategy, str) or not cache.enabled:
             return strategy, backend, threads
-        key = (self.sql, strategy, backend, threads)
+        key = (self.sql, strategy, backend, threads, self._session.logic)
         impl = cache.strategy(key)
         if impl is None:
             impl = planner.resolve_strategy(
@@ -235,7 +240,9 @@ class Session:
     (``T_i = σ_Δi(R_i)``) are memoized across queries and invalidated
     when the catalog mutates.  Re-preparing identical SQL skips the
     parser and analyzer regardless of the flag.  *threads* sets the
-    session-wide default for ``execute(threads=...)``.
+    session-wide default for ``execute(threads=...)``; *logic* selects
+    3VL (default) or Libkin 2VL predicate semantics for every execution
+    in the session.
     """
 
     def __init__(
@@ -246,12 +253,14 @@ class Session:
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        logic: str = "3vl",
     ):
         if not isinstance(db, Database):
             raise InvalidArgumentError(
                 f"connect() expects a Database, got {type(db).__name__}"
             )
         self.db = db
+        self.logic = validate_logic(logic)
         self.threads = validate_threads(threads)
         self.timeout_ms = timeout_ms
         self.memory_limit_mb = memory_limit_mb
@@ -354,6 +363,7 @@ def connect(
     timeout_ms: Optional[float] = None,
     memory_limit_mb: Optional[float] = None,
     degrade: Optional[str] = None,
+    logic: str = "3vl",
 ) -> Session:
     """Open a :class:`Session` over an in-memory :class:`Database`.
 
@@ -362,7 +372,10 @@ def connect(
     session's default worker count for parallel execution.
     *timeout_ms*, *memory_limit_mb* and *degrade* set session-wide
     resource-governance defaults, overridable per
-    ``execute``/``trace`` call.
+    ``execute``/``trace`` call.  ``logic`` selects the predicate
+    semantics: ``"3vl"`` (SQL-standard Kleene logic, the default) or
+    ``"2vl"`` (Libkin two-valued logic, where any comparison with NULL
+    is plain FALSE) — the modes coincide exactly on NULL-free data.
     """
     return Session(
         db,
@@ -371,4 +384,5 @@ def connect(
         timeout_ms=timeout_ms,
         memory_limit_mb=memory_limit_mb,
         degrade=degrade,
+        logic=logic,
     )

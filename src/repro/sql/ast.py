@@ -38,7 +38,44 @@ class BinaryArith:
     right: "ValueExpr"
 
 
-ValueExpr = Union[ColumnRef, Constant, BinaryArith]
+#: Aggregate functions the grammar accepts (``count`` also as ``count(*)``).
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``func(column)`` or ``count(*)``.
+
+    Aggregate names are *not* reserved words: the lexer still reads
+    ``count`` as an identifier, and the parser only builds this node when
+    the identifier names an aggregate and is immediately followed by
+    ``(``.  Valid positions (select list, HAVING, single-item scalar
+    subqueries) are enforced by the analyzer, not the grammar.
+    """
+
+    func: str  # one of AGGREGATE_FUNCS
+    arg: Optional[ColumnRef]  # None only for count(*)
+    star: bool = False
+
+    @property
+    def text(self) -> str:
+        inner = "*" if self.star else self.arg.text
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """``(SELECT agg(...) FROM ...)`` used in value position.
+
+    Our subset requires the subquery to produce exactly one row — which
+    it guarantees syntactically by allowing only a single ungrouped
+    aggregate select item (checked by the analyzer).
+    """
+
+    subquery: "SelectStmt"
+
+
+ValueExpr = Union[ColumnRef, Constant, BinaryArith, AggregateCall, ScalarSubquery]
 
 
 @dataclass(frozen=True)
@@ -140,9 +177,13 @@ class TableRef:
 
 @dataclass(frozen=True)
 class SelectItem:
-    """One SELECT-list entry; ``star`` for ``SELECT *``."""
+    """One SELECT-list entry; ``star`` for ``SELECT *``.
 
-    expr: Optional[ColumnRef]
+    *expr* is a plain column reference or an :class:`AggregateCall`
+    (grouped / global-aggregate queries).
+    """
+
+    expr: Optional[Union[ColumnRef, AggregateCall]]
     star: bool = False
 
 
@@ -162,5 +203,7 @@ class SelectStmt:
     tables: Tuple[TableRef, ...]
     where: Optional[Predicate]
     distinct: bool = False
+    group_by: Tuple[ColumnRef, ...] = ()
+    having: Optional[Predicate] = None
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None

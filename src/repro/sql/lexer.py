@@ -33,6 +33,8 @@ KEYWORDS = {
     "as",
     "true",
     "false",
+    "group",
+    "having",
     "order",
     "by",
     "limit",

@@ -3,8 +3,10 @@
 Grammar (informal)::
 
     select    := SELECT [DISTINCT] items FROM tables [WHERE pred]
+                 [GROUP BY columns [HAVING pred]]
     items     := '*' | item (',' item)*
-    item      := qualified_column
+    item      := qualified_column | aggregate
+    aggregate := func '(' ('*' | qualified_column) ')'
     tables    := table (',' table)*
     table     := ident [[AS] ident]
     pred      := or_pred
@@ -21,7 +23,13 @@ Grammar (informal)::
     value     := term (('+'|'-') term)*
     term      := factor (('*'|'/') factor)*
     factor    := number | string | NULL | TRUE | FALSE
-               | qualified_column | '(' value ')' | '-' factor
+               | qualified_column | aggregate | '(' select ')'
+               | '(' value ')' | '-' factor
+
+Aggregate function names (``count``/``sum``/``avg``/``min``/``max``)
+stay ordinary identifiers; the aggregate production only fires when one
+is immediately followed by ``(``.  A parenthesized SELECT in value
+position becomes a :class:`~repro.sql.ast.ScalarSubquery`.
 
 Errors carry the offending token's line/position.
 """
@@ -32,6 +40,8 @@ from typing import List, Optional, Tuple, Union
 
 from ..errors import ParseError
 from .ast import (
+    AGGREGATE_FUNCS,
+    AggregateCall,
     AndPred,
     BetweenPred,
     BinaryArith,
@@ -47,6 +57,7 @@ from .ast import (
     OrPred,
     Predicate,
     QuantifiedPred,
+    ScalarSubquery,
     SelectItem,
     SelectStmt,
     TableRef,
@@ -126,6 +137,15 @@ class Parser:
         where: Optional[Predicate] = None
         if self.accept_kw("where"):
             where = self.predicate()
+        group_by: List[ColumnRef] = []
+        having: Optional[Predicate] = None
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_by.append(self.column_ref())
+            while self.accept_op(","):
+                group_by.append(self.column_ref())
+        if self.accept_kw("having"):
+            having = self.predicate()
         order_by: List[OrderItem] = []
         if self.accept_kw("order"):
             self.expect_kw("by")
@@ -146,6 +166,8 @@ class Parser:
             tables=tuple(tables),
             where=where,
             distinct=distinct,
+            group_by=tuple(group_by),
+            having=having,
             order_by=tuple(order_by),
             limit=limit,
         )
@@ -162,10 +184,46 @@ class Parser:
     def select_items(self) -> List[SelectItem]:
         if self.accept_op("*"):
             return [SelectItem(expr=None, star=True)]
-        items = [SelectItem(expr=self.column_ref())]
+        items = [self.select_item()]
         while self.accept_op(","):
-            items.append(SelectItem(expr=self.column_ref()))
+            items.append(self.select_item())
         return items
+
+    def select_item(self) -> SelectItem:
+        agg = self.maybe_aggregate_call()
+        if agg is not None:
+            return SelectItem(expr=agg)
+        return SelectItem(expr=self.column_ref())
+
+    def maybe_aggregate_call(self) -> Optional[AggregateCall]:
+        """An :class:`AggregateCall` when the cursor sits on one, else None.
+
+        Aggregate names are ordinary identifiers; only ``name(`` with a
+        known *name* is treated as a call (maximal-munch lookahead).
+        """
+        tok = self.cur
+        nxt = self.tokens[self.pos + 1]
+        if not (
+            tok.kind == "ident"
+            and tok.value.lower() in AGGREGATE_FUNCS
+            and nxt.kind == "op"
+            and nxt.value == "("
+        ):
+            return None
+        func = self.advance().value.lower()
+        self.expect_op("(")
+        if self.accept_op("*"):
+            if func != "count":
+                raise ParseError(
+                    f"{func}(*) is not valid; only COUNT takes '*'",
+                    tok.position,
+                    tok.line,
+                )
+            self.expect_op(")")
+            return AggregateCall(func="count", arg=None, star=True)
+        arg = self.column_ref()
+        self.expect_op(")")
+        return AggregateCall(func=func, arg=arg)
 
     def table_list(self) -> List[TableRef]:
         tables = [self.table_ref()]
@@ -354,11 +412,19 @@ class Parser:
                 return Constant(-inner.value)
             return BinaryArith(op="-", left=Constant(0), right=inner)
         if tok.kind == "op" and tok.value == "(":
+            if self.tokens[self.pos + 1].is_kw("select"):
+                self.advance()
+                sub = self.select()
+                self.expect_op(")")
+                return ScalarSubquery(subquery=sub)
             self.advance()
             inner = self.value_expr()
             self.expect_op(")")
             return inner
         if tok.kind == "ident":
+            agg = self.maybe_aggregate_call()
+            if agg is not None:
+                return agg
             return self.column_ref()
         raise ParseError(
             f"expected value expression, found {tok.value!r}",

@@ -36,6 +36,12 @@ def render_sql(stmt: A.SelectStmt) -> str:
     if stmt.where is not None:
         parts.append("where")
         parts.append(_predicate(stmt.where))
+    if stmt.group_by:
+        parts.append("group by")
+        parts.append(", ".join(_colref(ref) for ref in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("having")
+        parts.append(_predicate(stmt.having))
     if stmt.order_by:
         parts.append("order by")
         parts.append(
@@ -72,7 +78,16 @@ def _select_item(item: A.SelectItem) -> str:
     if item.star:
         return "*"
     assert item.expr is not None
+    if isinstance(item.expr, A.AggregateCall):
+        return _agg_call(item.expr)
     return _colref(item.expr)
+
+
+def _agg_call(call: A.AggregateCall) -> str:
+    if call.star:
+        return f"{call.func}(*)"
+    assert call.arg is not None
+    return f"{call.func}({_colref(call.arg)})"
 
 
 def _table_ref(tref: A.TableRef) -> str:
@@ -90,6 +105,10 @@ def _value(expr: A.ValueExpr) -> str:
         # parenthesize both sides: correct for every precedence mix, and
         # the parser discards parens so round-tripping stays exact
         return f"({_value(expr.left)} {expr.op} {_value(expr.right)})"
+    if isinstance(expr, A.AggregateCall):
+        return _agg_call(expr)
+    if isinstance(expr, A.ScalarSubquery):
+        return f"({render_sql(expr.subquery)})"
     raise ReproError(f"cannot render value expression {expr!r}")
 
 

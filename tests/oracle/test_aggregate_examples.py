@@ -1,0 +1,95 @@
+"""Acceptance gate: aggregate & scalar-subquery example queries agree
+with SQLite for every always-applicable strategy.
+
+The aggregate companion to ``test_paper_queries.py``: eight TPC-H
+flavored queries exercising the shapes the paper's Section 2 taxonomy
+calls *aggregate subqueries* — uncorrelated and correlated MAX/AVG/SUM,
+the Q22-style zero-count predicate, grouped subqueries behind IN,
+disjunctive aggregate links, and a grouped root — each executed by the
+tuple-iteration oracle plus every always-applicable strategy and diffed
+against SQLite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import ALWAYS_STRATEGIES
+from repro.oracle import cross_check, make_adapter
+
+SF_STRATEGIES = ("nested-iteration",) + tuple(ALWAYS_STRATEGIES)
+
+#: name -> aggregate/scalar-subquery example query over TPC-H
+EXAMPLE_QUERIES = {
+    # uncorrelated MAX, the simplest scalar link
+    "richest-supplier": (
+        "select s.s_suppkey from supplier s "
+        "where s.s_acctbal = (select max(s2.s_acctbal) from supplier s2)"
+    ),
+    # COUNT-bug shape: nations with *no* suppliers must survive
+    "supplierless-nations": (
+        "select n.n_nationkey from nation n "
+        "where (select count(*) from supplier s "
+        "where s.s_nationkey = n.n_nationkey) = 0"
+    ),
+    # Q17 flavor: correlated AVG over the part's own offers
+    "above-average-price": (
+        "select p.p_partkey from part p "
+        "where p.p_retailprice > (select avg(ps.ps_supplycost) "
+        "from partsupp ps where ps.ps_partkey = p.p_partkey)"
+    ),
+    # Q22 flavor: constant on the left, count(col) skipping nothing
+    "customers-without-orders": (
+        "select c.c_custkey from customer c "
+        "where 0 = (select count(o.o_orderkey) from orders o "
+        "where o.o_custkey = c.c_custkey)"
+    ),
+    # correlated SUM with an inequality theta
+    "acctbal-covers-supply": (
+        "select s.s_suppkey from supplier s "
+        "where s.s_acctbal >= (select sum(ps.ps_supplycost) "
+        "from partsupp ps where ps.ps_suppkey = s.s_suppkey)"
+    ),
+    # grouped subquery behind IN: nations popular with customers
+    "customers-in-popular-nations": (
+        "select c.c_custkey from customer c "
+        "where c.c_nationkey in (select c2.c_nationkey from customer c2 "
+        "group by c2.c_nationkey having count(*) >= 20)"
+    ),
+    # disjunctive aggregate link: region 0 or supplierless
+    "region-zero-or-supplierless": (
+        "select n.n_nationkey from nation n "
+        "where n.n_regionkey = 0 or (select count(*) from supplier s "
+        "where s.s_nationkey = n.n_nationkey) = 0"
+    ),
+    # grouped root with HAVING
+    "crowded-regions": (
+        "select n.n_regionkey, count(*) from nation n "
+        "group by n.n_regionkey having count(*) > 4"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def sqlite_db(tiny_tpch):
+    with make_adapter("sqlite", tiny_tpch) as adapter:
+        yield adapter
+
+
+def test_at_least_six_examples():
+    assert len(EXAMPLE_QUERIES) >= 6
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_QUERIES))
+def test_aggregate_example_agrees_for_every_strategy(
+    tiny_tpch, sqlite_db, name
+):
+    reports = cross_check(
+        tiny_tpch,
+        EXAMPLE_QUERIES[name],
+        engine="sqlite",
+        strategies=SF_STRATEGIES,
+        adapter=sqlite_db,
+    )
+    for report in reports:
+        assert report.ok, f"{name}:\n{report.describe()}"

@@ -135,17 +135,23 @@ class TestClassification:
 
 class TestRejections:
     def test_subquery_under_or(self, db):
+        # subqueries under OR now lower into marked links + a residual
         sql = """
         select id from emp
         where salary > 1 or exists (select * from dept)
         """
-        with pytest.raises(AnalysisError, match="top-level WHERE conjuncts"):
-            compile_sql(sql, db)
+        query = compile_sql(sql, db)
+        assert query.has_disjunction
+        (child,) = query.root.children
+        assert child.link.mark is not None
 
     def test_not_over_subquery(self, db):
+        # NOT over a subquery predicate lowers into a negated mark
         sql = "select id from emp where not (salary in (select budget from dept))"
-        with pytest.raises(AnalysisError):
-            compile_sql(sql, db)
+        query = compile_sql(sql, db)
+        assert query.has_disjunction
+        (child,) = query.root.children
+        assert child.link.mark is not None
 
     def test_multi_column_subquery_select(self, db):
         sql = "select id from emp where salary in (select id, budget from dept)"

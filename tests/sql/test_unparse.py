@@ -38,10 +38,36 @@ class TestRoundTrip:
             "select r.k from r where r.a = null",
             "select o.k from o where o.a > all (select l.b from l where "
             "l.k = o.k and exists (select * from p where p.k = l.k))",
+            # aggregate scalar subqueries, both orientations
+            "select r.k from r where r.a = (select max(s.b) from s)",
+            "select r.k from r where (select count(*) from s where s.k = r.k) = 0",
+            "select r.k from r where r.a < (select avg(s.b) from s where s.k = r.k)",
+            "select r.k from r where 2 >= (select sum(s.a) from s)",
+            "select r.k from r where r.a <> (select count(s.b) from s)",
+            # GROUP BY / HAVING, root and subquery
+            "select r.a, count(*) from r group by r.a",
+            "select r.a, min(r.b), max(r.b) from r group by r.a having count(*) > 1",
+            "select r.k from r where r.a in "
+            "(select s.b from s group by s.b having sum(s.a) >= 3)",
+            # disjunctive and negated linking predicates
+            "select r.k from r where r.a = 1 or r.a in (select s.b from s)",
+            "select r.k from r where not (r.a in (select s.b from s))",
+            "select r.k from r where exists (select * from s where s.k = r.k) "
+            "or (select count(*) from s where s.b = r.a) = 0",
         ],
     )
     def test_round_trips(self, sql):
         round_trip(sql)
+
+    def test_count_star_rendering(self):
+        rendered = round_trip("select r.a, count(*) from r group by r.a")
+        assert "count(*)" in rendered
+
+    def test_having_renders_after_group_by(self):
+        rendered = round_trip(
+            "select r.a from r group by r.a having count(*) > 1"
+        )
+        assert rendered.index("group by") < rendered.index("having")
 
     def test_order_by_and_limit(self):
         rendered = round_trip("select r.a from r order by r.a desc limit 3")
