@@ -64,8 +64,10 @@ from .core import (
     pseudo_selection,
     unnest,
 )
+from .core import Plan, PlannerDecision
 from . import strategies
 from .errors import ReproError
+from .options import ExecutionOptions
 from .session import PreparedQuery, Session, connect
 from .sql import compile_sql, parse
 
@@ -144,6 +146,9 @@ __all__ = [
     "connect",
     "Session",
     "PreparedQuery",
+    "ExecutionOptions",
+    "Plan",
+    "PlannerDecision",
     "strategies",
     "ReproError",
     "__version__",

@@ -137,17 +137,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     session = repro.connect(_load_db(args))
     prepared = session.prepare(_read_sql(args))
+    plan = prepared.explain(
+        strategy=args.strategy,
+        analyze=args.analyze,
+        timings=not args.no_timings,
+    )
+    if args.format == "json":
+        print(plan.render("json"))
+        return 0
     print(prepared.describe())
     print()
     print(repro.TreeExpression(prepared.query).render())
     print()
-    print(
-        prepared.explain(
-            strategy=args.strategy,
-            analyze=args.analyze,
-            timings=not args.no_timings,
-        )
-    )
+    print(plan.render("text"))
     return 0
 
 
@@ -371,8 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: the strategy's own)")
             p.add_argument("--threads", type=int,
                            help="worker count for morsel-driven parallel "
-                                "execution; >1 routes 'auto' onto "
-                                "nested-relational-parallel")
+                                "execution; >1 makes the parallel strategy "
+                                "a candidate for the cost-based 'auto' "
+                                "planner")
             p.add_argument("--timeout-ms", type=float, dest="timeout_ms",
                            help="abort the query with a typed timeout "
                                 "error once it runs past this deadline")
@@ -412,6 +415,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-timings", action="store_true", dest="no_timings",
                            help="omit wall times from --analyze output "
                                 "(deterministic)")
+            p.add_argument("--format", choices=("text", "json"),
+                           default="text",
+                           help="plan rendering: human-readable text or the "
+                                "machine-readable JSON document (candidates "
+                                "with estimated costs, spans when --analyze)")
         p.set_defaults(func=func)
 
     p = sub.add_parser("bench", help="regenerate a paper figure")

@@ -29,6 +29,17 @@ from .planner import (
     execute_traced,
     make_strategy,
 )
+from .feedback import FeedbackStore
+from .optimizer import CandidatePlan, PlannerDecision, choose, plan_fingerprint
+from .plan import Plan, build_plan
+from .stats import (
+    ColumnStats,
+    DbStats,
+    PlanStats,
+    TableStats,
+    collect_stats,
+    set_table_stats,
+)
 
 __all__ = [
     "Correlation",
@@ -62,4 +73,17 @@ __all__ = [
     "execute",
     "execute_traced",
     "make_strategy",
+    "FeedbackStore",
+    "CandidatePlan",
+    "PlannerDecision",
+    "choose",
+    "plan_fingerprint",
+    "Plan",
+    "build_plan",
+    "ColumnStats",
+    "TableStats",
+    "DbStats",
+    "PlanStats",
+    "collect_stats",
+    "set_table_stats",
 ]

@@ -41,6 +41,7 @@ from ..engine.expressions import conjoin
 from ..engine.governor import checkpoint
 from ..engine.relation import Relation
 from .backend import RowBackend
+from .optimizer import cost_nested_relational, cost_nested_relational_sorted
 from .blocks import AGG_OP, LinkSpec, NestedQuery, QueryBlock
 from .linking import SetPredicate
 from .reduce import ReducedBlock
@@ -68,6 +69,7 @@ def set_predicate_for(link: LinkSpec) -> SetPredicate:
 @register(
     "nested-relational",
     description="Algorithm 1: reduce, outer-join down, nest + link up (§4.1)",
+    cost=cost_nested_relational,
 )
 class NestedRelationalStrategy:
     """The original nested relational approach (Algorithm 1).
@@ -277,6 +279,7 @@ class NestedRelationalStrategy:
 register(
     "nested-relational-sorted",
     description="Algorithm 1 with the sort-based physical nest (§5.1)",
+    cost=cost_nested_relational_sorted,
 )(lambda: NestedRelationalStrategy(nest_impl="sorted"))
 
 

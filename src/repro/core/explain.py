@@ -104,15 +104,25 @@ def explain_nested_relational(query: NestedQuery) -> str:
 def explain(
     query: NestedQuery, db: Database, strategy: str = "nested-relational"
 ) -> str:
-    """Plan text for the given strategy name."""
+    """Plan text for the given strategy name.
+
+    ``"auto"`` runs the cost-based planner and prefixes the chosen
+    strategy's plan with the full candidate table (every applicable
+    strategy, cheapest first, with estimated costs and cardinalities).
+    Strategies without a bespoke operator-tree renderer fall back to
+    their registry description, so anything the planner can run has a
+    plan text.
+    """
     from ..baselines.native import SystemAEmulationStrategy
-    from .planner import choose_strategy
 
     if strategy == "auto":
-        chosen = choose_strategy(query)
+        from .optimizer import choose
+
+        decision = choose(query, db)
         return (
-            f"auto -> {type(chosen).__name__}\n"
-            + explain(query, db, getattr(chosen, "name", "nested-relational"))
+            decision.describe()
+            + "\n"
+            + explain(query, db, decision.chosen)
         )
     if strategy == "system-a-native":
         return SystemAEmulationStrategy().explain(query, db)
@@ -164,6 +174,12 @@ def explain(
             "tuple iteration: for each candidate tuple of each block, "
             "re-evaluate every subquery under the current bindings"
         )
+    from .. import strategies as registry
+
+    if registry.is_registered(strategy):
+        # registered but without a bespoke operator-tree renderer: the
+        # registry description is still an honest one-line plan
+        return f"{strategy}: {registry.info(strategy).description}"
     raise PlanError(f"no explainer for strategy {strategy!r}")
 
 
@@ -172,7 +188,8 @@ def explain_analyze(
     db: Database,
     strategy: str = "auto",
     timings: bool = True,
-) -> str:
+    return_trace: bool = False,
+):
     """EXPLAIN ANALYZE: run the query and render the annotated span tree.
 
     Executes *query* under a tracing scope and returns the plan as it
@@ -180,6 +197,8 @@ def explain_analyze(
     counts, operator-specific counters (hash-table sizes, peak group
     cardinality, null-padded rows, ...) and, unless *timings* is False
     (useful for deterministic golden files), inclusive wall-clock times.
+    With *return_trace* the raw :class:`~repro.engine.trace.Trace` is
+    returned alongside the text as ``(text, trace)``.
     """
     from ..engine.metrics import collect
     from ..engine.trace import render_trace
@@ -192,4 +211,5 @@ def explain_analyze(
     lines.append(
         f"{len(result)} row(s); weighted cost {metrics.weighted_cost()}"
     )
-    return "\n".join(lines)
+    text = "\n".join(lines)
+    return (text, trace) if return_trace else text

@@ -1,0 +1,121 @@
+"""The planner's feedback loop: observed cardinalities per plan.
+
+Every traced execution produces a span tree whose ``reduce[T{i}]``
+phase spans carry the *actual* reduced-block cardinalities and whose
+root ``execute`` span carries the actual result size.  A per-session
+:class:`FeedbackStore` records those observations keyed by
+``(plan fingerprint, span name)``; on the next ``strategy="auto"``
+resolution of the same plan the optimizer replaces its estimated block
+cardinalities with the observed ones
+(:class:`~repro.core.stats.PlanStats` ``overrides``), so repeated
+Session traffic converges on costs grounded in reality rather than
+sampling heuristics.
+
+``epoch`` increments whenever an observation is added or changed; the
+session's plan cache keys its memoized
+:class:`~repro.core.optimizer.PlannerDecision` on the epoch, so a new
+observation transparently invalidates stale choices.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+#: span name of the root execution span (carries the result cardinality)
+ROOT_SPAN = "execute"
+_REDUCE_RE = re.compile(r"^reduce\[T(\d+)\]$")
+
+
+class FeedbackStore:
+    """Observed (plan fingerprint, operator) -> row-count map.
+
+    One per :class:`~repro.session.Session`.  Observation is additive
+    and idempotent: re-observing identical cardinalities leaves the
+    :attr:`epoch` unchanged, so cached planner decisions stay valid
+    until the workload actually teaches the store something new.
+    """
+
+    def __init__(self) -> None:
+        self._observations: Dict[Tuple[str, str], int] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever an observation is added or changes."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, fingerprint: str, span_name: str, rows: int) -> None:
+        """Record one observed cardinality (``observe`` is the bulk API)."""
+        key = (fingerprint, span_name)
+        if self._observations.get(key) != rows:
+            self._observations[key] = rows
+            self._epoch += 1
+
+    def observe(self, fingerprint: str, trace) -> int:
+        """Harvest a :class:`~repro.engine.trace.Trace` span tree.
+
+        Records the root span's ``rows_out`` (result cardinality) and
+        every ``reduce[T{i}]`` phase span's ``rows_out`` (reduced block
+        cardinalities — the quantities the estimator guesses at).
+        Aborted spans are skipped: their counters describe partial
+        work.  Returns the number of observations recorded.
+        """
+        seen = 0
+        for root in trace.roots:
+            for span in root.walk():
+                if span.aborted or "rows_out" not in span.counters:
+                    continue
+                if span.kind == "root" and span.name == ROOT_SPAN:
+                    self.record(fingerprint, ROOT_SPAN, span.counters["rows_out"])
+                    seen += 1
+                elif _REDUCE_RE.match(span.name):
+                    self.record(fingerprint, span.name, span.counters["rows_out"])
+                    seen += 1
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def block_overrides(self, fingerprint: str) -> Dict[int, int]:
+        """Observed reduced-block cardinalities: block index -> rows."""
+        out: Dict[int, int] = {}
+        for (fp, name), rows in self._observations.items():
+            if fp != fingerprint:
+                continue
+            match = _REDUCE_RE.match(name)
+            if match:
+                out[int(match.group(1))] = rows
+        return out
+
+    def out_rows(self, fingerprint: str) -> Optional[int]:
+        """The observed result cardinality of this plan, if any."""
+        return self._observations.get((fingerprint, ROOT_SPAN))
+
+    def observations(self, fingerprint: str) -> Dict[str, int]:
+        """Every observation recorded for this plan (span name -> rows)."""
+        return {
+            name: rows
+            for (fp, name), rows in self._observations.items()
+            if fp == fingerprint
+        }
+
+    def clear(self) -> None:
+        """Forget everything (bumps the epoch if anything was stored)."""
+        if self._observations:
+            self._observations.clear()
+            self._epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeedbackStore(epoch={self._epoch}, "
+            f"observations={len(self._observations)})"
+        )

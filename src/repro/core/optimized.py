@@ -56,6 +56,7 @@ from .blocks import LinkSpec, NestedQuery, QueryBlock
 from .compute import NestedRelationalStrategy, set_predicate_for, _subtree_uncorrelated
 from .linking import SetPredicate
 from .nest import nest
+from .optimizer import cost_bottomup, cost_optimized, cost_positive_rewrite
 from .reduce import ReducedBlock, reduce_all
 from .selection import linking_selection, pseudo_selection
 
@@ -63,6 +64,7 @@ from .selection import linking_selection, pseudo_selection
 @register(
     "nested-relational-optimized",
     description="single-pass pipelined nest + linking selections (§4.2.1-2)",
+    cost=cost_optimized,
 )
 class OptimizedNestedRelationalStrategy:
     """Single-pass pipelined evaluation for *linear* nested queries.
@@ -238,6 +240,7 @@ def _single_pass_scan(
 @register(
     "nested-relational-bottomup",
     description="bottom-up evaluation with nest push-down (§4.2.3-4)",
+    cost=cost_bottomup,
 )
 class BottomUpLinearStrategy:
     """Bottom-up evaluation for linearly correlated queries (§4.2.3).
@@ -470,6 +473,7 @@ def _pushdown_probe(
 @register(
     "nested-relational-positive-rewrite",
     description="all-positive queries collapsed into semijoin chains (§4.2.5)",
+    cost=cost_positive_rewrite,
 )
 class PositiveRewriteStrategy:
     """Rewrite all-positive queries into (semi)join chains (§4.2.5).

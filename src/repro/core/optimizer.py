@@ -1,0 +1,326 @@
+"""The cost-based planner behind ``strategy="auto"``.
+
+The paper's central experimental claim (Section 5, Figures 4–9) is that
+no single subquery strategy wins everywhere — nested iteration, the
+rewrite baselines and the nested relational algorithms cross over with
+cardinality and selectivity.  This module turns that observation into
+the routing policy: :func:`choose` enumerates **every applicable
+registered strategy**, prices each with the per-strategy cost hooks
+over one :class:`~repro.core.stats.PlanStats`, and picks the cheapest.
+
+Costs are abstract *row-ops* scaled by per-backend constants calibrated
+from the committed BENCH baselines (``benchmarks/baselines/``): the
+columnar engine runs the same row-op roughly 40× faster than the tuple
+iterator (:data:`VECTOR_FACTOR`) but pays a per-query batch-build setup
+(:data:`VECTOR_SETUP`), so tiny inputs favor the row strategies and
+paper-scale inputs the vector ones — reproducing the crossovers of
+Figure 4.  The morsel-parallel strategy divides vector work across
+workers and is enumerated only when the caller explicitly asks for
+``threads > 1``.
+
+Strategies without a registered ``cost`` hook still participate: they
+are priced at the generic pipeline work times
+:data:`DEFAULT_COST_FACTOR` — deliberately pessimistic, so an uncosted
+third-party strategy is only chosen when every built-in is worse.
+
+The outcome is a :class:`PlannerDecision`, a durable artifact: the
+session memoizes it (keyed by the feedback epoch), the planner records
+it as a ``kind='planner'`` trace span, and ``repro explain`` renders
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PlanError
+from ..engine.catalog import Database
+from .blocks import NestedQuery
+from .feedback import FeedbackStore
+from .stats import DbStats, PlanStats, collect_stats
+
+# --------------------------------------------------------------------- #
+# calibrated cost constants (see benchmarks/baselines/BENCH_*.json)
+# --------------------------------------------------------------------- #
+
+#: vector row-op cost relative to a row-engine row-op: the committed
+#: BENCH_vector baseline shows the columnar kernels ~40× faster on the
+#: paper queries at SF 0.01
+VECTOR_FACTOR = 0.025
+#: per-query cost of building/loading the columnar batches, in row-ops;
+#: below ~10k row-ops of work the row engine wins
+VECTOR_SETUP = 512.0
+#: morsel-parallel scheduling overhead per worker, in row-ops
+PARALLEL_OVERHEAD = 256.0
+#: index-probe cost relative to a scanned row (System A emulation)
+PROBE_FACTOR = 4.0
+#: pessimistic multiplier for strategies without a ``cost`` hook
+DEFAULT_COST_FACTOR = 1.5
+
+
+# --------------------------------------------------------------------- #
+# built-in cost hooks (registered by the strategy modules)
+# --------------------------------------------------------------------- #
+
+
+def cost_nested_relational(ps: PlanStats) -> float:
+    """Algorithm 1: reduce, outer-join down, hash-nest + link up."""
+    return ps.pipeline_work
+
+
+def cost_nested_relational_sorted(ps: PlanStats) -> float:
+    """Algorithm 1 with the sort-based nest: same joins, dearer nests."""
+    return ps.scan_work + ps.join_work + 1.3 * ps.nest_work
+
+
+def cost_optimized(ps: PlanStats) -> float:
+    """Single-pass pipeline: one fused sort replaces per-level nests."""
+    return ps.scan_work + 0.75 * (ps.join_work + ps.nest_work)
+
+
+def cost_bottomup(ps: PlanStats) -> float:
+    """Bottom-up with nest push-down: intermediates stay reduced-size."""
+    return ps.scan_work + ps.bottomup_work
+
+
+def cost_positive_rewrite(ps: PlanStats) -> float:
+    """Semijoin chain: no padding, no nesting — cheapest row plan."""
+    return ps.scan_work + ps.semijoin_work
+
+
+def cost_nested_iteration(ps: PlanStats) -> float:
+    """Per-outer-tuple re-evaluation of every subquery (the oracle)."""
+    return ps.scan_work + ps.iteration_work
+
+
+def cost_system_a(ps: PlanStats) -> float:
+    """Per-tuple index probes: linear in outer rows, not in inner size."""
+    return ps.scan_work + PROBE_FACTOR * ps.probe_work
+
+
+def cost_unnesting(ps: PlanStats) -> float:
+    """Classical semi/antijoin unnesting: join work without the nests."""
+    return ps.scan_work + ps.join_work + 0.25 * ps.nest_work
+
+
+def cost_agg_rewrite(ps: PlanStats) -> float:
+    """Magic-style aggregate rewrite: joins plus a grouping pass."""
+    return ps.scan_work + ps.join_work + 0.9 * ps.nest_work
+
+
+def cost_count_rewrite(ps: PlanStats) -> float:
+    """Kim-style COUNT rewrite: an extra outer-join leg for the counts."""
+    return ps.scan_work + 1.2 * ps.join_work + 0.9 * ps.nest_work
+
+
+def cost_boolean_aggregate(ps: PlanStats) -> float:
+    """Mark-join rewrite: joins plus boolean-aggregation per outer row."""
+    return ps.scan_work + 1.1 * ps.join_work + 0.8 * ps.nest_work
+
+
+def cost_vectorized(ps: PlanStats) -> float:
+    """Algorithm 1 on the columnar engine: cheap row-ops, fixed setup."""
+    return VECTOR_SETUP + VECTOR_FACTOR * ps.pipeline_work
+
+
+def cost_parallel(ps: PlanStats) -> float:
+    """Morsel-parallel vector engine: work divides, scheduling doesn't."""
+    threads = max(2, ps.threads)
+    return (
+        VECTOR_SETUP
+        + PARALLEL_OVERHEAD * threads
+        + VECTOR_FACTOR * ps.pipeline_work / threads
+    )
+
+
+def default_cost(ps: PlanStats) -> float:
+    """Fallback for strategies registered without a ``cost`` hook."""
+    return DEFAULT_COST_FACTOR * ps.pipeline_work
+
+
+# --------------------------------------------------------------------- #
+# applicability and fingerprints
+# --------------------------------------------------------------------- #
+
+
+def strategy_applicable(impl: object, query: NestedQuery, db: Database) -> bool:
+    """Normalize the two ``applicable`` protocols in the codebase:
+    ``applicable(query) -> bool`` and
+    ``applicable(query, db) -> Optional[str]`` (None = applicable).
+    Strategies without a guard accept everything."""
+    guard = getattr(impl, "applicable", None)
+    if guard is None:
+        return True
+    try:
+        verdict = guard(query, db)
+    except TypeError:
+        verdict = guard(query)
+    if verdict is None or verdict is True:
+        return True
+    if verdict is False or isinstance(verdict, str):
+        return False
+    return bool(verdict)
+
+
+def plan_fingerprint(query: NestedQuery) -> str:
+    """A stable digest of the plan's logical shape.
+
+    Keys the :class:`~repro.core.feedback.FeedbackStore`: two prepared
+    queries with the same block structure *and* the same predicates
+    share observations.  ``QueryBlock.describe()`` omits local
+    predicates, so they are folded in explicitly — a changed constant
+    changes the fingerprint (its cardinalities are different facts).
+    """
+    parts: List[str] = []
+    for block in query.root.walk():
+        parts.append(
+            "|".join(
+                (
+                    str(block.index),
+                    ";".join(f"{a}={t}" for a, t in sorted(block.tables.items())),
+                    block.link.describe() if block.link is not None else "",
+                    ";".join(c.describe() for c in block.correlations),
+                    repr(block.local_predicate),
+                    ";".join(block.group_by),
+                    ";".join(a.describe() for a in block.aggregates),
+                    repr(block.having),
+                    repr(block.residual),
+                )
+            )
+        )
+    digest = hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+# --------------------------------------------------------------------- #
+# the decision
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """One enumerated strategy with its estimated price."""
+
+    name: str
+    backend: str
+    est_cost: float
+    est_rows: float
+    costed: bool
+    chosen: bool
+
+    def describe(self) -> str:
+        marker = "*" if self.chosen else " "
+        pricing = "" if self.costed else "  (default cost)"
+        return (
+            f"{marker} {self.name}  [{self.backend}]  "
+            f"cost={self.est_cost:.1f}  rows~{self.est_rows:.0f}{pricing}"
+        )
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    """The durable outcome of one cost-based ``auto`` resolution.
+
+    ``impl`` is the instantiated winning strategy (threads applied);
+    ``candidates`` is every enumerated candidate sorted cheapest-first.
+    The session memoizes whole decisions; the planner replays them and
+    records them as ``kind='planner'`` spans.
+    """
+
+    chosen: str
+    impl: object
+    candidates: Tuple[CandidatePlan, ...]
+    fingerprint: str
+    feedback_epoch: int
+    est_rows: float
+    threads: Optional[int] = None
+
+    @property
+    def est_cost(self) -> float:
+        for cand in self.candidates:
+            if cand.chosen:
+                return cand.est_cost
+        return float("nan")
+
+    def describe(self) -> str:
+        lines = [f"auto -> {self.chosen}  (cost-based)"]
+        for cand in self.candidates:
+            lines.append("  " + cand.describe())
+        return "\n".join(lines)
+
+
+def choose(
+    query: NestedQuery,
+    db: Database,
+    backend: Optional[str] = None,
+    threads: Optional[int] = None,
+    feedback: Optional[FeedbackStore] = None,
+    stats: Optional[DbStats] = None,
+) -> PlannerDecision:
+    """Enumerate, cost and rank every applicable strategy.
+
+    *backend* filters candidates to one substrate (``None`` considers
+    both).  The morsel-parallel strategy is enumerated only when
+    *threads* > 1 was explicitly requested.  *feedback* supplies
+    observed cardinalities that override the estimates (and its epoch
+    stamps the decision, so memoized decisions age out when new
+    observations land).
+    """
+    from .. import strategies as registry
+
+    registry.ensure_loaded()
+    if stats is None:
+        stats = collect_stats(db)
+    fingerprint = plan_fingerprint(query)
+    overrides: Dict[int, int] = {}
+    epoch = 0
+    if feedback is not None:
+        overrides = feedback.block_overrides(fingerprint)
+        epoch = feedback.epoch
+    eff_threads = threads if threads is not None and threads > 1 else 1
+    ps = PlanStats(query, stats, threads=eff_threads, overrides=overrides)
+
+    scored: List[Tuple[float, str, object, str, bool]] = []
+    for entry in registry.entries():
+        if backend is not None and entry.backend != backend:
+            continue
+        if entry.name == "nested-relational-parallel" and eff_threads <= 1:
+            continue
+        impl = entry.make()
+        if not strategy_applicable(impl, query, db):
+            continue
+        costed = entry.cost is not None
+        cost = entry.cost(ps) if costed else default_cost(ps)
+        scored.append((cost, entry.name, impl, entry.backend, costed))
+    if not scored:
+        raise PlanError(
+            f"no applicable strategy for backend={backend!r}; "
+            f"registered: {registry.names()}"
+        )
+    scored.sort(key=lambda item: (item[0], item[1]))
+
+    chosen_cost, chosen_name, impl, _b, _c = scored[0]
+    if threads is not None and hasattr(impl, "set_threads"):
+        impl.set_threads(threads)
+    candidates = tuple(
+        CandidatePlan(
+            name=name,
+            backend=cand_backend,
+            est_cost=cost,
+            est_rows=ps.out_rows,
+            costed=costed,
+            chosen=name == chosen_name,
+        )
+        for cost, name, _impl, cand_backend, costed in scored
+    )
+    return PlannerDecision(
+        chosen=chosen_name,
+        impl=impl,
+        candidates=candidates,
+        fingerprint=fingerprint,
+        feedback_epoch=epoch,
+        est_rows=ps.out_rows,
+        threads=threads,
+    )

@@ -1,0 +1,192 @@
+"""The typed EXPLAIN result: a :class:`Plan` you can render or inspect.
+
+:meth:`repro.session.PreparedQuery.explain` returns a :class:`Plan`
+instead of bare text: the requested strategy, the strategy that would
+actually run, the cost-based planner's full candidate table (when the
+request was ``"auto"``), the operator-tree text, and — with
+``analyze=True`` — the annotated span tree of a real execution.
+
+``str(plan)`` and ``plan.render()`` give the human-readable text the
+CLI and the golden files use; ``plan.render(format="json")`` gives a
+stable machine-readable document (candidates with estimated costs and
+cardinalities, plus the serialized trace when analyzed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import InvalidArgumentError
+from .optimizer import CandidatePlan
+
+#: formats accepted by :meth:`Plan.render`
+PLAN_FORMATS = ("text", "json")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One EXPLAIN outcome, ready to render in either format.
+
+    ``strategy`` is what the caller asked for (``"auto"`` or a fixed
+    name); ``chosen`` is the registry name that would execute.  For an
+    ``"auto"`` request ``candidates`` holds every enumerated
+    :class:`~repro.core.optimizer.CandidatePlan` cheapest-first and
+    ``fingerprint`` / ``feedback_epoch`` / ``est_rows`` echo the
+    planner's decision; for a fixed strategy they are empty/``None``.
+    ``analysis`` is the EXPLAIN ANALYZE text and ``spans`` the
+    serialized trace document, both present only under
+    ``analyze=True``.
+    """
+
+    sql: str
+    strategy: str
+    chosen: str
+    operators: str
+    candidates: Tuple[CandidatePlan, ...] = ()
+    fingerprint: Optional[str] = None
+    feedback_epoch: Optional[int] = None
+    est_rows: Optional[float] = None
+    analysis: Optional[str] = None
+    spans: Optional[Dict[str, Any]] = None
+
+    @property
+    def cost_based(self) -> bool:
+        """Whether this plan records a cost-based ``auto`` decision."""
+        return bool(self.candidates)
+
+    def candidate(self, name: str) -> Optional[CandidatePlan]:
+        """The enumerated candidate registered under *name*, if any."""
+        for cand in self.candidates:
+            if cand.name == name:
+                return cand
+        return None
+
+    @property
+    def est_cost(self) -> Optional[float]:
+        """The chosen candidate's estimated cost (``None`` for a fixed
+        strategy, which the planner never priced)."""
+        chosen = self.candidate(self.chosen)
+        return chosen.est_cost if chosen is not None else None
+
+    def render(self, format: str = "text") -> str:
+        """The plan as ``"text"`` (human-readable, golden-file stable
+        modulo timings) or ``"json"`` (machine-readable, sorted keys)."""
+        if format == "text":
+            return self._render_text()
+        if format == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        raise InvalidArgumentError(
+            f"unknown plan format {format!r}; expected one of {PLAN_FORMATS}"
+        )
+
+    def _render_text(self) -> str:
+        sections = []
+        if self.cost_based:
+            lines = [f"auto -> {self.chosen}  (cost-based)"]
+            for cand in self.candidates:
+                lines.append("  " + cand.describe())
+            sections.append("\n".join(lines))
+        sections.append(self.operators)
+        if self.analysis is not None:
+            sections.append(self.analysis)
+        return "\n\n".join(sections)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-document form of :meth:`render`\\ ``("json")``."""
+        doc: Dict[str, Any] = {
+            "sql": self.sql,
+            "strategy": self.strategy,
+            "chosen": self.chosen,
+            "operators": self.operators.splitlines(),
+            "candidates": [
+                {
+                    "name": cand.name,
+                    "backend": cand.backend,
+                    "est_cost": round(cand.est_cost, 1),
+                    "est_rows": round(cand.est_rows, 1),
+                    "costed": cand.costed,
+                    "chosen": cand.chosen,
+                }
+                for cand in self.candidates
+            ],
+        }
+        if self.fingerprint is not None:
+            doc["fingerprint"] = self.fingerprint
+            doc["feedback_epoch"] = self.feedback_epoch
+        if self.est_rows is not None:
+            doc["est_rows"] = round(self.est_rows, 1)
+        if self.analysis is not None:
+            doc["analysis"] = self.analysis.splitlines()
+        if self.spans is not None:
+            doc["spans"] = self.spans
+        return doc
+
+    def __str__(self) -> str:
+        return self.render("text")
+
+    def __contains__(self, needle: object) -> bool:
+        # substring checks against the text render keep working for
+        # callers that treated explain() output as a string
+        return isinstance(needle, str) and needle in self.render("text")
+
+
+def build_plan(
+    query,
+    db,
+    sql: str,
+    strategy: str = "auto",
+    analyze: bool = False,
+    timings: bool = True,
+    feedback=None,
+    backend: Optional[str] = None,
+    threads: Optional[int] = None,
+) -> Plan:
+    """Assemble the :class:`Plan` for one EXPLAIN request.
+
+    ``strategy="auto"`` runs the cost-based planner
+    (:func:`repro.core.optimizer.choose`, fed the session's *feedback*
+    observations) and reports its full candidate table; a fixed name
+    just renders that strategy's operator tree.  ``analyze=True``
+    additionally executes the query under tracing and attaches the
+    annotated span tree (text and serialized forms).
+    """
+    from .explain import explain, explain_analyze
+    from .optimizer import choose
+
+    candidates: Tuple[CandidatePlan, ...] = ()
+    fingerprint = None
+    feedback_epoch = None
+    est_rows = None
+    if strategy == "auto":
+        decision = choose(
+            query, db, backend=backend, threads=threads, feedback=feedback
+        )
+        chosen = decision.chosen
+        candidates = decision.candidates
+        fingerprint = decision.fingerprint
+        feedback_epoch = decision.feedback_epoch
+        est_rows = decision.est_rows
+    else:
+        chosen = strategy
+    operators = explain(query, db, strategy=chosen)
+    analysis = None
+    spans = None
+    if analyze:
+        analysis, trace = explain_analyze(
+            query, db, strategy=strategy, timings=timings, return_trace=True
+        )
+        spans = trace.to_dict()
+    return Plan(
+        sql=sql,
+        strategy=strategy if isinstance(strategy, str) else str(strategy),
+        chosen=chosen,
+        operators=operators,
+        candidates=candidates,
+        fingerprint=fingerprint,
+        feedback_epoch=feedback_epoch,
+        est_rows=est_rows,
+        analysis=analysis,
+        spans=spans,
+    )

@@ -1,22 +1,18 @@
 """Strategy resolution and automatic strategy selection.
 
 Strategy names live in the :mod:`repro.strategies` registry; this module
-resolves them (honouring an execution-backend request) and applies the
-paper's ``"auto"`` policy:
+resolves them (honouring an execution-backend request) and dispatches
+``"auto"`` onto the **cost-based planner**
+(:func:`repro.core.optimizer.choose`): every applicable registered
+strategy is enumerated, priced against sampled table statistics (plus
+any per-session feedback observations), and the cheapest wins.  The
+decision is recorded as a ``kind="planner"`` span under the root
+``execute`` span whenever tracing is active.
 
-* all-positive linking operators → the algebraic positive rewrite
-  (Section 4.2.5: the nested relational expression simplifies to plain
-  (semi)joins, so do that);
-* linear, linearly correlated queries → bottom-up evaluation with nest
-  push-down (Sections 4.2.3/4.2.4: small intermediate results);
-* linear queries otherwise → the single-pass pipelined variant
-  (Sections 4.2.1/4.2.2);
-* anything else → the original Algorithm 1, which handles any query
-  shape uniformly.
-
-On the ``"vector"`` backend ``"auto"`` resolves to the columnar
-Algorithm 1 (``nested-relational-vectorized``) directly — the batch
-engine implements the uniform algorithm, not the per-shape refinements.
+:func:`choose_strategy` — the paper's original shape-based routing rule
+(Sections 4.2.1–4.2.5) — survives as the statistics-free fallback used
+by :func:`resolve_strategy` when no database is supplied, and as an
+inspectable description of the per-shape refinements.
 
 :func:`run` / :func:`run_traced` are the internal execution entry points
 used by :class:`repro.session.Session`; the historical module-level
@@ -33,14 +29,22 @@ from ..engine.catalog import Database
 from ..engine.governor import ResourceGovernor, checkpoint, governed
 from ..engine.metrics import current_metrics
 from ..engine.relation import Relation
-from ..engine.trace import KIND_GOVERNOR, current_tracer, op_span
+from ..engine.trace import (
+    KIND_GOVERNOR,
+    KIND_PLANNER,
+    Tracer,
+    current_tracer,
+    op_span,
+)
 from .blocks import NestedQuery
 from .compute import NestedRelationalStrategy
+from .feedback import FeedbackStore
 from .optimized import (
     BottomUpLinearStrategy,
     OptimizedNestedRelationalStrategy,
     PositiveRewriteStrategy,
 )
+from .optimizer import PlannerDecision, choose
 
 
 def available_strategies() -> list:
@@ -166,6 +170,38 @@ def _run_strategy(
             return retry.execute(query, db)
 
 
+def _emit_planner_span(tracer: Tracer, decision: PlannerDecision):
+    """Record a :class:`~repro.core.optimizer.PlannerDecision` as a
+    ``kind='planner'`` span with one ``candidate[...]`` child per
+    enumerated strategy.  Returns the parent span so the caller can set
+    ``actual_rows`` once the result cardinality is known (counters are
+    read at serialization time, so setting one after the span closed is
+    well-defined)."""
+    with tracer.span(
+        "planner",
+        {
+            "chosen": decision.chosen,
+            "fingerprint": decision.fingerprint,
+            "feedback_epoch": decision.feedback_epoch,
+        },
+        kind=KIND_PLANNER,
+    ) as span:
+        span.set("est_rows", int(decision.est_rows))
+        for cand in decision.candidates:
+            with tracer.span(
+                f"candidate[{cand.name}]",
+                {
+                    "backend": cand.backend,
+                    "est_cost": f"{cand.est_cost:.1f}",
+                    "costed": cand.costed,
+                    "chosen": cand.chosen,
+                },
+                kind=KIND_PLANNER,
+            ) as cand_span:
+                cand_span.set("est_rows", int(cand.est_rows))
+    return span
+
+
 def run(
     query: NestedQuery,
     db: Database,
@@ -173,17 +209,35 @@ def run(
     backend: Optional[str] = None,
     threads: Optional[int] = None,
     governor: Optional[ResourceGovernor] = None,
+    feedback: Optional[FeedbackStore] = None,
 ) -> Relation:
     """Evaluate *query* against *db* (internal, non-deprecated entry).
 
     This is the single execution path behind
-    :meth:`repro.session.PreparedQuery.execute`; it resolves the
-    strategy (routing *threads* > 1 onto the parallel vector strategy),
-    runs it (under the root trace span when tracing is active, and under
-    the ambient *governor* scope when one is supplied), applies
-    root-level ORDER BY/LIMIT and charges the ``rows_produced`` metric.
+    :meth:`repro.session.PreparedQuery.execute`.  ``strategy="auto"``
+    dispatches onto the cost-based planner
+    (:func:`repro.core.optimizer.choose`, fed any *feedback*
+    observations); a memoized :class:`~repro.core.optimizer.PlannerDecision`
+    may be passed directly as *strategy* to replay a prior choice
+    without re-costing.  The resolved strategy runs under the root trace
+    span when tracing is active (with the decision recorded as a
+    ``kind='planner'`` span) and under the ambient *governor* scope when
+    one is supplied; root-level ORDER BY/LIMIT apply last and the
+    ``rows_produced`` metric is charged.
     """
-    impl = resolve_strategy(strategy, query, backend, threads=threads)
+    from .. import strategies as registry
+
+    decision: Optional[PlannerDecision] = None
+    if isinstance(strategy, PlannerDecision):
+        decision = strategy
+        impl = decision.impl
+    elif isinstance(strategy, str) and strategy == registry.AUTO:
+        decision = choose(
+            query, db, backend=backend, threads=threads, feedback=feedback
+        )
+        impl = decision.impl
+    else:
+        impl = resolve_strategy(strategy, query, backend, threads=threads)
     with governed(governor):
         if governor is not None:
             governor.start()
@@ -195,6 +249,11 @@ def run(
             return result
         name = getattr(impl, "name", type(impl).__name__)
         with tracer.span("execute", {"strategy": name}, kind="root") as span:
+            planner_span = (
+                _emit_planner_span(tracer, decision)
+                if decision is not None
+                else None
+            )
             if governor is not None:
                 with tracer.span(
                     "governor", governor.describe_attrs(), kind=KIND_GOVERNOR
@@ -205,6 +264,8 @@ def run(
             result = _finalize(result, query)
             current_metrics().add("rows_produced", len(result))
             span.add("rows_out", len(result))
+            if planner_span is not None:
+                planner_span.set("actual_rows", len(result))
     return result
 
 
@@ -215,6 +276,7 @@ def run_traced(
     backend: Optional[str] = None,
     threads: Optional[int] = None,
     governor: Optional[ResourceGovernor] = None,
+    feedback: Optional[FeedbackStore] = None,
 ):
     """Like :func:`run`, under a fresh tracing scope; returns
     ``(result, trace)``."""
@@ -223,7 +285,7 @@ def run_traced(
     with tracing() as trace:
         result = run(
             query, db, strategy=strategy, backend=backend, threads=threads,
-            governor=governor,
+            governor=governor, feedback=feedback,
         )
     return result, trace
 

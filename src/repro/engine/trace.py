@@ -49,10 +49,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from .metrics import current_metrics
 
 #: version 2 added ``kind="governor"`` spans (resource governance /
-#: degradation events) and the ``aborted`` span attribute; version-1
-#: documents remain valid (the change is purely additive).
-TRACE_FORMAT_VERSION = 2
-SUPPORTED_TRACE_VERSIONS = (1, TRACE_FORMAT_VERSION)
+#: degradation events) and the ``aborted`` span attribute; version 3
+#: added ``kind="planner"`` spans (the cost-based planner's decision
+#: record: candidates, estimated costs/cardinalities, the chosen
+#: strategy).  Earlier documents remain valid — both changes are purely
+#: additive.
+TRACE_FORMAT_VERSION = 3
+SUPPORTED_TRACE_VERSIONS = (1, 2, TRACE_FORMAT_VERSION)
 
 #: cardinality contracts — see module docstring
 CONTRACT_FILTERING = "filtering"  # rows_out <= rows_in
@@ -74,6 +77,14 @@ KIND_MORSEL = "morsel"
 #: checks skip them, but their children (the retried operator tree) are
 #: checked as usual.
 KIND_GOVERNOR = "governor"
+
+#: span kind of the cost-based planner's decision record: one
+#: ``planner`` span under the root ``execute`` span, with one
+#: ``candidate[...]`` child per enumerated strategy.  Planner spans are
+#: bookkeeping, not operators — the row-accounting and contract checks
+#: skip them — but they make every ``auto`` choice a durable, renderable
+#: artifact of the trace.
+KIND_PLANNER = "planner"
 
 #: self-metrics worth surfacing on an EXPLAIN ANALYZE line, in order
 RENDER_METRICS = (

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...core.compute import NestedRelationalStrategy
+from ...core.optimizer import cost_parallel, cost_vectorized
 from ...strategies import register
 from .backend import VectorBackend
 
@@ -31,6 +32,7 @@ from .backend import VectorBackend
     "nested-relational-vectorized",
     backend="vector",
     description="Algorithm 1 on the columnar batch engine (vectorized kernels)",
+    cost=cost_vectorized,
 )
 class VectorizedNestedRelationalStrategy(NestedRelationalStrategy):
     """Algorithm 1 executed on fixed-layout column batches."""
@@ -58,6 +60,7 @@ class VectorizedNestedRelationalStrategy(NestedRelationalStrategy):
         "Algorithm 1 with morsel-driven parallel kernels "
         "(shared-build morsel joins, partition-parallel nest)"
     ),
+    cost=cost_parallel,
 )
 class ParallelNestedRelationalStrategy(NestedRelationalStrategy):
     """Algorithm 1 on morsels over a worker pool."""

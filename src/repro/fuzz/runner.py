@@ -106,8 +106,8 @@ class Failure:
 
     case: FuzzCase
     strategy: str
-    # "disagreement" | "error" | "metrics" | "trace" | "compile-error"
-    # | "external-divergence" | "external-error"
+    # "disagreement" | "error" | "metrics" | "trace" | "planner"
+    # | "compile-error" | "external-divergence" | "external-error"
     kind: str
     detail: str
     expected: Optional[Relation] = None
@@ -180,21 +180,78 @@ def sorted_rows(relation: Relation) -> List[tuple]:
 
 
 def _applies(impl: object, query: NestedQuery, db: Database) -> bool:
-    """Normalize the two ``applicable`` protocols in the codebase:
-    ``applicable(query) -> bool`` and
-    ``applicable(query, db) -> Optional[str]`` (None = applicable)."""
-    guard = getattr(impl, "applicable", None)
-    if guard is None:
-        return True
-    try:
-        verdict = guard(query, db)
-    except TypeError:
-        verdict = guard(query)
-    if verdict is None:
-        return True
-    if isinstance(verdict, str):
-        return False
-    return bool(verdict)
+    """Whether *impl* accepts (query, db) — the same dual-protocol
+    normalization the cost-based planner uses, so the fuzzer's guarded
+    skips mirror the planner's candidate enumeration exactly."""
+    from ..core.optimizer import strategy_applicable
+
+    return strategy_applicable(impl, query, db)
+
+
+def _planner_violations(trace: Trace) -> List[str]:
+    """Check the planner-choice invariants on an ``"auto"`` execution.
+
+    Every traced ``auto`` run must carry exactly one ``kind='planner'``
+    span under the root, enumerating at least two costed candidates
+    (the registry always has multiple universally applicable
+    strategies), with exactly one candidate marked chosen, that
+    candidate priced no higher than any other, and the root span
+    executing the very strategy the planner chose.
+    """
+    out: List[str] = []
+    roots = [r for r in trace.roots if r.kind == "root"]
+    planner_spans = [
+        span for root in roots for span in root.children
+        if span.kind == "planner"
+    ]
+    if len(planner_spans) != 1:
+        return [
+            f"expected exactly one planner span under the root, "
+            f"found {len(planner_spans)}"
+        ]
+    span = planner_spans[0]
+    chosen = span.attrs.get("chosen")
+    if not chosen:
+        out.append("planner span has no 'chosen' attribute")
+    candidates = [
+        c for c in span.children if c.name.startswith("candidate[")
+    ]
+    if len(candidates) < 2:
+        out.append(
+            f"planner enumerated {len(candidates)} candidate(s); expected >= 2"
+        )
+    flagged = [
+        c for c in candidates if c.attrs.get("chosen") in (True, "True")
+    ]
+    if len(flagged) != 1:
+        out.append(
+            f"{len(flagged)} candidate(s) marked chosen; expected exactly 1"
+        )
+    elif candidates:
+        winner = flagged[0]
+        if chosen and winner.name != f"candidate[{chosen}]":
+            out.append(
+                f"planner chose {chosen!r} but {winner.name} is flagged"
+            )
+        try:
+            costs = [float(c.attrs["est_cost"]) for c in candidates]
+            winner_cost = float(winner.attrs["est_cost"])
+        except (KeyError, ValueError):
+            out.append("candidate spans are missing parseable est_cost attrs")
+        else:
+            if winner_cost > min(costs) + 1e-9:
+                out.append(
+                    f"chosen candidate costs {winner_cost} but the cheapest "
+                    f"enumerated candidate costs {min(costs)}"
+                )
+    for root in roots:
+        executed = root.attrs.get("strategy")
+        if chosen and executed is not None and executed != chosen:
+            out.append(
+                f"root span executed {executed!r} but the planner "
+                f"chose {chosen!r}"
+            )
+    return out
 
 
 class DifferentialRunner:
@@ -425,6 +482,13 @@ class DifferentialRunner:
                     Failure(case, name, "trace", "; ".join(violations[:8])),
                     None,
                 )
+            if impl is None and name == "auto":
+                violations = _planner_violations(trace)
+                if violations:
+                    return (
+                        Failure(case, name, "planner", "; ".join(violations)),
+                        None,
+                    )
         return None, result
 
     @staticmethod

@@ -1,0 +1,124 @@
+"""Execution options: one frozen bundle for every execution knob.
+
+:class:`ExecutionOptions` carries everything that shapes how a query
+runs — strategy, backend, worker count, resource limits, degradation
+policy, logic mode — as a single immutable value that can be stored,
+compared, passed around and layered::
+
+    import repro
+    from repro.options import ExecutionOptions
+
+    fast = ExecutionOptions(backend="vector", threads=4)
+    session = repro.connect(db, options=fast)
+
+    query = session.prepare(sql)
+    query.execute()                                  # uses `fast`
+    query.execute(options=fast.replace(threads=8))   # one-off variant
+    query.execute(threads=1)                         # kwarg beats bundle
+
+Layering is uniform everywhere the bundle is accepted
+(:func:`repro.connect`, :class:`~repro.session.Session`,
+:meth:`~repro.session.PreparedQuery.execute` / ``trace`` / ``verify`` /
+``explain``): **session defaults ← ``options=`` bundle ← explicit
+per-call keyword arguments**, where only non-``None`` fields override.
+A field left ``None`` always means *inherit from the layer below*, so
+partial bundles compose without clobbering unrelated settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .errors import InvalidArgumentError
+
+#: the knobs an :class:`ExecutionOptions` carries, in layering order
+OPTION_FIELDS = (
+    "strategy",
+    "backend",
+    "threads",
+    "timeout_ms",
+    "memory_limit_mb",
+    "degrade",
+    "logic",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """An immutable bundle of execution settings; ``None`` = inherit.
+
+    * ``strategy`` — registry name, ``"auto"`` (cost-based planner) or a
+      strategy instance;
+    * ``backend`` — ``"row"`` / ``"vector"`` execution substrate;
+    * ``threads`` — worker count for morsel-driven parallel execution
+      (under ``"auto"`` it makes the parallel strategy a *candidate*;
+      the cost model decides whether splitting the work pays);
+    * ``timeout_ms`` / ``memory_limit_mb`` — resource-governance limits;
+    * ``degrade`` — ``"sequential"`` retries a failed parallel
+      execution once on the single-threaded vectorized backend;
+    * ``logic`` — ``"3vl"`` (SQL standard) or ``"2vl"`` (Libkin)
+      predicate semantics.
+    """
+
+    strategy: Optional[Union[str, object]] = None
+    backend: Optional[str] = None
+    threads: Optional[int] = None
+    timeout_ms: Optional[float] = None
+    memory_limit_mb: Optional[float] = None
+    degrade: Optional[str] = None
+    logic: Optional[str] = None
+
+    def merged(self, overrides: Optional["ExecutionOptions"]) -> "ExecutionOptions":
+        """A new bundle where *overrides*' non-``None`` fields win."""
+        if overrides is None:
+            return self
+        if not isinstance(overrides, ExecutionOptions):
+            raise InvalidArgumentError(
+                "options must be an ExecutionOptions, got "
+                f"{type(overrides).__name__}"
+            )
+        updates = {
+            name: value
+            for name in OPTION_FIELDS
+            if (value := getattr(overrides, name)) is not None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+    def replace(self, **updates: object) -> "ExecutionOptions":
+        """A new bundle with the given fields replaced (``None`` clears
+        a field back to *inherit*)."""
+        unknown = set(updates) - set(OPTION_FIELDS)
+        if unknown:
+            raise InvalidArgumentError(
+                f"unknown execution option(s): {sorted(unknown)}; "
+                f"expected a subset of {list(OPTION_FIELDS)}"
+            )
+        return dataclasses.replace(self, **updates)
+
+    def describe(self) -> str:
+        """The non-``None`` fields as ``name=value`` pairs (or
+        ``"defaults"`` when every field inherits)."""
+        parts = [
+            f"{name}={getattr(self, name)!r}"
+            for name in OPTION_FIELDS
+            if getattr(self, name) is not None
+        ]
+        return ", ".join(parts) if parts else "defaults"
+
+
+def layer_options(
+    base: Optional[ExecutionOptions],
+    options: Optional[ExecutionOptions],
+    **kwargs: object,
+) -> ExecutionOptions:
+    """Apply the canonical layering: *base* ← *options* ← non-``None``
+    *kwargs*.  The helper every ``options=``-accepting API goes
+    through, so precedence cannot drift between entry points."""
+    effective = base if base is not None else ExecutionOptions()
+    effective = effective.merged(options)
+    updates = {k: v for k, v in kwargs.items() if v is not None}
+    if updates:
+        effective = effective.replace(**updates)
+    return effective

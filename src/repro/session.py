@@ -16,11 +16,20 @@ Every way of running SQL through this library goes through one surface::
     result, trace = query.trace()
 
 The *strategy* name selects a member of the :mod:`repro.strategies`
-registry (or ``"auto"`` for the paper's routing policy); the *backend*
+registry, or ``"auto"`` for the cost-based planner: every applicable
+strategy is enumerated, priced against sampled table statistics (plus
+this session's observed cardinalities from traced executions), and the
+cheapest runs — the decision is inspectable via ``query.explain()`` and
+recorded as a ``kind='planner'`` span in every trace.  The *backend*
 selects the execution substrate — ``"row"`` for the tuple-at-a-time
 iterator engine, ``"vector"`` for the columnar batch engine — and
 defaults to whatever the strategy was registered on.  Semantics never
 depend on the backend; only performance does.
+
+Every execution knob can also travel as one immutable
+:class:`~repro.options.ExecutionOptions` bundle, layered as *session
+defaults ← options= ← explicit keyword arguments* (non-``None`` fields
+win at each step).
 
 The CLI, the benchmark harness and the fuzzer all execute through this
 module.  The historical entry points (``repro.run_sql``,
@@ -32,6 +41,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from .core.feedback import FeedbackStore
 from .core.plancache import SessionCache, reduce_scope
 from .engine.catalog import Database
 from .engine.governor import ResourceGovernor, validate_degrade
@@ -39,6 +49,7 @@ from .engine.logic import logic_mode, validate_logic
 from .engine.parallel import validate_threads
 from .engine.relation import Relation
 from .errors import InvalidArgumentError
+from .options import ExecutionOptions, layer_options
 
 
 class PreparedQuery:
@@ -62,95 +73,162 @@ class PreparedQuery:
 
     def execute(
         self,
-        strategy: Union[str, object] = "auto",
+        strategy: Optional[Union[str, object]] = None,
         backend: Optional[str] = None,
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> Relation:
         """Run the query and return the result :class:`Relation`.
 
         *strategy* is a registry name (see
-        :func:`repro.strategies.names`), ``"auto"``, or a strategy
-        instance; *backend* is ``"row"``, ``"vector"`` or ``None``
-        (follow the strategy's registration).  *threads* > 1 routes onto
-        the morsel-driven parallel strategy (defaults to the session's
-        ``threads`` setting).
+        :func:`repro.strategies.names`), ``"auto"`` (the default: the
+        cost-based planner picks the cheapest applicable strategy), or a
+        strategy instance; *backend* is ``"row"``, ``"vector"`` or
+        ``None`` (follow the strategy's registration).  *threads* > 1
+        makes the morsel-driven parallel strategy a planner candidate
+        (and is forwarded to any explicitly named strategy).
 
         *timeout_ms* / *memory_limit_mb* bound the execution (typed
         :class:`~repro.errors.QueryTimeoutError` /
         :class:`~repro.errors.ResourceExhaustedError` on breach);
         ``degrade="sequential"`` retries a failed parallel execution
-        once on the single-threaded vectorized backend.  Each setting
-        defaults to the session-wide value from :func:`connect`.
+        once on the single-threaded vectorized backend.
+
+        Settings layer as *session defaults ← options= ← explicit
+        keyword arguments*; every ``None`` inherits from the layer
+        below.
         """
         from .core import planner
 
-        strategy, backend, threads = self._resolve(strategy, backend, threads)
-        governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
-        with logic_mode(self._session.logic), reduce_scope(
+        eff = self._options(
+            strategy=strategy, backend=backend, threads=threads,
+            timeout_ms=timeout_ms, memory_limit_mb=memory_limit_mb,
+            degrade=degrade, options=options,
+        )
+        resolved, backend, threads = self._resolve(
+            eff.strategy, eff.backend, eff.threads
+        )
+        governor = self._session.governor(
+            eff.timeout_ms, eff.memory_limit_mb, eff.degrade
+        )
+        with logic_mode(self._logic(eff)), reduce_scope(
             self._session.reduce_cache()
         ):
             return planner.run(
                 self.query,
                 self._session.db,
-                strategy=strategy,
+                strategy=resolved,
                 backend=backend,
                 threads=threads,
                 governor=governor,
+                feedback=self._session.feedback,
             )
 
     def trace(
         self,
-        strategy: Union[str, object] = "auto",
+        strategy: Optional[Union[str, object]] = None,
         backend: Optional[str] = None,
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        options: Optional[ExecutionOptions] = None,
     ):
         """Run the query under a tracing scope.
 
         Returns ``(result, trace)`` where *trace* is the
         :class:`~repro.engine.trace.Trace` span tree of the execution.
-        Governance options match :meth:`execute`; a governed execution's
-        trace carries a ``kind="governor"`` span recording the limits
-        (and a ``degrade`` span around any sequential retry).
+        Options layer exactly as in :meth:`execute`; a governed
+        execution's trace carries a ``kind="governor"`` span recording
+        the limits (and a ``degrade`` span around any sequential retry),
+        and an ``"auto"`` execution a ``kind="planner"`` span recording
+        the cost-based decision.
+
+        Tracing also **closes the planner's feedback loop**: observed
+        per-block cardinalities from the span tree are recorded in the
+        session's :class:`~repro.core.feedback.FeedbackStore`, so later
+        ``"auto"`` executions of structurally equivalent queries re-cost
+        with actuals instead of estimates.
         """
         from .core import planner
+        from .core.optimizer import plan_fingerprint
 
-        strategy, backend, threads = self._resolve(strategy, backend, threads)
-        governor = self._session.governor(timeout_ms, memory_limit_mb, degrade)
-        with logic_mode(self._session.logic), reduce_scope(
+        eff = self._options(
+            strategy=strategy, backend=backend, threads=threads,
+            timeout_ms=timeout_ms, memory_limit_mb=memory_limit_mb,
+            degrade=degrade, options=options,
+        )
+        resolved, backend, threads = self._resolve(
+            eff.strategy, eff.backend, eff.threads
+        )
+        governor = self._session.governor(
+            eff.timeout_ms, eff.memory_limit_mb, eff.degrade
+        )
+        with logic_mode(self._logic(eff)), reduce_scope(
             self._session.reduce_cache()
         ):
-            return planner.run_traced(
+            result, trace = planner.run_traced(
                 self.query,
                 self._session.db,
-                strategy=strategy,
+                strategy=resolved,
                 backend=backend,
                 threads=threads,
                 governor=governor,
+                feedback=self._session.feedback,
             )
+        self._session.feedback.observe(plan_fingerprint(self.query), trace)
+        return result, trace
+
+    def _options(self, options=None, **kwargs) -> ExecutionOptions:
+        """Layer *session defaults ← options= ← non-None kwargs*."""
+        return layer_options(self._session.options, options, **kwargs)
+
+    def _logic(self, eff: ExecutionOptions) -> str:
+        """The logic mode for one execution (per-call override wins)."""
+        if eff.logic is not None and eff.logic != self._session.logic:
+            return validate_logic(eff.logic)
+        return self._session.logic
 
     def _resolve(self, strategy, backend, threads):
-        """Apply the session's thread default and the strategy memo.
+        """Apply the session's strategy default and the plan-cache memo.
 
-        When the plan cache holds a resolved instance for this
-        (strategy, backend, threads) request, the instance is reused and
-        the request collapses to it; otherwise the original triple flows
-        through to the planner (which memoizes the resolution on the way
-        out when caching is on).
+        ``"auto"`` (and ``None``, which means it) resolves through the
+        cost-based planner; the resulting
+        :class:`~repro.core.optimizer.PlannerDecision` is memoized
+        keyed by the feedback epoch, so new observations — and only new
+        observations — force a re-cost.  A fixed registry name memoizes
+        its resolved instance as before.  With the cache disabled the
+        original triple flows through to the planner, which decides
+        per execution.
         """
         from .core import planner
+        from .core.optimizer import choose
 
+        if strategy is None:
+            strategy = "auto"
         if threads is None:
             threads = self._session.threads
         cache = self._session._cache
         cache.validate(self._session.db.version)
         if not isinstance(strategy, str) or not cache.enabled:
             return strategy, backend, threads
+        feedback = self._session.feedback
+        if strategy == "auto":
+            key = (
+                self.sql, strategy, backend, threads,
+                self._session.logic, feedback.epoch,
+            )
+            decision = cache.strategy(key)
+            if decision is None:
+                decision = choose(
+                    self.query, self._session.db,
+                    backend=backend, threads=threads, feedback=feedback,
+                )
+                cache.store_strategy(key, decision)
+            return decision, None, None
         key = (self.sql, strategy, backend, threads, self._session.logic)
         impl = cache.strategy(key)
         if impl is None:
@@ -163,11 +241,12 @@ class PreparedQuery:
     def verify(
         self,
         engine: str = "sqlite",
-        strategy: Union[str, object] = "auto",
+        strategy: Optional[Union[str, object]] = None,
         backend: Optional[str] = None,
         threads: Optional[int] = None,
         raise_on_divergence: bool = True,
         capture_plans: bool = False,
+        options: Optional[ExecutionOptions] = None,
     ):
         """Cross-check this query against an external engine.
 
@@ -183,13 +262,17 @@ class PreparedQuery:
         """
         from .oracle import cross_check, verify_or_raise
 
+        eff = self._options(
+            strategy=strategy, backend=backend, threads=threads,
+            options=options,
+        )
         reports = cross_check(
             self._session.db,
             self.sql,
             engine=engine,
-            strategies=(strategy,),
-            backend=backend,
-            threads=threads,
+            strategies=(eff.strategy if eff.strategy is not None else "auto",),
+            backend=eff.backend,
+            threads=eff.threads,
             capture_plans=capture_plans,
         )
         if raise_on_divergence:
@@ -198,22 +281,38 @@ class PreparedQuery:
 
     def explain(
         self,
-        strategy: str = "auto",
+        strategy: Optional[str] = None,
         analyze: bool = False,
         timings: bool = True,
-    ) -> str:
-        """The plan text; with ``analyze=True``, execute the query and
-        annotate the plan with per-operator row counts (and wall times
-        unless ``timings=False``)."""
-        from .core.explain import explain, explain_analyze
+        options: Optional[ExecutionOptions] = None,
+    ):
+        """The typed :class:`~repro.core.plan.Plan` for this query.
 
-        text = explain(self.query, self._session.db, strategy=strategy)
-        if analyze:
-            text += "\n\n" + explain_analyze(
-                self.query, self._session.db, strategy=strategy,
-                timings=timings,
-            )
-        return text
+        For an ``"auto"`` request (the default) the plan carries the
+        cost-based planner's full candidate table — every applicable
+        strategy with estimated cost and cardinality, cheapest first —
+        priced with this session's feedback observations.  With
+        ``analyze=True`` the query is executed under tracing and the
+        annotated span tree is attached (wall times included unless
+        ``timings=False``).
+
+        Render with ``str(plan)`` / ``plan.render()`` (human-readable)
+        or ``plan.render(format="json")`` (machine-readable).
+        """
+        from .core.plan import build_plan
+
+        eff = self._options(strategy=strategy, options=options)
+        return build_plan(
+            self.query,
+            self._session.db,
+            self.sql,
+            strategy=eff.strategy if eff.strategy is not None else "auto",
+            analyze=analyze,
+            timings=timings,
+            feedback=self._session.feedback,
+            backend=eff.backend,
+            threads=eff.threads,
+        )
 
     def describe(self) -> str:
         """The analyzed block structure (front-end view of the query),
@@ -235,14 +334,22 @@ class PreparedQuery:
 class Session:
     """A connection-like handle binding queries to one database.
 
-    *plan_cache* (default on) enables cross-query reuse: strategy
-    resolutions and the vector backend's reduced-relation builds
-    (``T_i = σ_Δi(R_i)``) are memoized across queries and invalidated
-    when the catalog mutates.  Re-preparing identical SQL skips the
-    parser and analyzer regardless of the flag.  *threads* sets the
-    session-wide default for ``execute(threads=...)``; *logic* selects
+    *plan_cache* (default on) enables cross-query reuse: planner
+    decisions, strategy resolutions and the vector backend's
+    reduced-relation builds (``T_i = σ_Δi(R_i)``) are memoized across
+    queries and invalidated when the catalog mutates (planner decisions
+    additionally age out when new feedback observations land).
+    Re-preparing identical SQL skips the parser and analyzer regardless
+    of the flag.  Defaults for every execution knob can be given either
+    as individual keyword arguments or as one
+    :class:`~repro.options.ExecutionOptions` bundle via *options*
+    (explicit keyword arguments win field-by-field); *logic* selects
     3VL (default) or Libkin 2VL predicate semantics for every execution
     in the session.
+
+    Each session owns a :class:`~repro.core.feedback.FeedbackStore`:
+    traced executions record observed per-block cardinalities, and
+    subsequent ``"auto"`` executions re-cost with those actuals.
     """
 
     def __init__(
@@ -253,23 +360,34 @@ class Session:
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
-        logic: str = "3vl",
+        logic: Optional[str] = None,
+        options: Optional[ExecutionOptions] = None,
     ):
         if not isinstance(db, Database):
             raise InvalidArgumentError(
                 f"connect() expects a Database, got {type(db).__name__}"
             )
         self.db = db
-        self.logic = validate_logic(logic)
-        self.threads = validate_threads(threads)
-        self.timeout_ms = timeout_ms
-        self.memory_limit_mb = memory_limit_mb
-        self.degrade = validate_degrade(degrade)
+        #: the session-wide defaults every execution layers on top of
+        self.options = layer_options(
+            ExecutionOptions(), options,
+            threads=threads, timeout_ms=timeout_ms,
+            memory_limit_mb=memory_limit_mb, degrade=degrade, logic=logic,
+        )
+        self.logic = validate_logic(
+            self.options.logic if self.options.logic is not None else "3vl"
+        )
+        self.threads = validate_threads(self.options.threads)
+        self.timeout_ms = self.options.timeout_ms
+        self.memory_limit_mb = self.options.memory_limit_mb
+        self.degrade = validate_degrade(self.options.degrade)
         # fail at connect() time, not first execute: build a throwaway
         # governor so bad session-wide limits are rejected immediately
-        if timeout_ms is not None or memory_limit_mb is not None:
-            ResourceGovernor(timeout_ms, memory_limit_mb, self.degrade)
+        if self.timeout_ms is not None or self.memory_limit_mb is not None:
+            ResourceGovernor(self.timeout_ms, self.memory_limit_mb, self.degrade)
         self._cache = SessionCache(enabled=plan_cache)
+        #: observed cardinalities feeding the cost-based planner
+        self.feedback = FeedbackStore()
 
     def governor(
         self,
@@ -329,12 +447,13 @@ class Session:
     def execute(
         self,
         sql: str,
-        strategy: Union[str, object] = "auto",
+        strategy: Optional[Union[str, object]] = None,
         backend: Optional[str] = None,
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> Relation:
         """One-shot convenience: ``prepare(sql).execute(...)``."""
         return self.prepare(sql).execute(
@@ -344,6 +463,7 @@ class Session:
             timeout_ms=timeout_ms,
             memory_limit_mb=memory_limit_mb,
             degrade=degrade,
+            options=options,
         )
 
     def strategies(self) -> list:
@@ -363,19 +483,23 @@ def connect(
     timeout_ms: Optional[float] = None,
     memory_limit_mb: Optional[float] = None,
     degrade: Optional[str] = None,
-    logic: str = "3vl",
+    logic: Optional[str] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Session:
     """Open a :class:`Session` over an in-memory :class:`Database`.
 
-    ``plan_cache=False`` disables cross-query strategy/build reuse
-    (identical-SQL compilation is still memoized); *threads* sets the
-    session's default worker count for parallel execution.
+    ``plan_cache=False`` disables cross-query decision/strategy/build
+    reuse (identical-SQL compilation is still memoized); *threads* sets
+    the session's default worker count for parallel execution.
     *timeout_ms*, *memory_limit_mb* and *degrade* set session-wide
     resource-governance defaults, overridable per
     ``execute``/``trace`` call.  ``logic`` selects the predicate
     semantics: ``"3vl"`` (SQL-standard Kleene logic, the default) or
     ``"2vl"`` (Libkin two-valued logic, where any comparison with NULL
     is plain FALSE) — the modes coincide exactly on NULL-free data.
+    *options* supplies the same defaults as one
+    :class:`~repro.options.ExecutionOptions` bundle; the explicit
+    keyword arguments win field-by-field.
     """
     return Session(
         db,
@@ -385,4 +509,5 @@ def connect(
         memory_limit_mb=memory_limit_mb,
         degrade=degrade,
         logic=logic,
+        options=options,
     )

@@ -45,15 +45,29 @@ AUTO = "auto"
 
 @dataclass(frozen=True)
 class StrategyInfo:
-    """One registered strategy: its name, factory and backend tag."""
+    """One registered strategy: name, factory, backend tag, cost hook.
+
+    ``cost`` is the optional pricing hook consumed by the cost-based
+    planner: a callable taking a :class:`~repro.core.stats.PlanStats`
+    and returning the strategy's estimated cost in row-ops.  Strategies
+    registered without one still participate in ``auto`` — they are
+    priced at :func:`repro.core.optimizer.default_cost`, a deliberately
+    pessimistic generic estimate.
+    """
 
     name: str
     factory: Callable[[], object]
     backend: str = ROW_BACKEND
     description: str = ""
+    cost: Optional[Callable[[object], float]] = None
 
     def make(self) -> object:
         return self.factory()
+
+    @property
+    def costed(self) -> bool:
+        """Whether this strategy registered its own ``cost`` hook."""
+        return self.cost is not None
 
 
 _REGISTRY: Dict[str, StrategyInfo] = {}
@@ -65,14 +79,21 @@ def register(
     *,
     backend: str = ROW_BACKEND,
     description: str = "",
+    cost: Optional[Callable[[object], float]] = None,
     replace: bool = False,
 ) -> Callable[[Callable[[], object]], Callable[[], object]]:
     """Register a strategy factory under *name*; usable as a decorator.
 
     The factory is any zero-argument callable returning an object with
     an ``execute(query, db)`` method (a class with a no-arg constructor
-    qualifies).  Re-registering an existing name raises unless
-    ``replace=True`` (tests use replacement to stub strategies).
+    qualifies).  *cost* optionally prices the strategy for the
+    cost-based planner: ``cost(plan_stats) -> float`` over a
+    :class:`~repro.core.stats.PlanStats`; without one the planner falls
+    back to a documented pessimistic default
+    (:func:`repro.core.optimizer.default_cost`) and ``--list-strategies``
+    marks the entry accordingly.  Re-registering an existing name
+    raises unless ``replace=True`` (tests use replacement to stub
+    strategies).
     """
     if backend not in BACKENDS:
         raise PlanError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -83,7 +104,11 @@ def register(
         if name in _REGISTRY and not replace:
             raise PlanError(f"strategy {name!r} is already registered")
         _REGISTRY[name] = StrategyInfo(
-            name=name, factory=factory, backend=backend, description=description
+            name=name,
+            factory=factory,
+            backend=backend,
+            description=description,
+            cost=cost,
         )
         return factory
 
@@ -192,13 +217,21 @@ _BACKEND_ALIASES: Dict[str, Dict[str, str]] = {
 
 
 def describe() -> str:
-    """One line per strategy: name, backend, description (CLI listing)."""
+    """One line per strategy: name, backend, cost participation and
+    description (CLI listing).  ``costed`` entries registered their own
+    ``cost`` hook; ``default`` entries are priced pessimistically by
+    the planner's fallback."""
     ensure_loaded()
     width = max(len(n) for n in names()) if _REGISTRY else 0
     lines = []
     for entry in entries():
+        pricing = "costed " if entry.costed else "default"
         lines.append(
-            f"{entry.name.ljust(width)}  [{entry.backend}]  {entry.description}"
+            f"{entry.name.ljust(width)}  [{entry.backend}]  "
+            f"[{pricing}]  {entry.description}"
         )
-    lines.append(f"{AUTO.ljust(width)}  [row]  the paper's routing policy (§4.2)")
+    lines.append(
+        f"{AUTO.ljust(width)}  [row]  [policy ]  "
+        "cost-based choice over every applicable strategy"
+    )
     return "\n".join(lines)

@@ -270,7 +270,101 @@ def generate(config: Optional[TpchConfig] = None, **kwargs) -> Database:
 
     if config.build_indexes:
         build_paper_indexes(db)
+    _seed_known_stats(
+        db,
+        n_customer=n_customer,
+        n_part=n_part,
+        n_supplier=n_supplier,
+        n_orders=n_orders,
+        null_fraction=config.inject_null_fraction,
+    )
     return db
+
+
+def _seed_known_stats(
+    db: Database,
+    n_customer: int,
+    n_part: int,
+    n_supplier: int,
+    n_orders: int,
+    null_fraction: float,
+) -> None:
+    """Seed the generator's *known* distributions as exact statistics.
+
+    The cost-based planner samples tables for NDV/min/max estimates
+    (:mod:`repro.core.stats`); the generator knows the true figures —
+    ``p_size`` and ``l_quantity`` are uniform on 1..50, foreign keys are
+    uniform over their referenced key space, dates span the TPC-H
+    window — so it registers them as persistent overrides.  Overrides
+    survive catalog version bumps (index builds, NULL injection reruns),
+    keeping planner estimates honest at every scale factor.
+    """
+    from ..core.stats import ColumnStats, set_table_stats
+
+    date_lo, date_hi = _date(0), _date(_DATE_SPAN)
+    uniform_50 = ColumnStats(ndv=50.0, min_value=1, max_value=50)
+    set_table_stats(
+        db,
+        "part",
+        columns={
+            "p_partkey": ColumnStats(ndv=float(n_part), min_value=1, max_value=n_part),
+            "p_size": uniform_50,
+        },
+    )
+    set_table_stats(
+        db,
+        "partsupp",
+        columns={
+            "ps_partkey": ColumnStats(ndv=float(n_part), min_value=1, max_value=n_part),
+            "ps_supplycost": ColumnStats(
+                ndv=1000.0, null_frac=null_fraction, min_value=1.0, max_value=2000.0
+            ),
+        },
+    )
+    set_table_stats(
+        db,
+        "orders",
+        columns={
+            "o_orderkey": ColumnStats(
+                ndv=float(n_orders), min_value=1, max_value=n_orders
+            ),
+            "o_custkey": ColumnStats(
+                ndv=float(min(n_customer, n_orders)), min_value=1, max_value=n_customer
+            ),
+            "o_orderdate": ColumnStats(
+                ndv=float(min(n_orders, _DATE_SPAN - 151)),
+                min_value=date_lo,
+                max_value=date_hi,
+            ),
+        },
+    )
+    n_lineitem = len(db.tables["lineitem"].relation.rows)
+    set_table_stats(
+        db,
+        "lineitem",
+        columns={
+            "l_orderkey": ColumnStats(
+                ndv=float(n_orders), min_value=1, max_value=n_orders
+            ),
+            "l_partkey": ColumnStats(
+                ndv=float(min(n_part, n_lineitem)), min_value=1, max_value=n_part
+            ),
+            "l_suppkey": ColumnStats(
+                ndv=float(min(n_supplier, n_lineitem)),
+                min_value=1,
+                max_value=n_supplier,
+            ),
+            "l_quantity": uniform_50,
+            "l_extendedprice": ColumnStats(
+                ndv=float(min(n_lineitem, 10000)), null_frac=null_fraction
+            ),
+            "l_shipdate": ColumnStats(
+                ndv=float(min(n_lineitem, _DATE_SPAN)),
+                min_value=date_lo,
+                max_value=date_hi,
+            ),
+        },
+    )
 
 
 def build_paper_indexes(db: Database) -> None:

@@ -135,6 +135,6 @@ class TestSoundCases:
         assert AggregateRewriteStrategy().execute(q, notnull_db) == oracle
 
     def test_registered_in_planner(self, notnull_db):
-        out = repro.run_sql(ALL_SQL, notnull_db, strategy="aggregate-rewrite")
-        oracle = repro.run_sql(ALL_SQL, notnull_db, strategy="nested-iteration")
+        out = repro.connect(notnull_db).execute(ALL_SQL, strategy="aggregate-rewrite")
+        oracle = repro.connect(notnull_db).execute(ALL_SQL, strategy="nested-iteration")
         assert out == oracle

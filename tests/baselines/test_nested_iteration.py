@@ -38,7 +38,7 @@ def db():
 
 
 def run(sql, db):
-    return repro.run_sql(sql, db, strategy="nested-iteration").sorted().rows
+    return repro.connect(db).execute(sql, strategy="nested-iteration").sorted().rows
 
 
 class TestPaperNullExample:
@@ -134,7 +134,7 @@ class TestDuplicates:
             "t", [Column("k", not_null=True), Column("v")], [(1, 7), (2, 7)],
             primary_key="k",
         )
-        out = repro.run_sql("select v from t", d, strategy="nested-iteration")
+        out = repro.connect(d).execute("select v from t", strategy="nested-iteration")
         assert out.rows == [(7,), (7,)]
 
     def test_distinct_dedupes(self):
@@ -143,7 +143,7 @@ class TestDuplicates:
             "t", [Column("k", not_null=True), Column("v")], [(1, 7), (2, 7)],
             primary_key="k",
         )
-        out = repro.run_sql("select distinct v from t", d, strategy="nested-iteration")
+        out = repro.connect(d).execute("select distinct v from t", strategy="nested-iteration")
         assert out.rows == [(7,)]
 
 

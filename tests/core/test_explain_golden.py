@@ -1,15 +1,19 @@
 """Golden-file tests for EXPLAIN and EXPLAIN ANALYZE on the six paper
-queries (Figures 4-9).
+queries (Figures 4-9), rendered through the typed
+:class:`~repro.core.plan.Plan` API.
 
 The expected texts live under ``tests/golden/``; regenerate them after
-an intentional plan- or trace-format change with::
+an intentional plan-, cost-model- or trace-format change with::
 
     PYTHONPATH=src python -m pytest tests/core/test_explain_golden.py --update-golden
 
-EXPLAIN ANALYZE goldens are rendered with ``timings=False``, so the
-files are fully deterministic: the tiny TPC-H instance is seeded, the
-planner is deterministic, and every counter in the trace is a function
-of the data alone.
+The ``explain_*.txt`` files carry the cost-based planner's candidate
+table (cheapest first, winner starred) followed by the operator tree;
+``explain_fig4_q1.json`` pins the machine-readable render.  EXPLAIN
+ANALYZE goldens are rendered with ``timings=False``, so the files are
+fully deterministic: the tiny TPC-H instance is seeded, the planner and
+its statistics sampling are deterministic, and every counter in the
+trace is a function of the data alone.
 """
 
 from __future__ import annotations
@@ -19,7 +23,6 @@ import os
 import pytest
 
 import repro
-from repro.core.explain import explain, explain_analyze
 from repro.tpch import query1, query2, query3
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "golden")
@@ -65,23 +68,28 @@ def check_golden(name: str, text: str, update: bool) -> None:
 class TestExplainGolden:
     @pytest.mark.parametrize("stem,sql", PAPER_QUERIES)
     def test_plan_text(self, tiny_tpch, update_golden, stem, sql):
-        query = repro.compile_sql(sql, tiny_tpch)
-        text = explain(query, tiny_tpch, strategy="auto")
-        check_golden(f"explain_{stem}.txt", text, update_golden)
+        plan = repro.connect(tiny_tpch).prepare(sql).explain()
+        assert plan.cost_based
+        check_golden(f"explain_{stem}.txt", plan.render("text"), update_golden)
+
+    @pytest.mark.parametrize("stem,sql", PAPER_QUERIES[:1])
+    def test_plan_json(self, tiny_tpch, update_golden, stem, sql):
+        plan = repro.connect(tiny_tpch).prepare(sql).explain()
+        check_golden(f"explain_{stem}.json", plan.render("json"), update_golden)
 
 
 class TestExplainAnalyzeGolden:
     @pytest.mark.parametrize("stem,sql", PAPER_QUERIES)
     def test_annotated_trace_text(self, tiny_tpch, update_golden, stem, sql):
-        query = repro.compile_sql(sql, tiny_tpch)
-        text = explain_analyze(
-            query, tiny_tpch, strategy="auto", timings=False
+        plan = repro.connect(tiny_tpch).prepare(sql).explain(
+            analyze=True, timings=False
         )
-        check_golden(f"analyze_{stem}.txt", text, update_golden)
+        assert plan.analysis is not None
+        check_golden(f"analyze_{stem}.txt", plan.analysis, update_golden)
 
     @pytest.mark.parametrize("stem,sql", PAPER_QUERIES[:1])
     def test_analyze_is_deterministic(self, tiny_tpch, stem, sql):
-        query = repro.compile_sql(sql, tiny_tpch)
-        first = explain_analyze(query, tiny_tpch, strategy="auto", timings=False)
-        second = explain_analyze(query, tiny_tpch, strategy="auto", timings=False)
-        assert first == second
+        session = repro.connect(tiny_tpch)
+        first = session.prepare(sql).explain(analyze=True, timings=False)
+        second = session.prepare(sql).explain(analyze=True, timings=False)
+        assert first.analysis == second.analysis

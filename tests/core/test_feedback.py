@@ -1,0 +1,179 @@
+"""The planner's feedback loop: unit tests for :class:`FeedbackStore`
+and the end-to-end convergence scenario — a seeded mis-estimate makes
+``auto`` pick a row strategy, one traced execution teaches the session
+the real cardinalities, and the next resolution switches to the vector
+engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.feedback import FeedbackStore
+from repro.core.optimizer import plan_fingerprint
+from repro.core.stats import set_table_stats
+from repro.engine import Column, Database
+
+SQL = "select r.k from r where exists (select * from s where s.rk = r.k)"
+
+ROW_STRATEGIES = {
+    "nested-relational",
+    "nested-relational-sorted",
+    "nested-relational-optimized",
+    "nested-relational-bottomup",
+    "nested-relational-positive-rewrite",
+    "classical-unnesting",
+    "aggregate-rewrite",
+    "count-rewrite",
+    "boolean-aggregate",
+    "nested-iteration",
+    "system-a-native",
+}
+
+
+def build_db(outer_rows: int = 800, inner_rows: int = 3000) -> Database:
+    db = Database()
+    db.create_table(
+        "r",
+        [Column("k", not_null=True), Column("a")],
+        [(i, i % 5) for i in range(outer_rows)],
+        primary_key="k",
+    )
+    db.create_table(
+        "s",
+        [Column("k", not_null=True), Column("rk"), Column("v")],
+        [(i, i % outer_rows, i % 11) for i in range(inner_rows)],
+        primary_key="k",
+    )
+    return db
+
+
+class TestFeedbackStore:
+    def test_record_bumps_epoch_once_per_change(self):
+        store = FeedbackStore()
+        store.record("fp", "reduce[T0]", 10)
+        assert store.epoch == 1
+        store.record("fp", "reduce[T0]", 10)  # identical: no bump
+        assert store.epoch == 1
+        store.record("fp", "reduce[T0]", 12)
+        assert store.epoch == 2
+        assert len(store) == 1
+
+    def test_block_overrides_parse_span_names(self):
+        store = FeedbackStore()
+        store.record("fp", "reduce[T0]", 10)
+        store.record("fp", "reduce[T3]", 7)
+        store.record("fp", "execute", 4)
+        store.record("other", "reduce[T0]", 99)
+        assert store.block_overrides("fp") == {0: 10, 3: 7}
+        assert store.out_rows("fp") == 4
+        assert store.out_rows("missing") is None
+        assert store.observations("fp") == {
+            "reduce[T0]": 10,
+            "reduce[T3]": 7,
+            "execute": 4,
+        }
+
+    def test_clear_forgets_and_bumps(self):
+        store = FeedbackStore()
+        store.clear()  # empty: nothing to forget, epoch untouched
+        assert store.epoch == 0
+        store.record("fp", "execute", 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.epoch == 2
+
+    def test_observe_harvests_trace(self):
+        db = build_db(40, 120)
+        session = repro.connect(db)
+        query = session.prepare(SQL)
+        result, trace = query.trace(strategy="nested-relational")
+        store = FeedbackStore()
+        fp = plan_fingerprint(query.query)
+        seen = store.observe(fp, trace)
+        assert seen >= 2  # the root span plus one reduce span per block
+        assert store.out_rows(fp) == len(result)
+        overrides = store.block_overrides(fp)
+        assert overrides[query.query.root.index] == 40
+        (child,) = query.query.root.children
+        assert overrides[child.index] == 120
+
+
+class TestConvergence:
+    @pytest.fixture()
+    def misestimated(self):
+        """Real data is 800x3000 rows; the seeded statistics claim the
+        tables are nearly empty, so estimate-driven costs favor the row
+        engine."""
+        db = build_db()
+        set_table_stats(db, "r", row_count=2)
+        set_table_stats(db, "s", row_count=4)
+        return db
+
+    def test_second_execution_switches_strategy(self, misestimated):
+        session = repro.connect(misestimated)
+        query = session.prepare(SQL)
+
+        first = query.explain()
+        assert first.chosen in ROW_STRATEGIES  # fooled by the seed
+        assert first.feedback_epoch == 0
+
+        result, trace = query.trace()
+        assert trace.roots[0].attrs["strategy"] == first.chosen
+
+        second = query.explain()
+        assert second.feedback_epoch > 0
+        assert second.chosen == "nested-relational-vectorized"
+
+        # the re-costed decision actually executes
+        result2, trace2 = query.trace()
+        assert trace2.roots[0].attrs["strategy"] == second.chosen
+        assert result2.sorted() == result.sorted()
+
+    def test_planner_span_records_the_switch(self, misestimated):
+        session = repro.connect(misestimated)
+        query = session.prepare(SQL)
+        _, before = query.trace()
+        _, after = query.trace()
+        (span_before,) = before.find("planner")
+        (span_after,) = after.find("planner")
+        assert span_before.attrs["chosen"] in ROW_STRATEGIES
+        assert span_after.attrs["chosen"] == "nested-relational-vectorized"
+        assert int(span_after.attrs["feedback_epoch"]) > int(
+            span_before.attrs["feedback_epoch"]
+        )
+
+    def test_converges_after_one_observation(self, misestimated):
+        session = repro.connect(misestimated)
+        query = session.prepare(SQL)
+        query.trace()
+        settled = query.explain()
+        epoch = session.feedback.epoch
+        # re-observing identical cardinalities teaches nothing new
+        query.trace()
+        assert session.feedback.epoch == epoch
+        assert query.explain().chosen == settled.chosen
+
+    def test_feedback_is_per_session(self, misestimated):
+        taught = repro.connect(misestimated)
+        taught.prepare(SQL).trace()
+        assert taught.feedback.epoch > 0
+        fresh = repro.connect(misestimated)
+        assert fresh.feedback.epoch == 0
+        assert fresh.prepare(SQL).explain().chosen in ROW_STRATEGIES
+
+    def test_untraced_execution_does_not_observe(self, misestimated):
+        session = repro.connect(misestimated)
+        query = session.prepare(SQL)
+        query.execute()
+        assert session.feedback.epoch == 0
+
+    def test_fixed_strategy_traces_also_teach(self, misestimated):
+        """The fingerprint is strategy-independent, so a traced run
+        under a *fixed* strategy still feeds the auto planner."""
+        session = repro.connect(misestimated)
+        query = session.prepare(SQL)
+        query.trace(strategy="nested-relational")
+        assert session.feedback.epoch > 0
+        assert query.explain().chosen == "nested-relational-vectorized"

@@ -186,7 +186,7 @@ class TestQueryQ:
         ],
     )
     def test_all_strategies(self, paper_db, strategy):
-        result = repro.run_sql(QUERY_Q, paper_db, strategy=strategy)
+        result = repro.connect(paper_db).execute(QUERY_Q, strategy=strategy)
         assert result.sorted().rows == self.EXPECTED
 
     def test_query_shape_classification(self, paper_db):
@@ -244,8 +244,6 @@ class TestLinearVariantOfQueryQ:
         assert q.is_linearly_correlated()
 
     def test_bottom_up_agrees_with_oracle(self, paper_db):
-        oracle = repro.run_sql(self.QUERY, paper_db, strategy="nested-iteration")
-        bottom_up = repro.run_sql(
-            self.QUERY, paper_db, strategy="nested-relational-bottomup"
-        )
+        oracle = repro.connect(paper_db).execute(self.QUERY, strategy="nested-iteration")
+        bottom_up = repro.connect(paper_db).execute(self.QUERY, strategy="nested-relational-bottomup")
         assert bottom_up == oracle

@@ -56,7 +56,8 @@ class TestRegistry:
 
     def test_execute_accepts_instance(self, db):
         q = repro.compile_sql("select r.k from r", db)
-        out = execute(q, db, strategy=NestedRelationalStrategy())
+        with pytest.warns(DeprecationWarning):
+            out = execute(q, db, strategy=NestedRelationalStrategy())
         assert len(out) == 2
 
 
@@ -95,6 +96,6 @@ class TestAutoChoice:
 
     def test_auto_execution_correct(self, db):
         sql = "select r.k from r where r.a > all (select s.v from s where s.rk = r.k)"
-        auto = repro.run_sql(sql, db, strategy="auto")
-        oracle = repro.run_sql(sql, db, strategy="nested-iteration")
+        auto = repro.connect(db).execute(sql, strategy="auto")
+        oracle = repro.connect(db).execute(sql, strategy="nested-iteration")
         assert auto == oracle

@@ -75,7 +75,7 @@ class TestRoundTrip:
         save_database(original, str(tmp_path))
         loaded = load_database(str(tmp_path))
         sql = repro.tpch.query1("1992-01-01", "1995-01-01")
-        assert repro.run_sql(sql, loaded) == repro.run_sql(sql, original)
+        assert repro.connect(loaded).execute(sql) == repro.connect(original).execute(sql)
 
 
 class TestErrors:

@@ -138,7 +138,7 @@ def test_null_only_group_aggregates_to_null():
     db = build_db(INNER_SHAPES["null-only"])
     sql = "select k from outer_t where outer_t.a = (select max(a) from inner_t)"
     for strategy in STRATEGIES:
-        assert repro.run_sql(sql, db, strategy=strategy).rows == [], strategy
+        assert repro.connect(db).execute(sql, strategy=strategy).rows == [], strategy
 
 
 def test_count_of_column_skips_nulls():
@@ -150,5 +150,5 @@ def test_count_of_column_skips_nulls():
     zero = "select k from outer_t where outer_t.a = (select count(a) from inner_t)"
     two = "select k from outer_t where outer_t.a = (select count(*) from inner_t)"
     for strategy in STRATEGIES:
-        assert sorted(repro.run_sql(zero, db, strategy=strategy).rows) == [(4,)]
-        assert sorted(repro.run_sql(two, db, strategy=strategy).rows) == [(2,)]
+        assert sorted(repro.connect(db).execute(zero, strategy=strategy).rows) == [(4,)]
+        assert sorted(repro.connect(db).execute(two, strategy=strategy).rows) == [(2,)]

@@ -95,7 +95,7 @@ def test_zero_count_departments_survive():
         "where (select count(*) from emp e where e.dept = d.k) = 0"
     )
     for strategy in STRATEGIES:
-        result = repro.run_sql(sql, db, strategy=strategy)
+        result = repro.connect(db).execute(sql, strategy=strategy)
         assert sorted(result.rows) == [(30,), (40,)], strategy
     reports = cross_check(db, sql, engine="sqlite", strategies=STRATEGIES)
     for report in reports:
@@ -112,10 +112,10 @@ def test_count_bug_shape_under_every_strategy():
         "select d.k from dept d "
         "where d.budget = (select count(*) from emp e where e.dept = d.k)"
     )
-    query = repro.compile_sql(sql, db)
-    oracle = repro.execute(query, db, strategy=ORACLE).sorted()
+    session = repro.connect(db)
+    oracle = session.execute(sql, strategy=ORACLE).sorted()
     for strategy in ALWAYS_STRATEGIES:
-        result = repro.execute(query, db, strategy=strategy).sorted()
+        result = session.execute(sql, strategy=strategy).sorted()
         assert result == oracle, f"{strategy} disagrees with the oracle"
 
 
@@ -133,7 +133,7 @@ def test_having_count_with_empty_groups(shape):
     for report in reports:
         assert report.ok, f"having × {shape}:\n{report.describe()}"
     if shape == "all-empty":
-        result = repro.run_sql(sql, db)
+        result = repro.connect(db).execute(sql)
         assert result.rows == []
 
 
@@ -146,7 +146,7 @@ def test_having_count_zero_is_unsatisfiable():
         "(select e.dept from emp e group by e.dept having count(*) = 0)"
     )
     for strategy in STRATEGIES:
-        assert repro.run_sql(sql, db, strategy=strategy).rows == [], strategy
+        assert repro.connect(db).execute(sql, strategy=strategy).rows == [], strategy
     reports = cross_check(db, sql, engine="sqlite", strategies=STRATEGIES)
     for report in reports:
         assert report.ok, report.describe()
@@ -158,7 +158,7 @@ def test_uncorrelated_count_over_empty_table():
     db = build_db(EMP_SHAPES["all-empty"])
     sql = "select d.k from dept d where (select count(*) from emp e) = 0"
     for strategy in STRATEGIES:
-        result = repro.run_sql(sql, db, strategy=strategy)
+        result = repro.connect(db).execute(sql, strategy=strategy)
         assert len(result) == 4, strategy
     reports = cross_check(db, sql, engine="sqlite", strategies=STRATEGIES)
     for report in reports:

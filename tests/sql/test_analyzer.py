@@ -186,14 +186,11 @@ class TestEndToEnd:
         assert out.rows == [(1,)]
 
     def test_value_exprs_in_local_predicates(self, db):
-        out = repro.run_sql("select id from emp where salary + 10 > 105", db)
+        out = repro.connect(db).execute("select id from emp where salary + 10 > 105")
         assert len(out) == 1
 
     def test_between_and_inlist(self, db):
-        out = repro.run_sql(
-            "select id from emp where salary between 50 and 150 and dept in (10, 20)",
-            db,
-        )
+        out = repro.connect(db).execute("select id from emp where salary between 50 and 150 and dept in (10, 20)")
         assert len(out) == 1
 
     def test_is_null_predicate(self, db):
@@ -201,5 +198,5 @@ class TestEndToEnd:
             "x", [Column("k", not_null=True), Column("v")], [(1, NULL), (2, 5)],
             primary_key="k",
         )
-        out = repro.run_sql("select k from x where v is null", db)
+        out = repro.connect(db).execute("select k from x where v is null")
         assert out.rows == [(1,)]

@@ -44,27 +44,27 @@ class TestParsing:
 
 class TestExecution:
     def test_order_ascending_nulls_first(self, db):
-        out = repro.run_sql("select k, v from t order by v", db)
+        out = repro.connect(db).execute("select k, v from t order by v")
         assert [r[0] for r in out.rows] == [4, 2, 3, 1]
 
     def test_order_descending(self, db):
-        out = repro.run_sql("select k, v from t order by v desc", db)
+        out = repro.connect(db).execute("select k, v from t order by v desc")
         assert [r[0] for r in out.rows] == [1, 3, 2, 4]
 
     def test_multi_key_order(self, db):
-        out = repro.run_sql("select g, v, k from t order by g, v desc", db)
+        out = repro.connect(db).execute("select g, v, k from t order by g, v desc")
         assert [r[2] for r in out.rows] == [2, 4, 1, 3]
 
     def test_limit(self, db):
-        out = repro.run_sql("select k, v from t order by v desc limit 2", db)
+        out = repro.connect(db).execute("select k, v from t order by v desc limit 2")
         assert [r[0] for r in out.rows] == [1, 3]
 
     def test_limit_zero(self, db):
-        out = repro.run_sql("select k from t limit 0", db)
+        out = repro.connect(db).execute("select k from t limit 0")
         assert len(out) == 0
 
     def test_limit_beyond_cardinality(self, db):
-        out = repro.run_sql("select k from t limit 100", db)
+        out = repro.connect(db).execute("select k from t limit 100")
         assert len(out) == 4
 
     @pytest.mark.parametrize(
@@ -77,7 +77,7 @@ class TestExecution:
             "select k, v from t where exists (select * from u where u.tk = t.k) "
             "order by v desc limit 1"
         )
-        out = repro.run_sql(sql, db, strategy=strategy)
+        out = repro.connect(db).execute(sql, strategy=strategy)
         assert out.rows == [(1, 30)]
 
 
@@ -88,8 +88,8 @@ class TestRejections:
             "(select tk from u order by tk)"
         )
         with pytest.raises(AnalysisError, match="outermost"):
-            repro.run_sql(sql, db)
+            repro.connect(db).execute(sql)
 
     def test_order_item_must_be_selected(self, db):
         with pytest.raises(AnalysisError, match="SELECT list"):
-            repro.run_sql("select k from t order by v", db)
+            repro.connect(db).execute("select k from t order by v")

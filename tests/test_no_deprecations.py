@@ -1,0 +1,81 @@
+"""The deprecated shims must be the *only* way to trigger a
+DeprecationWarning: every internal code path — session execution, the
+cost-based planner, tracing, explain, verify, the CLI, the fuzzer —
+runs clean.  This pins the PR-3 migration: no internal caller still
+routes through ``repro.run_sql`` or ``repro.core.planner.execute`` /
+``execute_traced``.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.options import ExecutionOptions
+
+SQL = (
+    "select o_orderkey from orders where exists "
+    "(select * from lineitem where l_orderkey = o_orderkey)"
+)
+
+
+@pytest.fixture()
+def strict():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestInternalPathsAreClean:
+    def test_session_execution_surface(self, tiny_tpch, strict):
+        session = repro.connect(tiny_tpch)
+        query = session.prepare(SQL)
+        result = query.execute()
+        assert query.execute(strategy="nested-relational") == result
+        assert query.execute(backend="vector").sorted() == result.sorted()
+        assert query.execute(options=ExecutionOptions(threads=2)) == result
+        traced, trace = query.trace()
+        assert traced == result
+        assert trace.find("planner")
+
+    def test_explain_and_describe(self, tiny_tpch, strict):
+        query = repro.connect(tiny_tpch).prepare(SQL)
+        plan = query.explain()
+        assert plan.cost_based
+        plan.render("json")
+        query.describe()
+
+    def test_verify_path(self, tiny_tpch, strict):
+        report = repro.connect(tiny_tpch).prepare(SQL).verify(
+            strategy="nested-relational"
+        )
+        assert report.acceptable
+
+    def test_fuzz_runner_path(self, strict):
+        from repro.fuzz import DifferentialRunner, FuzzConfig, run_fuzz
+
+        outcome = run_fuzz(
+            FuzzConfig(iterations=3, seed=11),
+            runner=DifferentialRunner(),
+            corpus_dir=None,
+            shrink=False,
+        )
+        assert outcome.ok
+
+    def test_cli_run_and_explain(self, strict, capsys):
+        from repro.cli import main
+
+        assert main(["run", SQL, "--tpch", "0.001"]) == 0
+        assert main(["explain", SQL, "--tpch", "0.001"]) == 0
+        capsys.readouterr()
+
+
+class TestShimsStillWarn:
+    def test_run_sql_warns(self, tiny_tpch):
+        with pytest.warns(DeprecationWarning, match="run_sql"):
+            repro.run_sql("select n_name from nation", tiny_tpch)
+
+    def test_planner_execute_warns(self, tiny_tpch):
+        query = repro.compile_sql("select n_name from nation", tiny_tpch)
+        with pytest.warns(DeprecationWarning, match="execute"):
+            repro.execute(query, tiny_tpch)

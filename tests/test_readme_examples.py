@@ -7,15 +7,28 @@ import repro
 class TestQuickstartSnippet:
     def test_verbatim_quickstart(self):
         db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+        session = repro.connect(db)
 
-        sql = repro.tpch.query1("1993-01-01", "1994-01-01")
-        result = repro.run_sql(sql, db)
-        oracle = repro.run_sql(sql, db, strategy="nested-iteration")
-        assert result == oracle
+        query = session.prepare(repro.tpch.query1("1993-01-01", "1994-01-01"))
+        result = query.execute()                             # cost-based auto
+        fast = query.execute(backend="vector")               # columnar batches
+        oracle = query.execute(strategy="nested-iteration")  # tuple oracle
+        assert result == oracle == fast
 
-        query = repro.compile_sql(sql, db)
         assert "block 1" in query.describe()
-        assert "T1" in repro.TreeExpression(query).render()
+        assert query.explain(analyze=True).analysis is not None
+        traced, trace = query.trace()
+        assert traced == result and trace.root is not None
+        assert "T1" in repro.TreeExpression(query.query).render()
+
+    def test_deprecated_entry_points_still_work(self):
+        import warnings
+
+        db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+        sql = repro.tpch.query1("1993-01-01", "1994-01-01")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.run_sql(sql, db) == repro.connect(db).prepare(sql).execute()
 
     def test_every_advertised_strategy_exists(self):
         advertised = [
@@ -24,6 +37,8 @@ class TestQuickstartSnippet:
             "nested-relational-optimized",
             "nested-relational-bottomup",
             "nested-relational-positive-rewrite",
+            "nested-relational-vectorized",
+            "nested-relational-parallel",
             "nested-iteration",
             "classical-unnesting",
             "count-rewrite",
@@ -35,14 +50,35 @@ class TestQuickstartSnippet:
         for name in advertised:
             assert name in available, name
 
+    def test_verbatim_planner_snippet(self):
+        db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+        session = repro.connect(db)
+        sql = repro.tpch.query1("1993-01-01", "1994-01-01")
+
+        plan = session.prepare(sql).explain()     # typed repro.Plan
+        assert plan.cost_based
+        assert plan.render("text").startswith(f"auto -> {plan.chosen}")
+        assert plan.render("json")
+        assert isinstance(plan.est_cost, float)
+
+    def test_verbatim_options_snippet(self):
+        db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+        sql = repro.tpch.query1("1993-01-01", "1994-01-01")
+
+        opts = repro.ExecutionOptions(backend="vector", threads=4)
+        session = repro.connect(db, options=opts)
+        query = session.prepare(sql)
+        result = query.execute(options=opts.replace(logic="2vl"), timeout_ms=500)
+        assert result == query.execute()
+
     def test_verbatim_parallel_session_snippet(self):
         db = repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
         sql = repro.tpch.query1("1993-01-01", "1994-01-01")
 
         session = repro.connect(db, threads=4)        # session-wide default
         query = session.prepare(sql)
-        auto = query.execute()                        # auto → morsel-parallel
-        one = query.execute(threads=1)                # same result, one worker
+        auto = query.execute()                 # parallel is now a costed candidate
+        one = query.execute(threads=1)         # same result, one worker
         assert auto.sorted() == one.sorted()
         assert "plan cache: enabled" in query.describe()
         assert "nested-relational-parallel" in repro.available_strategies()
@@ -52,6 +88,7 @@ class TestQuickstartSnippet:
             "NULL", "is_null", "Relation", "Database", "NestedQuery",
             "TreeExpression", "nest", "unnest", "linking_selection",
             "pseudo_selection", "compile_sql", "run_sql", "execute",
+            "ExecutionOptions", "Plan",
         ):
             assert hasattr(repro, name), name
 
