@@ -1,0 +1,313 @@
+#!/usr/bin/env python
+"""Out-of-core benchmark: the six paper queries from a stored dataset
+under a memory cap smaller than the dataset, spilling to disk.
+
+Usage::
+
+    python scripts/bench_sf1.py --sf 1.0 --store data/sf1 \
+        --memory-limit-mb 256 --out benchmarks/BENCH_sf1.json
+
+The script
+
+1. writes (or reuses) a memory-mapped column store at ``--store`` via
+   :func:`repro.tpch.generate_stored` (streaming; generator memory stays
+   at one chunk per table),
+2. runs Query 1, 2a, 2b and 3a/b/c once each on the vectorized engine,
+   governed by ``--memory-limit-mb`` with spilling enabled into
+   ``--spill-dir`` — the cap must be smaller than the on-disk dataset,
+   and at least one query must actually spill (``kind='spill'`` spans),
+3. validates every captured trace against ``schemas/trace.schema.json``
+   (via :func:`repro.engine.trace.validate_trace_dict`, plus
+   ``jsonschema`` when installed) and the trace invariants,
+4. optionally re-checks correctness at ``--parity-sf`` against the
+   in-memory engine (same seed, ungoverned row backend) and compares
+   stored-scan vs in-RAM vectorized wall time on the Figure 4 query,
+5. writes the ``BENCH_sf1.json`` artifact (same shape as the
+   ``BENCH_<figure>.json`` files: experiments -> points -> measurements,
+   traces embedded).
+
+Exits non-zero if any query fails, any result diverges at parity scale,
+no query spills, or a trace fails validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+import repro  # noqa: E402
+from repro.bench.figures import (  # noqa: E402
+    Q1_OUTER_FRACTIONS,
+    Q23_OUTER_FRACTIONS,
+    QUANTITY_EQ,
+    _q23_availqty,
+)
+from repro.bench.harness import (  # noqa: E402
+    Experiment,
+    SeriesPoint,
+    StrategyMeasurement,
+    write_bench_artifact,
+)
+from repro.engine.colstore import load_stored_database, store_size_bytes  # noqa: E402
+from repro.engine.metrics import collect  # noqa: E402
+from repro.engine.trace import (  # noqa: E402
+    KIND_SPILL,
+    trace_invariant_violations,
+    validate_trace_dict,
+)
+from repro.tpch import (  # noqa: E402
+    TpchConfig,
+    generate,
+    generate_stored,
+    pick_date_window,
+    pick_size_window,
+    query1,
+    query2,
+    query3,
+)
+
+STRATEGY = "nested-relational"
+
+
+def paper_queries(db):
+    """The six figure queries, instantiated at paper-proportional
+    selection constants on *db* (smallest paper point of each series)."""
+    n_orders = len(db.relation("orders"))
+    n_part = len(db.relation("part"))
+    lo_d, hi_d = pick_date_window(db, max(4, int(Q1_OUTER_FRACTIONS[0] * n_orders)))
+    lo_s, hi_s = pick_size_window(db, max(4, int(Q23_OUTER_FRACTIONS[0] * n_part)))
+    availqty = _q23_availqty(db)
+    return [
+        ("query1", query1(lo_d, hi_d)),
+        ("query2a", query2("any", lo_s, hi_s, availqty, QUANTITY_EQ)),
+        ("query2b", query2("all", lo_s, hi_s, availqty, QUANTITY_EQ)),
+        ("query3a", query3("all", "exists", "a", lo_s, hi_s, availqty, QUANTITY_EQ)),
+        ("query3b", query3("all", "not exists", "b", lo_s, hi_s, availqty, QUANTITY_EQ)),
+        ("query3c", query3("any", "exists", "c", lo_s, hi_s, availqty, QUANTITY_EQ)),
+    ]
+
+
+def spill_spans(trace):
+    return [s for s in trace.spans() if s.kind == KIND_SPILL]
+
+
+def ensure_store(path: str, sf: float, seed: int, chunk_rows: int) -> None:
+    manifest = os.path.join(path, "manifest.json")
+    if os.path.exists(manifest):
+        with open(manifest) as handle:
+            meta = json.load(handle)
+        if meta.get("scale_factor") == sf and meta.get("seed") == seed:
+            print(f"reusing stored dataset at {path}/")
+            return
+        raise SystemExit(
+            f"{path}/ holds sf={meta.get('scale_factor')} seed={meta.get('seed')}, "
+            f"wanted sf={sf} seed={seed}; remove it or pass a fresh --store"
+        )
+    print(f"generating stored dataset sf={sf} at {path}/ ...")
+    start = time.perf_counter()
+    generate_stored(path, TpchConfig(scale_factor=sf, seed=seed), chunk_rows=chunk_rows)
+    print(f"  wrote {store_size_bytes(path) / 1e6:.1f} MB in "
+          f"{time.perf_counter() - start:.1f}s")
+
+
+def run_governed(session, sql, name):
+    """One traced, governed execution -> (measurement, trace, problems)."""
+    prepared = session.prepare(sql)
+    problems = []
+    with collect() as metrics:
+        start = time.perf_counter()
+        result, trace = prepared.trace(strategy=STRATEGY, backend="vector")
+        elapsed = time.perf_counter() - start
+    spans = spill_spans(trace)
+    spilled = sum(s.counters.get("bytes_spilled", 0) for s in spans)
+    trace_dict = trace.to_dict()
+    problems += [f"{name}: {p}" for p in validate_trace_dict(trace_dict)]
+    problems += [f"{name}: {v}" for v in trace_invariant_violations(trace)]
+    try:
+        import jsonschema
+
+        schema_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "schemas", "trace.schema.json",
+        )
+        with open(schema_path) as handle:
+            jsonschema.validate(trace_dict, json.load(handle))
+    except ImportError:
+        pass
+    except Exception as exc:  # jsonschema.ValidationError
+        problems.append(f"{name}: schema: {exc}")
+    snapshot = metrics.snapshot()
+    snapshot["spill_spans"] = len(spans)
+    snapshot["spill_bytes"] = spilled
+    measurement = StrategyMeasurement(
+        strategy=STRATEGY,
+        seconds=elapsed,
+        result_rows=len(result),
+        metrics=snapshot,
+        trace=trace_dict,
+    )
+    print(f"  {name}: {len(result)} row(s) in {elapsed:.2f}s, "
+          f"{len(spans)} spill span(s), {spilled / 1e6:.1f} MB spilled")
+    return measurement, result, problems
+
+
+def parity_check(sf: float, seed: int, cap_mb: float, spill_dir: str, chunk_rows: int):
+    """Stored+governed results must equal the in-memory row engine."""
+    print(f"parity check at sf={sf} ...")
+    db = generate(TpchConfig(scale_factor=sf, seed=seed))
+    store = tempfile.mkdtemp(prefix="repro-parity-store-")
+    failures = []
+    try:
+        generate_stored(store, TpchConfig(scale_factor=sf, seed=seed),
+                        chunk_rows=chunk_rows)
+        sdb = load_stored_database(store)
+        ref_session = repro.connect(db)
+        gov_session = repro.connect(sdb, memory_limit_mb=cap_mb, spill_dir=spill_dir)
+        for name, sql in paper_queries(db):
+            expected = ref_session.prepare(sql).execute(
+                strategy=STRATEGY, backend="row"
+            )
+            got = gov_session.prepare(sql).execute(
+                strategy=STRATEGY, backend="vector"
+            )
+            status = "ok" if got == expected else "DIVERGED"
+            print(f"  {name}: {status} ({len(got)} rows)")
+            if got != expected:
+                failures.append(name)
+        # Figure 4 wall time: stored-scan vectorized vs in-RAM vectorized
+        fig4 = paper_queries(db)[0][1]
+        mem_session = repro.connect(db)
+
+        def best_of(session, runs=3):
+            prepared = session.prepare(fig4)
+            times = []
+            for _ in range(runs):
+                start = time.perf_counter()
+                prepared.execute(strategy=STRATEGY, backend="vector")
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        in_ram = best_of(mem_session)
+        stored = best_of(repro.connect(sdb))
+        ratio = stored / in_ram if in_ram > 0 else float("inf")
+        print(f"  figure4 vectorized: in-RAM {in_ram:.3f}s, "
+              f"stored {stored:.3f}s (stored/in-RAM = {ratio:.2f}x)")
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=1.0,
+                        help="scale factor of the stored dataset (default 1.0)")
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--store", required=True,
+                        help="column-store directory (created if absent)")
+    parser.add_argument("--memory-limit-mb", type=float, default=256.0,
+                        dest="memory_limit_mb",
+                        help="execution memory cap; must be below the "
+                             "on-disk dataset size")
+    parser.add_argument("--spill-dir", dest="spill_dir",
+                        help="spill directory (default: a fresh temp dir)")
+    parser.add_argument("--out", default="BENCH_sf1.json",
+                        help="artifact path (directory part may exist)")
+    parser.add_argument("--parity-sf", type=float, default=0.1,
+                        dest="parity_sf",
+                        help="scale factor for the in-memory parity check "
+                             "(0 disables)")
+    parser.add_argument("--chunk-rows", type=int, default=100_000,
+                        dest="chunk_rows")
+    args = parser.parse_args(argv)
+
+    ensure_store(args.store, args.sf, args.seed, args.chunk_rows)
+    dataset_bytes = store_size_bytes(args.store)
+    cap_bytes = args.memory_limit_mb * 1024 * 1024
+    print(f"dataset {dataset_bytes / 1e6:.1f} MB on disk, "
+          f"memory cap {cap_bytes / 1e6:.1f} MB")
+    if cap_bytes >= dataset_bytes:
+        print("error: --memory-limit-mb does not undercut the dataset size; "
+              "the run would not demonstrate out-of-core execution",
+              file=sys.stderr)
+        return 2
+
+    spill_dir = args.spill_dir or tempfile.mkdtemp(prefix="repro-sf1-spill-")
+    own_spill_dir = args.spill_dir is None
+    os.makedirs(spill_dir, exist_ok=True)
+
+    problems = []
+    total_spill_spans = 0
+    try:
+        db = load_stored_database(args.store)
+        session = repro.connect(
+            db, memory_limit_mb=args.memory_limit_mb, spill_dir=spill_dir
+        )
+        experiment = Experiment(
+            "SF1", f"six paper queries, stored sf={args.sf}, "
+                   f"cap {args.memory_limit_mb:.0f} MB"
+        )
+        print(f"running {STRATEGY} [vector] governed ...")
+        for name, sql in paper_queries(db):
+            measurement, _result, query_problems = run_governed(session, sql, name)
+            problems += query_problems
+            total_spill_spans += measurement.metrics["spill_spans"]
+            experiment.points.append(SeriesPoint(
+                label=name,
+                block_sizes=(),
+                intermediate_rows=0,
+                measurements={STRATEGY: measurement},
+            ))
+
+        out_dir = os.path.dirname(os.path.abspath(args.out)) or "."
+        artifact = write_bench_artifact(
+            os.path.basename(args.out)[len("BENCH_"):-len(".json")]
+            if os.path.basename(args.out).startswith("BENCH_")
+            else "sf1",
+            [experiment],
+            out_dir,
+            args.sf,
+        )
+        wanted = os.path.abspath(args.out)
+        if os.path.abspath(artifact) != wanted:
+            shutil.move(artifact, wanted)
+            artifact = wanted
+        print(f"wrote {artifact}")
+
+        if total_spill_spans == 0:
+            problems.append(
+                "no query spilled: the cap did not force any out-of-core "
+                "pass — lower --memory-limit-mb"
+            )
+        if args.parity_sf > 0:
+            problems += [
+                f"parity diverged: {name}"
+                for name in parity_check(
+                    args.parity_sf, args.seed, args.memory_limit_mb,
+                    spill_dir, args.chunk_rows,
+                )
+            ]
+    finally:
+        if own_spill_dir:
+            shutil.rmtree(spill_dir, ignore_errors=True)
+
+    if problems:
+        print("FAILURES:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: {total_spill_spans} spill span(s) across the six queries, "
+          "all traces valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

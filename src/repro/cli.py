@@ -3,7 +3,9 @@
 Subcommands::
 
     python -m repro generate --sf 0.005 --out data/        # TPC-H -> CSV
+    python -m repro gen --sf 1 --out store/                # TPC-H -> column store
     python -m repro run "select ..." --data data/          # execute SQL
+    python -m repro run "select ..." --store store/        # mmap column store
     python -m repro run --file q.sql --tpch 0.002 --strategy auto
     python -m repro run "select ..." --tpch 0.002 --backend vector
     python -m repro run --list-strategies                  # registry listing
@@ -18,9 +20,11 @@ All execution goes through the Session API (:func:`repro.connect` /
 :meth:`~repro.session.Session.prepare`); library errors surface as one
 ``error: ...`` line on stderr with a nonzero exit code.
 
-Databases come either from a CSV directory written by ``generate`` /
-:func:`repro.engine.storage.save_database` (``--data``) or from an
-in-memory TPC-H instance generated on the fly (``--tpch <sf>``).
+Databases come from a CSV directory written by ``generate`` /
+:func:`repro.engine.storage.save_database` (``--data``), from a
+memory-mapped column store written by ``gen`` /
+:func:`repro.tpch.generate_stored` (``--store``), or from an in-memory
+TPC-H instance generated on the fly (``--tpch <sf>``).
 """
 
 from __future__ import annotations
@@ -39,6 +43,12 @@ from .errors import ReproError
 
 
 def _load_db(args: argparse.Namespace) -> Database:
+    if getattr(args, "store", None):
+        from .engine.colstore import load_stored_database
+
+        # no paper indexes: building them would pull every stored row
+        # into Python heap, defeating the zero-copy mmap scan path
+        return load_stored_database(args.store)
     if getattr(args, "data", None):
         return load_database(args.data)
     sf = getattr(args, "tpch", None)
@@ -77,6 +87,26 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gen(args: argparse.Namespace) -> int:
+    from .engine.colstore import load_stored_database, store_size_bytes
+
+    repro.tpch.generate_stored(
+        args.out,
+        repro.tpch.TpchConfig(
+            scale_factor=args.sf,
+            seed=args.seed,
+            price_not_null=args.not_null,
+            inject_null_fraction=args.inject_nulls,
+        ),
+        chunk_rows=args.chunk_rows,
+    )
+    size = store_size_bytes(args.out)
+    print(f"wrote TPC-H sf={args.sf} column store to {args.out}/ "
+          f"({size / 1_000_000:.1f} MB)")
+    print(load_stored_database(args.out).summary())
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .engine.trace import render_trace
 
@@ -89,6 +119,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         threads=args.threads,
         timeout_ms=args.timeout_ms,
         memory_limit_mb=args.memory_limit_mb,
+        spill_dir=args.spill_dir,
         degrade=args.degrade,
         logic=args.logic,
     )
@@ -275,6 +306,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         extra_strategies=extra,
         oracle=args.oracle,
         logic=config.logic,
+        memory_limit_mb=args.memory_limit_mb,
+        spill_dir=args.spill_dir,
     )
 
     def progress(i: int, report) -> None:
@@ -354,6 +387,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-nulls", type=float, default=0.0)
     p.set_defaults(func=cmd_generate)
 
+    p = sub.add_parser(
+        "gen",
+        help="generate TPC-H data as a memory-mapped column store",
+    )
+    p.add_argument("--sf", type=float, default=0.002)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", required=True)
+    p.add_argument("--not-null", action="store_true", dest="not_null",
+                   help="declare NOT NULL on the price columns")
+    p.add_argument("--inject-nulls", type=float, default=0.0)
+    p.add_argument("--chunk-rows", type=int, default=100_000,
+                   dest="chunk_rows",
+                   help="rows buffered per column chunk while writing "
+                        "(bounds generator memory)")
+    p.set_defaults(func=cmd_gen)
+
     for name, func, help_text in (
         ("run", cmd_run, "execute a SQL query"),
         ("explain", cmd_explain, "show query structure and plan"),
@@ -362,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("sql", nargs="?", help="SQL text (or use --file)")
         p.add_argument("--file", help="read SQL from a file")
         p.add_argument("--data", help="CSV directory from 'generate'")
+        p.add_argument("--store", help="column-store directory from 'gen' "
+                                       "(tables scan zero-copy off mmap)")
         p.add_argument("--tpch", type=float, help="generate TPC-H at this sf")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--not-null", action="store_true", dest="not_null")
@@ -383,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="memory_limit_mb",
                            help="abort the query once its accounted "
                                 "allocations exceed this budget")
+            p.add_argument("--spill-dir", dest="spill_dir",
+                           help="spill hash-join builds and grouping runs "
+                                "to temp files under this directory instead "
+                                "of failing on a memory-budget breach")
             p.add_argument("--degrade", choices=("sequential",),
                            help="retry a failed parallel execution once "
                                 "on the single-threaded vectorized "
@@ -476,6 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "against a real engine on every case; external "
                         "divergences ddmin-shrink into the corpus like "
                         "internal disagreements (default: internal only)")
+    p.add_argument("--memory-limit-mb", type=float, default=None,
+                   dest="memory_limit_mb",
+                   help="tiny-memory-budget mode: run every checked "
+                        "strategy under a spilling governor with this "
+                        "budget (the oracle stays ungoverned), so random "
+                        "queries exercise the spill paths")
+    p.add_argument("--spill-dir", dest="spill_dir",
+                   help="spill directory for --memory-limit-mb "
+                        "(default: a fresh temp dir)")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_fuzz)
 

@@ -58,6 +58,12 @@ PARALLEL_OVERHEAD = 256.0
 PROBE_FACTOR = 4.0
 #: pessimistic multiplier for strategies without a ``cost`` hook
 DEFAULT_COST_FACTOR = 1.5
+#: cost of one spilled row-op relative to an in-memory vector row-op:
+#: a Grace spill pass writes every partitioned row to disk and reads it
+#: back, so spilling plans are priced above any plan that fits in the
+#: budget (sequential temp-file I/O, not a catastrophe — the row engine
+#: can still lose to a spilling vector plan on big inputs)
+SPILL_IO_FACTOR = 2.5
 
 
 # --------------------------------------------------------------------- #
@@ -121,17 +127,30 @@ def cost_boolean_aggregate(ps: PlanStats) -> float:
 
 
 def cost_vectorized(ps: PlanStats) -> float:
-    """Algorithm 1 on the columnar engine: cheap row-ops, fixed setup."""
-    return VECTOR_SETUP + VECTOR_FACTOR * ps.pipeline_work
+    """Algorithm 1 on the columnar engine: cheap row-ops, fixed setup.
+
+    Under a memory budget the hash builds may not fit; the estimated
+    spill passes are charged at :data:`SPILL_IO_FACTOR`, so the planner
+    prefers a non-spilling plan whenever one exists.
+    """
+    return VECTOR_SETUP + VECTOR_FACTOR * (
+        ps.pipeline_work + SPILL_IO_FACTOR * ps.spill_io_work()
+    )
 
 
 def cost_parallel(ps: PlanStats) -> float:
-    """Morsel-parallel vector engine: work divides, scheduling doesn't."""
+    """Morsel-parallel vector engine: work divides, scheduling doesn't.
+
+    Spill I/O does not divide either — partition files are written
+    sequentially by whichever worker hits the budget — so the spill term
+    is charged undivided.
+    """
     threads = max(2, ps.threads)
     return (
         VECTOR_SETUP
         + PARALLEL_OVERHEAD * threads
         + VECTOR_FACTOR * ps.pipeline_work / threads
+        + VECTOR_FACTOR * SPILL_IO_FACTOR * ps.spill_io_work()
     )
 
 
@@ -258,6 +277,7 @@ def choose(
     threads: Optional[int] = None,
     feedback: Optional[FeedbackStore] = None,
     stats: Optional[DbStats] = None,
+    memory_limit_mb: Optional[float] = None,
 ) -> PlannerDecision:
     """Enumerate, cost and rank every applicable strategy.
 
@@ -266,7 +286,9 @@ def choose(
     *threads* > 1 was explicitly requested.  *feedback* supplies
     observed cardinalities that override the estimates (and its epoch
     stamps the decision, so memoized decisions age out when new
-    observations land).
+    observations land).  *memory_limit_mb* is the execution memory
+    budget: builds estimated not to fit are charged their extra spill
+    I/O passes (:data:`SPILL_IO_FACTOR`).
     """
     from .. import strategies as registry
 
@@ -280,7 +302,10 @@ def choose(
         overrides = feedback.block_overrides(fingerprint)
         epoch = feedback.epoch
     eff_threads = threads if threads is not None and threads > 1 else 1
-    ps = PlanStats(query, stats, threads=eff_threads, overrides=overrides)
+    ps = PlanStats(
+        query, stats, threads=eff_threads, overrides=overrides,
+        memory_limit_mb=memory_limit_mb,
+    )
 
     scored: List[Tuple[float, str, object, str, bool]] = []
     for entry in registry.entries():

@@ -232,8 +232,12 @@ def run(
         decision = strategy
         impl = decision.impl
     elif isinstance(strategy, str) and strategy == registry.AUTO:
+        limit_mb = None
+        if governor is not None and governor.memory_limit_bytes is not None:
+            limit_mb = governor.memory_limit_bytes / (1024 * 1024)
         decision = choose(
-            query, db, backend=backend, threads=threads, feedback=feedback
+            query, db, backend=backend, threads=threads, feedback=feedback,
+            memory_limit_mb=limit_mb,
         )
         impl = decision.impl
     else:

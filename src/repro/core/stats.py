@@ -148,7 +148,35 @@ def _comparable(value: Any) -> bool:
     )
 
 
+def _stored_table_stats(table: Table, stored: Dict[str, Any]) -> TableStats:
+    """Exact statistics read off a stored table's manifest.
+
+    Column stores (:mod:`repro.engine.colstore`) compute NDV / min / max
+    / NULL fraction over the *whole* column at write time, so there is
+    nothing to sample — and sampling would be the one thing that forces
+    a memory-mapped column through Python rows.  Figures are marked
+    ``exact`` exactly like :func:`set_table_stats` seeds.
+    """
+    stats = TableStats(name=table.name, row_count=len(table.relation))
+    for col in table.schema.columns:
+        entry = stored.get(col.name)
+        if entry is None:
+            stats.columns[col.name] = ColumnStats()
+            continue
+        stats.columns[col.name] = ColumnStats(
+            ndv=float(entry.get("ndv", 1.0)),
+            null_frac=float(entry.get("null_frac", 0.0)),
+            min_value=entry.get("min"),
+            max_value=entry.get("max"),
+            exact=True,
+        )
+    return stats
+
+
 def _collect_table(table: Table, cap: int = SAMPLE_CAP) -> TableStats:
+    stored = getattr(table.relation, "stored_stats", None)
+    if stored is not None:
+        return _stored_table_stats(table, stored)
     rows = table.relation.rows
     n = len(rows)
     stats = TableStats(name=table.name, row_count=n)
@@ -532,10 +560,17 @@ class PlanStats:
         stats: DbStats,
         threads: int = 1,
         overrides: Optional[Dict[int, int]] = None,
+        memory_limit_mb: Optional[float] = None,
     ):
         self.query = query
         self.stats = stats
         self.threads = max(1, threads)
+        #: execution memory budget in bytes, None = unbounded; the
+        #: vector cost hooks charge extra I/O passes for builds that
+        #: will not fit (Grace spill partitioning writes + re-reads)
+        self.memory_limit_bytes: Optional[float] = (
+            None if memory_limit_mb is None else memory_limit_mb * 1024 * 1024
+        )
         overrides = overrides or {}
 
         self.base_rows: Dict[int, float] = {}
@@ -649,6 +684,26 @@ class PlanStats:
     def pipeline_work(self) -> float:
         """The nested-relational pipeline's total row-ops."""
         return self.scan_work + self.join_work + self.nest_work
+
+    def spill_io_work(self) -> float:
+        """Extra row-ops for predicted spill passes under the budget.
+
+        When the estimated build footprint of the join/nest pipeline
+        exceeds the memory budget, the spillable kernels partition the
+        inputs to disk and re-read them — roughly one extra write+read
+        pass over the partitioned rows per factor by which the build
+        overshoots the budget (recursive partitioning caps the depth, so
+        the estimate saturates).  Returns 0 when unbudgeted or fitting.
+        """
+        if self.memory_limit_bytes is None or self.memory_limit_bytes <= 0:
+            return 0.0
+        from ..engine.governor import EST_BYTES_PER_VALUE
+
+        est_bytes = (self.join_work + self.nest_work) * EST_BYTES_PER_VALUE
+        if est_bytes <= self.memory_limit_bytes:
+            return 0.0
+        extra_passes = min(4.0, est_bytes / self.memory_limit_bytes - 1.0)
+        return extra_passes * (self.join_work + self.nest_work)
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
         lines = [f"out_rows~{self.out_rows:.1f}"]

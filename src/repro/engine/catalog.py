@@ -98,6 +98,34 @@ class Database:
         self.version += 1
         return table
 
+    def attach_table(
+        self,
+        name: str,
+        relation: Relation,
+        primary_key: Optional[str] = None,
+    ) -> Table:
+        """Register a pre-built relation (e.g. a stored columnar table).
+
+        Unlike :meth:`create_table` this takes the relation as-is: its
+        schema must already be qualified under *name*.  Stored tables use
+        this path so their memory-mapped columns are never copied through
+        the row constructor.
+        """
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        for c in relation.schema.columns:
+            if c.table != name:
+                raise CatalogError(
+                    f"attached relation column {c.qualified!r} is not "
+                    f"qualified under table {name!r}"
+                )
+        if primary_key is not None and not relation.schema.has(primary_key):
+            raise CatalogError(f"primary key {primary_key!r} not in schema")
+        table = Table(name=name, relation=relation, primary_key=primary_key)
+        self.tables[name] = table
+        self.version += 1
+        return table
+
     def drop_table(self, name: str) -> None:
         if name not in self.tables:
             raise CatalogError(f"unknown table {name!r}")

@@ -47,6 +47,21 @@ path:
 * ``alloc_spike`` — every checkpoint under a memory-limited governor
   charges the whole budget at once, tripping
   :class:`~repro.errors.ResourceExhaustedError` on the next check.
+* ``spill_io`` — every spill-partition write raises
+  :class:`~repro.errors.SpillError`, exercising the spill paths'
+  governed cleanup (temp files removed, typed error surfaced, the
+  degradation ladder still applicable).
+
+Spilling
+--------
+
+When a governor carries *both* a memory budget and a ``spill_dir``, the
+budget stops being a hard failure at the two memory cliffs (hash-join
+build, nest grouping): the spill-aware kernels ask
+:meth:`ResourceGovernor.should_spill` before materializing and divert
+to Grace-style disk partitions (:mod:`repro.engine.spill`) when the
+estimate would breach the budget.  Without a ``spill_dir`` the budget
+keeps its original error semantics unchanged.
 """
 
 from __future__ import annotations
@@ -63,13 +78,14 @@ from ..errors import (
     QueryCancelledError,
     QueryTimeoutError,
     ResourceExhaustedError,
+    SpillError,
 )
 
 #: accepted values of the ``degrade`` policy
 DEGRADE_MODES = ("sequential",)
 
 #: accepted values of the ``REPRO_FAULT`` environment variable
-FAULT_MODES = ("worker_crash", "slow_morsel", "alloc_spike")
+FAULT_MODES = ("worker_crash", "slow_morsel", "alloc_spike", "spill_io")
 
 #: rough per-value cost of a Python-object row cell, used by the row
 #: backend's accounting (the vector backend measures array bytes).
@@ -118,6 +134,7 @@ class ResourceGovernor:
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        spill_dir: Optional[str] = None,
     ):
         self.timeout_ms = _positive(timeout_ms, "timeout_ms", "milliseconds")
         limit = _positive(memory_limit_mb, "memory_limit_mb", "megabytes")
@@ -125,11 +142,21 @@ class ResourceGovernor:
             None if limit is None else int(limit * 1024 * 1024)
         )
         self.degrade = validate_degrade(degrade)
+        if spill_dir is not None and not isinstance(spill_dir, str):
+            raise InvalidArgumentError(
+                f"spill_dir must be a directory path or None, got {spill_dir!r}"
+            )
+        #: directory for spill partitions; setting it (together with a
+        #: memory budget) turns budget breaches at the spillable
+        #: operators into spills instead of errors
+        self.spill_dir = spill_dir
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         self._deadline: Optional[float] = None
         self._reserved = 0
         self._peak = 0
+        self.spilled_bytes = 0
+        self.spill_count = 0
         #: (from_strategy, to_strategy, reason) degradations this
         #: governor witnessed — recorded by the planner's ladder
         self.degradations: List[Tuple[str, str, str]] = []
@@ -149,6 +176,8 @@ class ResourceGovernor:
                 else time.monotonic() + self.timeout_ms / 1000.0
             )
             self._reserved = 0
+            self.spilled_bytes = 0
+            self.spill_count = 0
         return self
 
     def cancel(self) -> None:
@@ -211,6 +240,38 @@ class ResourceGovernor:
         if limit is not None and self._reserved > limit:
             self._raise_exhausted(what)
 
+    def release(self, n_bytes: int) -> None:
+        """Return *n_bytes* to the budget (spilled data left the heap).
+
+        Peak accounting is untouched — ``peak_bytes`` stays the honest
+        high-water mark; only the live reservation shrinks, which is
+        what lets a spilling operator process partitions one at a time
+        under a budget smaller than its total input.
+        """
+        if n_bytes <= 0:
+            return
+        with self._lock:
+            self._reserved = max(0, self._reserved - int(n_bytes))
+
+    def should_spill(self, est_bytes: int) -> bool:
+        """Whether a pending *est_bytes* materialization must spill.
+
+        True only when spilling is enabled (both ``spill_dir`` and a
+        memory budget are set) and the estimate would push the live
+        reservation over the budget.  Callers check this *before*
+        charging, so the non-spilling path's semantics are unchanged.
+        """
+        limit = self.memory_limit_bytes
+        if self.spill_dir is None or limit is None:
+            return False
+        return self._reserved + int(est_bytes) > limit
+
+    def record_spill(self, n_bytes: int) -> None:
+        """Account one spill pass (bytes written to temp column files)."""
+        with self._lock:
+            self.spilled_bytes += int(n_bytes)
+            self.spill_count += 1
+
     def _raise_exhausted(self, what: str) -> None:
         limit = self.memory_limit_bytes or 0
         raise ResourceExhaustedError(
@@ -234,6 +295,8 @@ class ResourceGovernor:
             attrs["memory_limit_mb"] = self.memory_limit_bytes // (1024 * 1024)
         if self.degrade is not None:
             attrs["degrade"] = self.degrade
+        if self.spill_dir is not None:
+            attrs["spill_dir"] = self.spill_dir
         return attrs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -305,6 +368,19 @@ def fault_sleep_seconds() -> float:
     return 0.020
 
 
+def maybe_spill_io_failure() -> None:
+    """Raise the injected write failure when ``REPRO_FAULT=spill_io``.
+
+    Called by the spill paths immediately before each partition write,
+    so the failure lands mid-spill with temp files already on disk —
+    exactly the state whose cleanup the injection is meant to prove.
+    """
+    if active_fault() == "spill_io":
+        raise SpillError(
+            "injected spill write failure (REPRO_FAULT=spill_io)"
+        )
+
+
 def maybe_worker_crash() -> None:
     """Raise the injected crash when ``REPRO_FAULT=worker_crash``.
 
@@ -349,13 +425,36 @@ def checkpoint(site: str = "operator") -> None:
 # --------------------------------------------------------------------- #
 
 
+def _is_mapped(arr) -> bool:
+    """Whether *arr* is (a view into) a memory-mapped file."""
+    import numpy as np
+
+    seen = 0
+    while arr is not None and seen < 8:
+        if isinstance(arr, np.memmap):
+            return True
+        arr = getattr(arr, "base", None)
+        seen += 1
+    return False
+
+
 def batch_nbytes(batch) -> int:
-    """Observed bytes of a columnar :class:`~...vector.batch.Batch`."""
+    """Observed *heap* bytes of a columnar :class:`~...vector.batch.Batch`.
+
+    Memory-mapped columns (stored tables and their slices) are excluded:
+    the OS pages them in and out against file storage, so counting them
+    against the RAM budget would make every stored scan "exhaust" a cap
+    smaller than the dataset — the exact situation the store exists for.
+    """
     total = 0
     for column in batch.columns:
-        data = getattr(column.data, "nbytes", 0)
-        valid = getattr(column.valid, "nbytes", 0)
-        total += int(data) + int(valid)
+        # A mapped data array marks the whole vector as stored; its
+        # unpacked validity mask (1 byte/row) rides along for free.
+        if _is_mapped(column.data):
+            continue
+        total += int(getattr(column.data, "nbytes", 0))
+        if not _is_mapped(column.valid):
+            total += int(getattr(column.valid, "nbytes", 0))
     return total
 
 

@@ -24,7 +24,7 @@ Row = Tuple[SqlValue, ...]
 class Relation:
     """A schema plus a materialized bag of rows."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "__weakref__")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema

@@ -1,0 +1,420 @@
+"""Grace-style spill-to-disk for the two memory cliffs.
+
+The governor's memory budget used to be a hard verdict: a hash-join
+build or a nest grouping whose accounted bytes crossed
+``memory_limit_mb`` raised :class:`~repro.errors.ResourceExhaustedError`.
+When the governor also carries a ``spill_dir``, the budget becomes a
+*spill trigger* instead: the spill-aware kernels ask
+:meth:`~repro.engine.governor.ResourceGovernor.should_spill` before
+materializing, and divert here when the estimate would breach the
+budget.
+
+Algorithm (classic Grace hash join, adapted to the batch kernels):
+
+1. factorize both sides' join keys into one dense int64 code domain
+   (:func:`~repro.engine.parallel.joint_codes` — the same codes the
+   morsel scheduler partitions on, so ``code % k`` keeps matching rows
+   together and NULL codes never match);
+2. scatter both sides into ``k`` disk partitions — temp column files
+   (one raw ``.npy`` per column + validity) under a fresh directory in
+   ``spill_dir``;
+3. join each partition pair with the ordinary in-memory kernel, reading
+   the partition columns back *memory-mapped* so only that partition's
+   build structure and output are heap-resident; the scratch charge is
+   released after each partition;
+4. recurse on skew: a partition whose estimate still breaches the
+   budget re-enters the spilling kernel (its keys re-factorize into a
+   fresh code domain, so it splits again) up to :data:`MAX_SPILL_DEPTH`
+   levels, after which it runs in memory;
+5. concatenate the partition outputs (bag semantics — cross-partition
+   order is irrelevant, and root ORDER BY applies later anyway).
+
+Nest grouping spills the same way, except only one input is scattered
+and groups stay whole per partition (rows with equal grouping codes
+share ``code % k``), so each partition's
+:func:`~repro.engine.vector.nestlink.nest_link` sees complete groups.
+
+Every pass is wrapped in a ``kind='spill'`` trace span (format v4)
+recording ``bytes_spilled`` / ``partitions`` / ``depth``, and the
+governor's ``record_spill`` account feeds the bench artifacts.  Temp
+files are removed in a ``finally`` even when a partition write fails —
+the ``REPRO_FAULT=spill_io`` injection proves exactly that path.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SpillError
+from .governor import (
+    EST_BYTES_PER_VALUE,
+    ResourceGovernor,
+    batch_nbytes,
+    charge_batch,
+    current_governor,
+    maybe_spill_io_failure,
+)
+from .trace import KIND_SPILL, op_span
+
+#: recursion cap for skewed partitions; beyond it the partition runs in
+#: memory (its charge may then legitimately exhaust the budget).
+MAX_SPILL_DEPTH = 4
+
+#: ceiling on the fan-out of one spill pass
+MAX_PARTITIONS = 64
+
+_depth = threading.local()
+
+
+def _current_depth() -> int:
+    return getattr(_depth, "value", 0)
+
+
+# --------------------------------------------------------------------- #
+# Estimates (mirror the charges the in-memory kernels would make)
+# --------------------------------------------------------------------- #
+
+
+def est_join_bytes(left, right, n_keys: int) -> int:
+    """Bytes the in-memory join would account: build + output."""
+    width = len(left.columns) + len(right.columns)
+    out_rows = max(len(left), len(right))
+    return (
+        len(right) * max(1, n_keys) * EST_BYTES_PER_VALUE
+        + out_rows * width * 8
+    )
+
+
+def est_nest_bytes(batch, n_by: int) -> int:
+    """Bytes the in-memory nest grouping would account."""
+    return len(batch) * max(1, n_by) * EST_BYTES_PER_VALUE
+
+
+def _n_partitions(est_bytes: int, governor: ResourceGovernor) -> int:
+    budget = max(1, (governor.memory_limit_bytes or 1) // 2)
+    k = -(-int(est_bytes) // budget)  # ceil division
+    return max(2, min(MAX_PARTITIONS, k))
+
+
+def _spillable(batch) -> bool:
+    """Raw ``np.save`` round-trips every kind except ``obj``."""
+    return all(c.kind != "obj" for c in batch.columns)
+
+
+# --------------------------------------------------------------------- #
+# Temp column files
+# --------------------------------------------------------------------- #
+
+
+def _write_partition(tmp: str, tag: str, batch, idx: np.ndarray) -> int:
+    """Scatter *batch* rows at *idx* into ``tmp/tag`` column files.
+
+    Returns the bytes written.  The injected ``spill_io`` fault fires
+    before the first file of the partition, leaving earlier partitions
+    on disk — the caller's ``finally`` must clean those up.
+    """
+    maybe_spill_io_failure()
+    d = os.path.join(tmp, tag)
+    os.makedirs(d)
+    total = 0
+    try:
+        for i, col in enumerate(batch.columns):
+            data = col.data[idx]
+            valid = col.valid[idx]
+            np.save(os.path.join(d, f"c{i}.npy"), data, allow_pickle=False)
+            np.save(
+                os.path.join(d, f"c{i}.valid.npy"), valid, allow_pickle=False
+            )
+            total += int(data.nbytes) + int(valid.nbytes)
+    except OSError as exc:
+        raise SpillError(
+            f"spill partition write failed under {tmp!r}: {exc}"
+        ) from exc
+    return total
+
+
+def _read_partition(tmp: str, tag: str, schema, kinds: Sequence[str]):
+    """A partition back as a batch of memory-mapped vectors."""
+    from .vector.batch import Batch
+    from .vector.column import Vector
+
+    d = os.path.join(tmp, tag)
+    vectors = []
+    n = 0
+    for i, kind in enumerate(kinds):
+        data = np.load(
+            os.path.join(d, f"c{i}.npy"), mmap_mode="r", allow_pickle=False
+        )
+        valid = np.load(
+            os.path.join(d, f"c{i}.valid.npy"), mmap_mode="r",
+            allow_pickle=False,
+        )
+        n = len(data)
+        vectors.append(Vector(kind, data, valid))
+    return Batch(schema, vectors, n)
+
+
+def _make_tmp(governor: ResourceGovernor) -> str:
+    root = governor.spill_dir
+    try:
+        os.makedirs(root, exist_ok=True)
+        return tempfile.mkdtemp(prefix="repro-spill-", dir=root)
+    except OSError as exc:
+        raise SpillError(
+            f"cannot create spill directory under {root!r}: {exc}"
+        ) from exc
+
+
+def _concat_outputs(parts: List):
+    """Concatenate partition outputs (one ``np.concatenate`` per column).
+
+    Outputs of one spilled operator share schema and (normally) column
+    kinds; a kind mismatch (an all-NULL partition that degraded to a
+    different layout) falls back to the pairwise promoting vstack.
+    """
+    from .vector.batch import Batch
+    from .vector.column import Vector
+
+    parts = [p for p in parts if p is not None and len(p)]
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    columns = []
+    for i in range(len(first.columns)):
+        vecs = [b.columns[i] for b in parts]
+        kind = vecs[0].kind
+        if all(v.kind == kind for v in vecs):
+            columns.append(
+                Vector(
+                    kind,
+                    np.concatenate([v.data for v in vecs]),
+                    np.concatenate([v.valid for v in vecs]),
+                )
+            )
+        else:
+            acc = vecs[0]
+            for v in vecs[1:]:
+                acc = Vector.vstack(acc, v)
+            columns.append(acc)
+    return Batch(first.schema, columns, sum(len(b) for b in parts))
+
+
+# --------------------------------------------------------------------- #
+# Spilling hash join
+# --------------------------------------------------------------------- #
+
+
+def maybe_spill_hash_join(
+    left,
+    right,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual,
+    outer: bool,
+):
+    """Divert a hash join to disk partitions when the budget demands it.
+
+    Returns the joined batch, or ``None`` when no spill applies (no
+    governor/spill_dir, the estimate fits, keys the code factorization
+    cannot normalize, object columns, or the recursion cap) — the
+    caller then proceeds with the ordinary in-memory kernel.
+    """
+    governor = current_governor()
+    if governor is None or not left_keys:
+        return None
+    est = est_join_bytes(left, right, len(left_keys))
+    if not governor.should_spill(est):
+        return None
+    depth = _current_depth()
+    if depth >= MAX_SPILL_DEPTH:
+        return None
+    if not (_spillable(left) and _spillable(right)):
+        return None
+    from .parallel import hash_partitions, joint_codes
+
+    codes = joint_codes(left, right, left_keys, right_keys)
+    if codes is None:
+        return None
+    codes_l, codes_r = codes
+    # one distinct non-NULL code cannot be split further — spilling
+    # would loop on a single full-size partition
+    if depth > 0 and len(np.unique(codes_r[codes_r >= 0])) <= 1:
+        return None
+    k = _n_partitions(est, governor)
+    name = "spill-outer-hash-join" if outer else "spill-hash-join"
+    from .vector import kernels
+
+    join = kernels.left_outer_hash_join if outer else kernels.hash_join
+    with op_span(
+        name,
+        kind=KIND_SPILL,
+        on=", ".join(f"{l}={r}" for l, r in zip(left_keys, right_keys)),
+    ) as span:
+        tmp = _make_tmp(governor)
+        outputs: List = []
+        spilled = 0
+        try:
+            parts_l = hash_partitions(codes_l, k)
+            parts_r = hash_partitions(codes_r, k)
+            for p in range(k):
+                spilled += _write_partition(tmp, f"l{p}", left, parts_l[p])
+                spilled += _write_partition(tmp, f"r{p}", right, parts_r[p])
+            governor.record_spill(spilled)
+            kinds_l = [c.kind for c in left.columns]
+            kinds_r = [c.kind for c in right.columns]
+            for p in range(k):
+                if len(parts_l[p]) == 0 and len(parts_r[p]) == 0:
+                    continue
+                # non-trivial partitions all run through the kernel, even
+                # one-sided ones, so summed build/probe metrics stay
+                # identical to the unspilled execution
+                lp = _read_partition(tmp, f"l{p}", left.schema, kinds_l)
+                rp = _read_partition(tmp, f"r{p}", right.schema, kinds_r)
+                _depth.value = depth + 1
+                try:
+                    out = join(lp, rp, left_keys, right_keys, residual)
+                finally:
+                    _depth.value = depth
+                # the partition's build scratch is gone; give it back
+                governor.release(
+                    len(rp) * max(1, len(right_keys)) * EST_BYTES_PER_VALUE
+                )
+                if len(out):
+                    outputs.append(out)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        result = _concat_outputs(outputs)
+        if result is None:
+            result = _empty_join_output(left, right)
+        elif len(outputs) > 1:
+            # partition outputs die after the concat; net the account
+            governor.release(sum(batch_nbytes(o) for o in outputs))
+            charge_batch(result, "spilled join output")
+        if span is not None:
+            span.add("bytes_spilled", spilled)
+            span.set("partitions", k)
+            span.set("depth", depth)
+            span.add("rows_in", len(left))
+            span.add("rows_out", len(result))
+    return result
+
+
+def _empty_join_output(left, right):
+    """A zero-row batch with the join's output layout."""
+    from .vector.batch import Batch
+    from .vector.column import Vector
+
+    empty = np.empty(0, dtype=np.int64)
+    return Batch.concat_columns(left.take(empty), right.take(empty))
+
+
+# --------------------------------------------------------------------- #
+# Spilling nest grouping
+# --------------------------------------------------------------------- #
+
+
+def _grouping_codes(batch, by: Sequence[str]) -> np.ndarray:
+    """One int64 code per row; rows in the same group share a code.
+
+    Mirrors the ``sorted`` method of
+    :func:`~repro.engine.vector.kernels.group_ids` (per-column
+    ``codes()`` chained through ``np.unique``) but charges nothing —
+    partitioning is scratch the spill accounts separately.
+    """
+    cols = [batch.column(r).codes() for r in by]
+    ids = cols[0]
+    for c in cols[1:]:
+        width = int(c.max(initial=0)) + 1
+        _, inv = np.unique(ids * width + c, return_inverse=True)
+        ids = np.asarray(inv, dtype=np.int64).reshape(-1)
+    return np.asarray(ids, dtype=np.int64)
+
+
+def maybe_spill_nest_link(
+    batch,
+    by: Sequence[str],
+    predicate,
+    link,
+    rid_ref: str,
+    strict: bool,
+    pad_refs: Sequence[str],
+    nest_impl: str,
+):
+    """Divert a nest+link pass to disk partitions under budget pressure.
+
+    Groups stay whole: rows with equal grouping codes land in the same
+    partition, so each partition's in-memory ``nest_link`` computes
+    exact per-group verdicts.  Returns ``None`` when no spill applies.
+    """
+    governor = current_governor()
+    if governor is None or not by or len(batch) == 0:
+        return None
+    est = est_nest_bytes(batch, len(by))
+    if not governor.should_spill(est):
+        return None
+    depth = _current_depth()
+    if depth >= MAX_SPILL_DEPTH or not _spillable(batch):
+        return None
+    from .parallel import hash_partitions
+    from .vector.nestlink import nest_link
+
+    ids = _grouping_codes(batch, by)
+    if len(np.unique(ids)) <= 1:
+        return None  # one group: partitioning cannot shrink the pass
+    k = _n_partitions(est, governor)
+    with op_span(
+        "spill-nest", kind=KIND_SPILL, by=",".join(by), impl=nest_impl
+    ) as span:
+        tmp = _make_tmp(governor)
+        outputs: List = []
+        spilled = 0
+        try:
+            parts = hash_partitions(ids, k)
+            for p in range(k):
+                spilled += _write_partition(tmp, f"n{p}", batch, parts[p])
+            governor.record_spill(spilled)
+            kinds = [c.kind for c in batch.columns]
+            for p in range(k):
+                bp = _read_partition(tmp, f"n{p}", batch.schema, kinds)
+                _depth.value = depth + 1
+                try:
+                    out = nest_link(
+                        bp, by, predicate, link, rid_ref, strict,
+                        pad_refs, nest_impl,
+                    )
+                finally:
+                    _depth.value = depth
+                governor.release(
+                    len(bp) * max(1, len(by)) * EST_BYTES_PER_VALUE
+                )
+                if len(out):
+                    outputs.append(out)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        result = _concat_outputs(outputs)
+        if result is None:
+            # every partition filtered every group out: an empty batch
+            # with the nest output's layout
+            empty = np.empty(0, dtype=np.int64)
+            result = nest_link(
+                batch.take(empty), by, predicate, link, rid_ref, strict,
+                pad_refs, nest_impl,
+            )
+        elif len(outputs) > 1:
+            governor.release(sum(batch_nbytes(o) for o in outputs))
+            charge_batch(result, "spilled nest output")
+        if span is not None:
+            span.add("bytes_spilled", spilled)
+            span.set("partitions", k)
+            span.set("depth", depth)
+            span.add("rows_in", len(batch))
+            span.add("rows_out", len(result))
+    return result

@@ -52,10 +52,12 @@ from .metrics import current_metrics
 #: degradation events) and the ``aborted`` span attribute; version 3
 #: added ``kind="planner"`` spans (the cost-based planner's decision
 #: record: candidates, estimated costs/cardinalities, the chosen
-#: strategy).  Earlier documents remain valid — both changes are purely
+#: strategy); version 4 added ``kind="spill"`` spans (out-of-core
+#: hash-join/nest passes: bytes spilled, partition counts, recursion
+#: depth).  Earlier documents remain valid — all changes are purely
 #: additive.
-TRACE_FORMAT_VERSION = 3
-SUPPORTED_TRACE_VERSIONS = (1, 2, TRACE_FORMAT_VERSION)
+TRACE_FORMAT_VERSION = 4
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3, TRACE_FORMAT_VERSION)
 
 #: cardinality contracts — see module docstring
 CONTRACT_FILTERING = "filtering"  # rows_out <= rows_in
@@ -85,6 +87,16 @@ KIND_GOVERNOR = "governor"
 #: skip them — but they make every ``auto`` choice a durable, renderable
 #: artifact of the trace.
 KIND_PLANNER = "planner"
+
+#: span kind of one out-of-core pass: a spilling hash-join build or nest
+#: grouping run that diverted to disk partitions
+#: (:mod:`repro.engine.spill`).  Spill spans are bookkeeping, not
+#: operators — the row-accounting and contract checks skip them (their
+#: per-partition children collectively re-describe the wrapped
+#: operator's own input, exactly like morsels) — and they carry the
+#: ``bytes_spilled`` / ``partitions`` / ``depth`` counters the bench
+#: artifacts and the governor's spill accounting are validated against.
+KIND_SPILL = "spill"
 
 #: self-metrics worth surfacing on an EXPLAIN ANALYZE line, in order
 RENDER_METRICS = (

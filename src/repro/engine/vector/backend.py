@@ -28,7 +28,7 @@ from ..logic import current_logic
 from ..metrics import current_metrics
 from ..schema import Column, Schema
 from ..trace import CONTRACT_FILTERING, CONTRACT_PRESERVING, op_span
-from .batch import Batch, table_batch
+from .batch import Batch, relation_batch, table_batch
 from .column import KIND_INT, Vector
 from . import kernels, nestlink
 
@@ -88,7 +88,7 @@ class VectorBackend:
                 # GROUP BY / HAVING subquery blocks reuse the row-side
                 # aggregation (outside the cached image, which stays the
                 # plain join result shared with ungrouped lookups)
-                current = Batch.from_relation(
+                current = relation_batch(
                     grouped_subquery_relation(block, current.to_relation())
                 )
             if span is not None:

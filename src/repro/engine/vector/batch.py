@@ -17,7 +17,8 @@ direct row edits) take effect.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import weakref
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -131,6 +132,11 @@ def table_batch(table: Table) -> Batch:
     still *detected* (cheaply, not exhaustively: the probe is
     length + endpoint hashes, see ``fingerprint``).
     """
+    stored = getattr(table.relation, "stored_batch", None)
+    if stored is not None:
+        # a StoredRelation's columns are already memory-mapped vectors;
+        # the batch is the table — no conversion, no copy.
+        return stored()
     fp = table.relation.fingerprint()
     cached = getattr(table, _TABLE_CACHE_ATTR, None)
     if cached is not None:
@@ -146,3 +152,42 @@ def invalidate_table_batch(table: Table) -> None:
     """Drop a table's cached columnar image (catalog mutation hook)."""
     if getattr(table, _TABLE_CACHE_ATTR, None) is not None:
         setattr(table, _TABLE_CACHE_ATTR, None)
+
+
+# --------------------------------------------------------------------- #
+# Relation-level conversion cache
+# --------------------------------------------------------------------- #
+
+#: id(relation) -> (weakref, Batch, fingerprint).  Entries evict
+#: themselves when the relation is collected; a fingerprint mismatch on
+#: hit (in-place row mutation) rebuilds the batch in place.
+_RELATION_CACHE: "Dict[int, Tuple[weakref.ref, Batch, tuple]]" = {}
+
+
+def relation_batch(rel: Relation) -> Batch:
+    """The columnar image of *rel*, cached per relation object.
+
+    The table-level cache above only covers catalog base tables;
+    intermediate relations (reduced subquery results, attached
+    relations) were re-encoded from Python rows on every execution.
+    This cache keys on object identity, revalidates against
+    :meth:`~repro.engine.relation.Relation.fingerprint`, and drops the
+    entry via weakref callback once the relation dies.
+    """
+    stored = getattr(rel, "stored_batch", None)
+    if stored is not None:
+        return stored()
+    key = id(rel)
+    fp = rel.fingerprint()
+    cached = _RELATION_CACHE.get(key)
+    if cached is not None:
+        ref, batch, cached_fp = cached
+        if ref() is rel and cached_fp == fp:
+            return batch
+    batch = Batch.from_relation(rel)
+
+    def _evict(_ref, _key=key):
+        _RELATION_CACHE.pop(_key, None)
+
+    _RELATION_CACHE[key] = (weakref.ref(rel, _evict), batch, fp)
+    return batch

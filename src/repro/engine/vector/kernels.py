@@ -141,7 +141,18 @@ def hash_join(
     right_keys: Sequence[str],
     residual=None,
 ) -> Batch:
-    """Inner equi-join (plus optional residual predicate)."""
+    """Inner equi-join (plus optional residual predicate).
+
+    Under a spill-enabled governor whose budget the build would breach,
+    the join runs out-of-core instead (:mod:`repro.engine.spill`).
+    """
+    from ..spill import maybe_spill_hash_join
+
+    spilled = maybe_spill_hash_join(
+        left, right, left_keys, right_keys, residual, outer=False
+    )
+    if spilled is not None:
+        return spilled
     with op_span(
         "vec-hash-join",
         on=_describe_keys(left_keys, right_keys),
@@ -168,7 +179,15 @@ def left_outer_hash_join(
 
     The padded right side includes the child's ``_rid`` column, so the
     pk-is-NULL convention marks those rows as "empty subquery set".
+    Spills to disk partitions under budget pressure, like ``hash_join``.
     """
+    from ..spill import maybe_spill_hash_join
+
+    spilled = maybe_spill_hash_join(
+        left, right, left_keys, right_keys, residual, outer=True
+    )
+    if spilled is not None:
+        return spilled
     with op_span(
         "vec-left-outer-hash-join",
         contract=CONTRACT_EXPANDING,

@@ -68,7 +68,20 @@ def nest_link(
     pad_refs: Sequence[str],
     nest_impl: str,
 ) -> Batch:
-    """Nest *batch* by *by* and apply the linking predicate in one pass."""
+    """Nest *batch* by *by* and apply the linking predicate in one pass.
+
+    Under a spill-enabled governor whose budget the grouping pass would
+    breach, the nest runs out-of-core (:mod:`repro.engine.spill`):
+    groups are scattered whole over disk partitions and each partition
+    re-enters this function with a fitting slice.
+    """
+    from ..spill import maybe_spill_nest_link
+
+    spilled = maybe_spill_nest_link(
+        batch, by, predicate, link, rid_ref, strict, pad_refs, nest_impl
+    )
+    if spilled is not None:
+        return spilled
     metrics = current_metrics()
     n = len(batch)
     with op_span(

@@ -82,6 +82,18 @@ class InjectedFaultError(ExecutionError):
     """
 
 
+class SpillError(ExecutionError):
+    """A spill-to-disk pass failed (temp-file write error, unusable spill
+    directory, or the ``REPRO_FAULT=spill_io`` injected write failure).
+
+    Subclasses :class:`ExecutionError` — *not*
+    :class:`ResourceGovernanceError` — because a failed spill is an
+    environmental fault, not a governance verdict: the degradation
+    ladder may still retry the query on the single-threaded backend,
+    which needs no spill files at all.
+    """
+
+
 class ResourceGovernanceError(ExecutionError):
     """Base class for errors raised by the per-execution
     :class:`~repro.engine.governor.ResourceGovernor` (deadline, memory

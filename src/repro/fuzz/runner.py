@@ -28,6 +28,7 @@ to the frozen failure's provenance.
 from __future__ import annotations
 
 import copy
+import tempfile
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -47,7 +48,7 @@ from ..engine.trace import (
 )
 from ..engine.relation import Relation
 from ..engine.types import negate_op
-from ..errors import ReproError
+from ..errors import ReproError, ResourceExhaustedError, SpillError
 from ..sql import ast as A
 from ..sql.analyzer import compile_sql
 from ..sql.unparse import render_sql
@@ -265,6 +266,8 @@ class DifferentialRunner:
         check_traces: bool = True,
         oracle: Optional[str] = None,
         logic: str = "3vl",
+        memory_limit_mb: Optional[float] = None,
+        spill_dir: Optional[str] = None,
     ):
         self.strategies = tuple(strategies or DEFAULT_STRATEGIES)
         #: predicate semantics every internal execution runs under.
@@ -284,7 +287,19 @@ class DifferentialRunner:
         #: ("sqlite" / "duckdb"); None or "internal" keeps the classic
         #: strategies-vs-nested-iteration mode only.
         self.oracle = None if oracle in (None, "internal") else oracle
+        #: tiny-memory-budget mode: every *checked* strategy runs under a
+        #: spilling governor with this budget, exercising the Grace
+        #: partitioning paths on random queries while the ungoverned
+        #: oracle stays the ground truth.  A strategy whose non-spillable
+        #: sites legitimately exhaust the budget is skipped, not failed.
+        self.memory_limit_mb = memory_limit_mb
+        self.spill_dir = spill_dir
         self.last_report: Optional[FuzzReport] = None
+
+    def _ensure_spill_dir(self) -> str:
+        if self.spill_dir is None:
+            self.spill_dir = tempfile.mkdtemp(prefix="repro-fuzz-spill-")
+        return self.spill_dir
 
     # ------------------------------------------------------------------ #
     # one case
@@ -369,7 +384,10 @@ class DifferentialRunner:
         )
         if failure is not None:
             return failure
-        assert result is not None
+        if result is None:  # accepted budget outcome: nothing to compare
+            if report is not None:
+                report.skipped_inapplicable += 1
+            return None
         if report is not None:
             report.strategy_checks += 1
         if result != expected:
@@ -452,6 +470,8 @@ class DifferentialRunner:
                     with tracing() as trace:
                         result = self._execute(query, db, name, impl)
         except ReproError as exc:
+            if self._budget_skip(exc, name):
+                return None, None
             return (
                 Failure(case, name, "error", f"raised {type(exc).__name__}: {exc}"),
                 None,
@@ -491,20 +511,41 @@ class DifferentialRunner:
                     )
         return None, result
 
-    @staticmethod
     def _execute(
-        query: NestedQuery, db: Database, name: str, impl: Optional[object]
+        self, query: NestedQuery, db: Database, name: str, impl: Optional[object]
     ) -> Relation:
         if impl is not None:
             return impl.execute(query, db)
-        governor = None
+        kwargs: Dict[str, object] = {}
         if active_fault() is not None:
             # CI's fault-injection job rotates REPRO_FAULT while running
             # this same differential sweep: injected worker crashes must
             # degrade to the sequential backend and still match the
             # oracle, so every fault-mode run is governed.
-            governor = ResourceGovernor(degrade="sequential")
+            kwargs["degrade"] = "sequential"
+        if self.memory_limit_mb is not None and name != ORACLE:
+            # the oracle stays ungoverned: ground truth must always
+            # complete, and a budget on it would only mask strategy bugs
+            kwargs["memory_limit_mb"] = self.memory_limit_mb
+            kwargs["spill_dir"] = self._ensure_spill_dir()
+        governor = ResourceGovernor(**kwargs) if kwargs else None
         return run(query, db, strategy=name, governor=governor)
+
+    def _budget_skip(self, exc: ReproError, name: str) -> bool:
+        """Whether *exc* is an accepted outcome of budget-mode governance.
+
+        Two typed errors are legitimate under a tiny budget rather than
+        strategy bugs: an injected ``REPRO_FAULT=spill_io`` write failure
+        surfacing as :class:`SpillError`, and a non-spillable site
+        (table materialization, object columns) correctly exhausting the
+        budget.  Any other error — including a SpillError with no fault
+        injected — still fails the case.
+        """
+        if self.memory_limit_mb is None or name == ORACLE:
+            return False
+        if isinstance(exc, SpillError):
+            return active_fault() == "spill_io"
+        return isinstance(exc, ResourceExhaustedError)
 
     # ------------------------------------------------------------------ #
     # trace provenance

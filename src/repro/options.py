@@ -40,6 +40,7 @@ OPTION_FIELDS = (
     "threads",
     "timeout_ms",
     "memory_limit_mb",
+    "spill_dir",
     "degrade",
     "logic",
 )
@@ -56,6 +57,10 @@ class ExecutionOptions:
       (under ``"auto"`` it makes the parallel strategy a *candidate*;
       the cost model decides whether splitting the work pays);
     * ``timeout_ms`` / ``memory_limit_mb`` — resource-governance limits;
+    * ``spill_dir`` — directory for spill partitions; together with a
+      memory budget it turns budget breaches at the spillable operators
+      (hash-join builds, nest grouping) into Grace-style disk spills
+      instead of :class:`~repro.errors.ResourceExhaustedError`;
     * ``degrade`` — ``"sequential"`` retries a failed parallel
       execution once on the single-threaded vectorized backend;
     * ``logic`` — ``"3vl"`` (SQL standard) or ``"2vl"`` (Libkin)
@@ -67,6 +72,7 @@ class ExecutionOptions:
     threads: Optional[int] = None
     timeout_ms: Optional[float] = None
     memory_limit_mb: Optional[float] = None
+    spill_dir: Optional[str] = None
     degrade: Optional[str] = None
     logic: Optional[str] = None
 

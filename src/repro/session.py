@@ -78,6 +78,7 @@ class PreparedQuery:
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
+        spill_dir: Optional[str] = None,
         degrade: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
     ) -> Relation:
@@ -94,6 +95,8 @@ class PreparedQuery:
         *timeout_ms* / *memory_limit_mb* bound the execution (typed
         :class:`~repro.errors.QueryTimeoutError` /
         :class:`~repro.errors.ResourceExhaustedError` on breach);
+        *spill_dir* turns memory-budget breaches at the spillable
+        operators into Grace-style disk spills instead of errors;
         ``degrade="sequential"`` retries a failed parallel execution
         once on the single-threaded vectorized backend.
 
@@ -106,13 +109,13 @@ class PreparedQuery:
         eff = self._options(
             strategy=strategy, backend=backend, threads=threads,
             timeout_ms=timeout_ms, memory_limit_mb=memory_limit_mb,
-            degrade=degrade, options=options,
+            spill_dir=spill_dir, degrade=degrade, options=options,
         )
         resolved, backend, threads = self._resolve(
-            eff.strategy, eff.backend, eff.threads
+            eff.strategy, eff.backend, eff.threads, eff.memory_limit_mb
         )
         governor = self._session.governor(
-            eff.timeout_ms, eff.memory_limit_mb, eff.degrade
+            eff.timeout_ms, eff.memory_limit_mb, eff.degrade, eff.spill_dir
         )
         with logic_mode(self._logic(eff)), reduce_scope(
             self._session.reduce_cache()
@@ -134,6 +137,7 @@ class PreparedQuery:
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
+        spill_dir: Optional[str] = None,
         degrade: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
     ):
@@ -159,13 +163,13 @@ class PreparedQuery:
         eff = self._options(
             strategy=strategy, backend=backend, threads=threads,
             timeout_ms=timeout_ms, memory_limit_mb=memory_limit_mb,
-            degrade=degrade, options=options,
+            spill_dir=spill_dir, degrade=degrade, options=options,
         )
         resolved, backend, threads = self._resolve(
-            eff.strategy, eff.backend, eff.threads
+            eff.strategy, eff.backend, eff.threads, eff.memory_limit_mb
         )
         governor = self._session.governor(
-            eff.timeout_ms, eff.memory_limit_mb, eff.degrade
+            eff.timeout_ms, eff.memory_limit_mb, eff.degrade, eff.spill_dir
         )
         with logic_mode(self._logic(eff)), reduce_scope(
             self._session.reduce_cache()
@@ -192,7 +196,7 @@ class PreparedQuery:
             return validate_logic(eff.logic)
         return self._session.logic
 
-    def _resolve(self, strategy, backend, threads):
+    def _resolve(self, strategy, backend, threads, memory_limit_mb=None):
         """Apply the session's strategy default and the plan-cache memo.
 
         ``"auto"`` (and ``None``, which means it) resolves through the
@@ -219,13 +223,14 @@ class PreparedQuery:
         if strategy == "auto":
             key = (
                 self.sql, strategy, backend, threads,
-                self._session.logic, feedback.epoch,
+                self._session.logic, feedback.epoch, memory_limit_mb,
             )
             decision = cache.strategy(key)
             if decision is None:
                 decision = choose(
                     self.query, self._session.db,
                     backend=backend, threads=threads, feedback=feedback,
+                    memory_limit_mb=memory_limit_mb,
                 )
                 cache.store_strategy(key, decision)
             return decision, None, None
@@ -359,6 +364,7 @@ class Session:
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
+        spill_dir: Optional[str] = None,
         degrade: Optional[str] = None,
         logic: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
@@ -372,7 +378,8 @@ class Session:
         self.options = layer_options(
             ExecutionOptions(), options,
             threads=threads, timeout_ms=timeout_ms,
-            memory_limit_mb=memory_limit_mb, degrade=degrade, logic=logic,
+            memory_limit_mb=memory_limit_mb, spill_dir=spill_dir,
+            degrade=degrade, logic=logic,
         )
         self.logic = validate_logic(
             self.options.logic if self.options.logic is not None else "3vl"
@@ -380,11 +387,15 @@ class Session:
         self.threads = validate_threads(self.options.threads)
         self.timeout_ms = self.options.timeout_ms
         self.memory_limit_mb = self.options.memory_limit_mb
+        self.spill_dir = self.options.spill_dir
         self.degrade = validate_degrade(self.options.degrade)
         # fail at connect() time, not first execute: build a throwaway
         # governor so bad session-wide limits are rejected immediately
         if self.timeout_ms is not None or self.memory_limit_mb is not None:
-            ResourceGovernor(self.timeout_ms, self.memory_limit_mb, self.degrade)
+            ResourceGovernor(
+                self.timeout_ms, self.memory_limit_mb, self.degrade,
+                self.spill_dir,
+            )
         self._cache = SessionCache(enabled=plan_cache)
         #: observed cardinalities feeding the cost-based planner
         self.feedback = FeedbackStore()
@@ -394,6 +405,7 @@ class Session:
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
         degrade: Optional[str] = None,
+        spill_dir: Optional[str] = None,
     ) -> Optional[ResourceGovernor]:
         """A fresh per-execution governor, or None when ungoverned.
 
@@ -408,12 +420,14 @@ class Session:
             else self.memory_limit_mb
         )
         degrade = degrade if degrade is not None else self.degrade
+        spill_dir = spill_dir if spill_dir is not None else self.spill_dir
         if timeout_ms is None and memory_limit_mb is None and degrade is None:
             return None
         return ResourceGovernor(
             timeout_ms=timeout_ms,
             memory_limit_mb=memory_limit_mb,
             degrade=degrade,
+            spill_dir=spill_dir,
         )
 
     @property
@@ -452,6 +466,7 @@ class Session:
         threads: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         memory_limit_mb: Optional[float] = None,
+        spill_dir: Optional[str] = None,
         degrade: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
     ) -> Relation:
@@ -462,6 +477,7 @@ class Session:
             threads=threads,
             timeout_ms=timeout_ms,
             memory_limit_mb=memory_limit_mb,
+            spill_dir=spill_dir,
             degrade=degrade,
             options=options,
         )
@@ -482,6 +498,7 @@ def connect(
     threads: Optional[int] = None,
     timeout_ms: Optional[float] = None,
     memory_limit_mb: Optional[float] = None,
+    spill_dir: Optional[str] = None,
     degrade: Optional[str] = None,
     logic: Optional[str] = None,
     options: Optional[ExecutionOptions] = None,
@@ -493,7 +510,8 @@ def connect(
     the session's default worker count for parallel execution.
     *timeout_ms*, *memory_limit_mb* and *degrade* set session-wide
     resource-governance defaults, overridable per
-    ``execute``/``trace`` call.  ``logic`` selects the predicate
+    ``execute``/``trace`` call; *spill_dir* lets budget breaches at the
+    spillable operators spill to disk instead of raising.  ``logic`` selects the predicate
     semantics: ``"3vl"`` (SQL-standard Kleene logic, the default) or
     ``"2vl"`` (Libkin two-valued logic, where any comparison with NULL
     is plain FALSE) — the modes coincide exactly on NULL-free data.
@@ -507,6 +525,7 @@ def connect(
         threads=threads,
         timeout_ms=timeout_ms,
         memory_limit_mb=memory_limit_mb,
+        spill_dir=spill_dir,
         degrade=degrade,
         logic=logic,
         options=options,

@@ -1,7 +1,14 @@
 """TPC-H substrate: schemas, deterministic data generator, paper queries."""
 
 from .schema import PRIMARY_KEYS, TABLE_NAMES, columns_for
-from .datagen import BASE_ROWS, TpchConfig, build_paper_indexes, generate, rows_at
+from .datagen import (
+    BASE_ROWS,
+    TpchConfig,
+    build_paper_indexes,
+    generate,
+    generate_stored,
+    rows_at,
+)
 from .validation import assert_valid, validate
 from .queries import (
     PAPER_QUERIES,
@@ -23,6 +30,7 @@ __all__ = [
     "TpchConfig",
     "build_paper_indexes",
     "generate",
+    "generate_stored",
     "rows_at",
     "PAPER_QUERIES",
     "QUERY3_VARIANTS",

@@ -75,6 +75,163 @@ def rows_at(sf: float, table: str) -> int:
     return max(1, int(BASE_ROWS[table] * sf))
 
 
+# --------------------------------------------------------------------- #
+# shared row generators
+#
+# Both the in-memory builder (:func:`generate`) and the streaming
+# column-store writer (:func:`generate_stored`) draw from these, in the
+# same table order, off ONE seeded rng — so a given (sf, seed) pair
+# yields bit-identical rows regardless of the destination.  Any change
+# to the rng call sequence here is a format break for stored datasets.
+# --------------------------------------------------------------------- #
+
+
+def _make_maybe_null(rng: random.Random, fraction: float):
+    def maybe_null(value):
+        if fraction > 0 and rng.random() < fraction:
+            return NULL
+        return value
+
+    return maybe_null
+
+
+def _region_rows(n_region: int):
+    for k in range(n_region):
+        yield (k, _REGIONS[k % len(_REGIONS)], f"region {k}")
+
+
+def _nation_rows(n_nation: int, n_region: int):
+    for k in range(n_nation):
+        yield (k, f"NATION#{k:02d}", k % n_region, f"nation {k}")
+
+
+def _supplier_rows(rng: random.Random, n_supplier: int, n_nation: int):
+    for k in range(1, n_supplier + 1):
+        yield (
+            k,
+            f"Supplier#{k:09d}",
+            f"addr {k}",
+            rng.randrange(n_nation),
+            f"{rng.randrange(10,35)}-555-{k:07d}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            f"supplier comment {k}",
+        )
+
+
+def _customer_rows(rng: random.Random, n_customer: int, n_nation: int):
+    for k in range(1, n_customer + 1):
+        yield (
+            k,
+            f"Customer#{k:09d}",
+            f"addr {k}",
+            rng.randrange(n_nation),
+            f"{rng.randrange(10,35)}-555-{k:07d}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            _SEGMENTS[rng.randrange(len(_SEGMENTS))],
+            f"customer comment {k}",
+        )
+
+
+def _part_rows(rng: random.Random, n_part: int):
+    for k in range(1, n_part + 1):
+        yield (
+            k,
+            f"part {k}",
+            f"Manufacturer#{k % 5 + 1}",
+            f"Brand#{k % 25 + 1}",
+            _TYPES[rng.randrange(len(_TYPES))],
+            rng.randint(1, 50),
+            _CONTAINERS[rng.randrange(len(_CONTAINERS))],
+            round(900 + (k % 1000) + rng.uniform(0, 100), 2),
+            f"part comment {k}",
+        )
+
+
+def _partsupp_rows(rng: random.Random, n_part: int, n_supplier: int, maybe_null):
+    ps_key = 0
+    for pk in range(1, n_part + 1):
+        for j in range(4):
+            ps_key += 1
+            yield (
+                ps_key,
+                pk,
+                1 + (pk * 4 + j) % n_supplier,
+                rng.randint(1, 9999),
+                # TPC-H spec uses uniform [1, 1000]; we widen to 2000 so
+                # the paper's "p_retailprice < ANY/ALL ps_supplycost"
+                # predicates have non-trivial selectivity at small scale
+                # factors (retail prices sit in 900..2000).
+                maybe_null(round(rng.uniform(1.0, 2000.0), 2)),
+                f"partsupp comment {ps_key}",
+            )
+
+
+def _order_lineitem_rows(
+    rng: random.Random,
+    n_orders: int,
+    n_part: int,
+    n_customer: int,
+    n_supplier: int,
+    maybe_null,
+):
+    """Yield ``("lineitem", row)`` / ``("orders", row)`` interleaved.
+
+    Lines are generated before their order (o_totalprice sums them), so
+    a streaming consumer sees each order's lineitems first; within each
+    table rows arrive in key order.
+    """
+    l_key = 0
+    for ok in range(1, n_orders + 1):
+        order_date = rng.randrange(_DATE_SPAN - 151)
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        for ln in range(1, n_lines + 1):
+            l_key += 1
+            partkey = rng.randint(1, n_part)
+            suppkey = 1 + (partkey * 4 + rng.randrange(4)) % n_supplier
+            quantity = rng.randint(1, 50)
+            extended = round(quantity * rng.uniform(900.0, 1100.0) / 10, 2)
+            total += extended
+            ship = order_date + rng.randint(1, 121)
+            commit = order_date + rng.randint(30, 90)
+            receipt = ship + rng.randint(1, 30)
+            yield (
+                "lineitem",
+                (
+                    l_key,
+                    ok,
+                    partkey,
+                    suppkey,
+                    ln,
+                    quantity,
+                    maybe_null(extended),
+                    round(rng.uniform(0.0, 0.1), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    "R" if rng.random() < 0.25 else "N",
+                    "O" if rng.random() < 0.5 else "F",
+                    _date(ship),
+                    _date(commit),
+                    _date(receipt),
+                    _MODES[rng.randrange(len(_MODES))],
+                    f"line comment {l_key}",
+                ),
+            )
+        yield (
+            "orders",
+            (
+                ok,
+                rng.randint(1, n_customer),
+                "F" if rng.random() < 0.5 else "O",
+                round(total, 2),
+                _date(order_date),
+                _PRIORITIES[rng.randrange(len(_PRIORITIES))],
+                f"Clerk#{rng.randrange(1000):09d}",
+                0,
+                f"order comment {ok}",
+            ),
+        )
+
+
 def generate(config: Optional[TpchConfig] = None, **kwargs) -> Database:
     """Build a TPC-H database per *config* (kwargs override fields)."""
     if config is None:
@@ -93,168 +250,52 @@ def generate(config: Optional[TpchConfig] = None, **kwargs) -> Database:
     n_supplier = rows_at(sf, "supplier")
     n_customer = rows_at(sf, "customer")
     n_part = rows_at(sf, "part")
-    n_partsupp_per_part = 4
     n_orders = rows_at(sf, "orders")
 
     # ---------------------------------------------------------------- #
+    maybe_null = _make_maybe_null(rng, config.inject_null_fraction)
     db.create_table(
         "region",
         columns_for("region"),
-        [(k, _REGIONS[k % len(_REGIONS)], f"region {k}") for k in range(n_region)],
+        list(_region_rows(n_region)),
         primary_key="r_regionkey",
     )
     db.create_table(
         "nation",
         columns_for("nation"),
-        [
-            (k, f"NATION#{k:02d}", k % n_region, f"nation {k}")
-            for k in range(n_nation)
-        ],
+        list(_nation_rows(n_nation, n_region)),
         primary_key="n_nationkey",
     )
     db.create_table(
         "supplier",
         columns_for("supplier"),
-        [
-            (
-                k,
-                f"Supplier#{k:09d}",
-                f"addr {k}",
-                rng.randrange(n_nation),
-                f"{rng.randrange(10,35)}-555-{k:07d}",
-                round(rng.uniform(-999.99, 9999.99), 2),
-                f"supplier comment {k}",
-            )
-            for k in range(1, n_supplier + 1)
-        ],
+        list(_supplier_rows(rng, n_supplier, n_nation)),
         primary_key="s_suppkey",
     )
     db.create_table(
         "customer",
         columns_for("customer"),
-        [
-            (
-                k,
-                f"Customer#{k:09d}",
-                f"addr {k}",
-                rng.randrange(n_nation),
-                f"{rng.randrange(10,35)}-555-{k:07d}",
-                round(rng.uniform(-999.99, 9999.99), 2),
-                _SEGMENTS[rng.randrange(len(_SEGMENTS))],
-                f"customer comment {k}",
-            )
-            for k in range(1, n_customer + 1)
-        ],
+        list(_customer_rows(rng, n_customer, n_nation)),
         primary_key="c_custkey",
     )
-
-    # ---------------------------------------------------------------- #
-    part_rows = []
-    for k in range(1, n_part + 1):
-        part_rows.append(
-            (
-                k,
-                f"part {k}",
-                f"Manufacturer#{k % 5 + 1}",
-                f"Brand#{k % 25 + 1}",
-                _TYPES[rng.randrange(len(_TYPES))],
-                rng.randint(1, 50),
-                _CONTAINERS[rng.randrange(len(_CONTAINERS))],
-                round(900 + (k % 1000) + rng.uniform(0, 100), 2),
-                f"part comment {k}",
-            )
-        )
     db.create_table(
         "part",
         columns_for("part", config.price_not_null),
-        part_rows,
+        list(_part_rows(rng, n_part)),
         primary_key="p_partkey",
     )
-
-    def maybe_null(value):
-        if config.inject_null_fraction > 0 and rng.random() < config.inject_null_fraction:
-            return NULL
-        return value
-
-    partsupp_rows = []
-    ps_key = 0
-    for pk in range(1, n_part + 1):
-        for j in range(n_partsupp_per_part):
-            ps_key += 1
-            partsupp_rows.append(
-                (
-                    ps_key,
-                    pk,
-                    1 + (pk * n_partsupp_per_part + j) % n_supplier,
-                    rng.randint(1, 9999),
-                    # TPC-H spec uses uniform [1, 1000]; we widen to 2000 so
-                    # the paper's "p_retailprice < ANY/ALL ps_supplycost"
-                    # predicates have non-trivial selectivity at small scale
-                    # factors (retail prices sit in 900..2000).
-                    maybe_null(round(rng.uniform(1.0, 2000.0), 2)),
-                    f"partsupp comment {ps_key}",
-                )
-            )
     db.create_table(
         "partsupp",
         columns_for("partsupp", config.price_not_null),
-        partsupp_rows,
+        list(_partsupp_rows(rng, n_part, n_supplier, maybe_null)),
         primary_key="ps_key",
     )
-
-    # ---------------------------------------------------------------- #
     order_rows = []
     lineitem_rows = []
-    l_key = 0
-    for ok in range(1, n_orders + 1):
-        order_date = rng.randrange(_DATE_SPAN - 151)
-        n_lines = rng.randint(1, 7)
-        total = 0.0
-        lines = []
-        for ln in range(1, n_lines + 1):
-            l_key += 1
-            partkey = rng.randint(1, n_part)
-            suppkey = 1 + (partkey * n_partsupp_per_part + rng.randrange(4)) % n_supplier
-            quantity = rng.randint(1, 50)
-            extended = round(quantity * rng.uniform(900.0, 1100.0) / 10, 2)
-            total += extended
-            ship = order_date + rng.randint(1, 121)
-            commit = order_date + rng.randint(30, 90)
-            receipt = ship + rng.randint(1, 30)
-            lines.append(
-                (
-                    l_key,
-                    ok,
-                    partkey,
-                    suppkey,
-                    ln,
-                    quantity,
-                    maybe_null(extended),
-                    round(rng.uniform(0.0, 0.1), 2),
-                    round(rng.uniform(0.0, 0.08), 2),
-                    "R" if rng.random() < 0.25 else "N",
-                    "O" if rng.random() < 0.5 else "F",
-                    _date(ship),
-                    _date(commit),
-                    _date(receipt),
-                    _MODES[rng.randrange(len(_MODES))],
-                    f"line comment {l_key}",
-                )
-            )
-        lineitem_rows.extend(lines)
-        order_rows.append(
-            (
-                ok,
-                rng.randint(1, n_customer),
-                "F" if rng.random() < 0.5 else "O",
-                round(total, 2),
-                _date(order_date),
-                _PRIORITIES[rng.randrange(len(_PRIORITIES))],
-                f"Clerk#{rng.randrange(1000):09d}",
-                0,
-                f"order comment {ok}",
-            )
-        )
+    for table, row in _order_lineitem_rows(
+        rng, n_orders, n_part, n_customer, n_supplier, maybe_null
+    ):
+        (order_rows if table == "orders" else lineitem_rows).append(row)
     db.create_table(
         "orders",
         columns_for("orders"),
@@ -385,3 +426,88 @@ def build_paper_indexes(db: Database) -> None:
     db.create_hash_index("partsupp", ["ps_partkey"])
     db.create_hash_index("partsupp", ["ps_partkey", "ps_suppkey"])
     db.create_hash_index("orders", ["o_orderkey"])
+
+
+def generate_stored(
+    out_dir: str,
+    config: Optional[TpchConfig] = None,
+    chunk_rows: int = 100_000,
+    **kwargs,
+) -> str:
+    """Stream a TPC-H dataset straight into an on-disk column store.
+
+    Writes the same rows :func:`generate` would build — one seeded rng,
+    same call order — but in ``chunk_rows`` batches through
+    :class:`repro.engine.colstore.StoreWriter`, so peak memory stays at
+    one chunk per open table instead of the whole database.  The
+    resulting directory loads with
+    :func:`repro.engine.colstore.load_stored_database`, whose manifest
+    carries exact per-column statistics (the stored analogue of the
+    in-memory generator's seeded stat overrides).
+
+    Returns *out_dir*.  ``repro gen`` is the CLI face of this function.
+    """
+    from ..engine.colstore import StoreWriter
+
+    if config is None:
+        config = TpchConfig()
+    for key, value in kwargs.items():
+        if not hasattr(config, key):
+            raise TypeError(f"unknown TpchConfig field {key!r}")
+        setattr(config, key, value)
+
+    rng = random.Random(config.seed)
+    sf = config.scale_factor
+
+    n_region = rows_at(sf, "region")
+    n_nation = rows_at(sf, "nation")
+    n_supplier = rows_at(sf, "supplier")
+    n_customer = rows_at(sf, "customer")
+    n_part = rows_at(sf, "part")
+    n_orders = rows_at(sf, "orders")
+
+    maybe_null = _make_maybe_null(rng, config.inject_null_fraction)
+    store = StoreWriter(
+        out_dir, scale_factor=sf, seed=config.seed, chunk_rows=chunk_rows
+    )
+
+    def write(name, rows, price_not_null=False):
+        writer = store.table(
+            name,
+            columns_for(name, price_not_null)
+            if name in ("part", "partsupp", "lineitem")
+            else columns_for(name),
+            primary_key=PRIMARY_KEYS[name],
+        )
+        for row in rows:
+            writer.append(row)
+        writer.finish()
+
+    write("region", _region_rows(n_region))
+    write("nation", _nation_rows(n_nation, n_region))
+    write("supplier", _supplier_rows(rng, n_supplier, n_nation))
+    write("customer", _customer_rows(rng, n_customer, n_nation))
+    write("part", _part_rows(rng, n_part), config.price_not_null)
+    write(
+        "partsupp",
+        _partsupp_rows(rng, n_part, n_supplier, maybe_null),
+        config.price_not_null,
+    )
+    # orders and lineitem interleave on the shared rng: keep both
+    # writers open and route each yielded row to its table.
+    orders_writer = store.table(
+        "orders", columns_for("orders"), primary_key=PRIMARY_KEYS["orders"]
+    )
+    lineitem_writer = store.table(
+        "lineitem",
+        columns_for("lineitem", config.price_not_null),
+        primary_key=PRIMARY_KEYS["lineitem"],
+    )
+    for table, row in _order_lineitem_rows(
+        rng, n_orders, n_part, n_customer, n_supplier, maybe_null
+    ):
+        (orders_writer if table == "orders" else lineitem_writer).append(row)
+    orders_writer.finish()
+    lineitem_writer.finish()
+    store.finalize()
+    return out_dir

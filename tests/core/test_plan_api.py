@@ -118,7 +118,7 @@ class TestAnalyze:
     def test_spans_are_schema_valid(self, db):
         plan = repro.connect(db).prepare(SQL).explain(analyze=True)
         validate_trace_dict(plan.spans)
-        assert plan.spans["version"] == 3
+        assert plan.spans["version"] == 4
 
     def test_planner_span_in_analysis(self, db):
         plan = repro.connect(db).prepare(SQL).explain(

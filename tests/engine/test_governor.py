@@ -254,7 +254,7 @@ class TestGovernedExecution:
 class TestFaultMatrix:
     def test_fault_modes_are_covered(self):
         assert set(FAULT_MODES) == {
-            "worker_crash", "slow_morsel", "alloc_spike"
+            "worker_crash", "slow_morsel", "alloc_spike", "spill_io"
         }
 
     @pytest.mark.parametrize("strategy", [ROW, VEC], ids=[ROW, VEC])

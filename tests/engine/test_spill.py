@@ -1,0 +1,187 @@
+"""Spill-to-disk: correctness parity, trace spans, fault injection.
+
+The six paper queries must return identical results whether the
+governor's budget forces Grace-style spilling or the whole plan runs in
+memory — and every ``kind='spill'`` span must satisfy the v4 trace
+schema and the trace invariants.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.engine.colstore import load_stored_database
+from repro.engine.governor import ResourceGovernor, governed
+from repro.engine.spill import maybe_spill_hash_join
+from repro.engine.trace import (
+    KIND_SPILL,
+    trace_invariant_violations,
+    validate_trace_dict,
+)
+from repro.errors import SpillError
+from repro.tpch import (
+    TpchConfig,
+    generate_stored,
+    pick_availqty,
+    pick_date_window,
+    pick_size_window,
+    query1,
+    query2,
+    query3,
+)
+
+#: small enough to force spilling on every join-heavy paper query at
+#: sf 0.002, large enough that scan outputs still fit
+CAP_MB = 0.2
+
+
+@pytest.fixture(scope="module")
+def stored_db(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("spill-store") / "tpch")
+    generate_stored(
+        path, TpchConfig(scale_factor=0.002, seed=1234), chunk_rows=500
+    )
+    return load_stored_database(path)
+
+
+@pytest.fixture(scope="module")
+def six_queries(stored_db):
+    lo_d, hi_d = pick_date_window(stored_db, 40)
+    lo_s, hi_s = pick_size_window(stored_db, 30)
+    availqty = pick_availqty(stored_db, 60)
+    return [
+        ("query1", query1(lo_d, hi_d)),
+        ("query2a", query2("any", lo_s, hi_s, availqty, 25)),
+        ("query2b", query2("all", lo_s, hi_s, availqty, 25)),
+        ("query3a", query3("all", "exists", "a", lo_s, hi_s, availqty, 25)),
+        ("query3b", query3("all", "not exists", "b", lo_s, hi_s, availqty, 25)),
+        ("query3c", query3("any", "exists", "c", lo_s, hi_s, availqty, 25)),
+    ]
+
+
+def _spill_spans(trace):
+    return [s for s in trace.spans() if s.kind == KIND_SPILL]
+
+
+def test_six_query_parity_spilling_vs_not(stored_db, six_queries, tmp_path):
+    """Identical results with and without the budget, ≥1 query spills."""
+    plain = repro.connect(stored_db)
+    governed_session = repro.connect(
+        stored_db, memory_limit_mb=CAP_MB, spill_dir=str(tmp_path)
+    )
+    total_spans = 0
+    for name, sql in six_queries:
+        expected = plain.execute(
+            sql, strategy="nested-relational", backend="vector"
+        )
+        got, trace = governed_session.prepare(sql).trace(
+            strategy="nested-relational", backend="vector"
+        )
+        assert got == expected, name
+        spans = _spill_spans(trace)
+        total_spans += len(spans)
+        for span in spans:
+            assert span.counters.get("bytes_spilled", 0) > 0, name
+            assert span.counters.get("partitions", 0) >= 2, name
+        assert validate_trace_dict(trace.to_dict()) == [], name
+        assert trace_invariant_violations(trace) == [], name
+    assert total_spans >= 1
+    # every temp partition directory was cleaned up after its pass
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_spill_spans_validate_against_schema(stored_db, six_queries, tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    import json
+
+    schema_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))),
+        "schemas", "trace.schema.json",
+    )
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    session = repro.connect(
+        stored_db, memory_limit_mb=CAP_MB, spill_dir=str(tmp_path)
+    )
+    _result, trace = session.prepare(six_queries[0][1]).trace(
+        strategy="nested-relational", backend="vector"
+    )
+    assert _spill_spans(trace)
+    jsonschema.validate(trace.to_dict(), schema)
+
+
+def test_governor_accounts_spilled_bytes(stored_db, six_queries, tmp_path):
+    gov = ResourceGovernor(memory_limit_mb=CAP_MB, spill_dir=str(tmp_path))
+    session = repro.connect(stored_db)
+    with governed(gov):
+        session.execute(
+            six_queries[0][1], strategy="nested-relational", backend="vector"
+        )
+    assert gov.spill_count >= 1
+    assert gov.spilled_bytes > 0
+
+
+def test_no_spill_without_spill_dir(stored_db, six_queries):
+    """Budget alone (no spill_dir) keeps the hard-error semantics."""
+    gov = ResourceGovernor(memory_limit_mb=CAP_MB)
+    assert not gov.should_spill(10**9)
+
+
+def test_spill_hook_inert_without_governor(stored_db):
+    batch = stored_db.relation("orders").stored_batch()
+    assert (
+        maybe_spill_hash_join(
+            batch, batch, ["o_orderkey"], ["o_orderkey"], None, outer=False
+        )
+        is None
+    )
+
+
+def test_spill_io_fault_cleanup_and_typed_error(
+    stored_db, six_queries, tmp_path, monkeypatch
+):
+    """REPRO_FAULT=spill_io: typed error out, no temp files left behind."""
+    monkeypatch.setenv("REPRO_FAULT", "spill_io")
+    session = repro.connect(
+        stored_db, memory_limit_mb=CAP_MB, spill_dir=str(tmp_path)
+    )
+    with pytest.raises(SpillError, match="injected spill write failure"):
+        session.execute(
+            six_queries[0][1], strategy="nested-relational", backend="vector"
+        )
+    # governed cleanup: the failed pass removed its temp directory
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_spill_io_fault_does_not_break_degrade_ladder(
+    stored_db, six_queries, tmp_path, monkeypatch
+):
+    """The error is typed (SpillError), degrade='sequential' still
+    retries, and clearing the fault restores normal spilling."""
+    monkeypatch.setenv("REPRO_FAULT", "spill_io")
+    session = repro.connect(
+        stored_db,
+        memory_limit_mb=CAP_MB,
+        spill_dir=str(tmp_path),
+        degrade="sequential",
+    )
+    with pytest.raises(SpillError):
+        session.execute(
+            six_queries[0][1], strategy="nested-relational", backend="vector"
+        )
+    assert os.listdir(str(tmp_path)) == []
+    monkeypatch.delenv("REPRO_FAULT")
+    plain = repro.connect(stored_db).execute(
+        six_queries[0][1], strategy="nested-relational", backend="vector"
+    )
+    result, trace = session.prepare(six_queries[0][1]).trace(
+        strategy="nested-relational", backend="vector"
+    )
+    assert result == plain
+    assert _spill_spans(trace)
+    assert os.listdir(str(tmp_path)) == []
