@@ -14,6 +14,7 @@ Subcommands::
     python -m repro fuzz --iterations 500 --seed 42        # differential fuzz
     python -m repro fuzz --oracle sqlite                   # + external oracle
     python -m repro diff "select ..." --tpch 0.002         # vs real engine
+    python -m repro serve --tpch 0.01 --port 8080          # HTTP/JSON server
     python -m repro strategies                             # list strategies
 
 All execution goes through the Session API (:func:`repro.connect` /
@@ -371,6 +372,74 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1 if diverged else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from .options import ExecutionOptions
+    from .serve import QueryServer, TenantConfig
+
+    tenants = {}
+    if args.tenants:
+        with open(args.tenants) as handle:
+            spec = json.load(handle)
+        if not isinstance(spec, dict):
+            raise ReproError(
+                f"--tenants file must be a JSON object, got {type(spec).__name__}"
+            )
+        tenants = {
+            name: TenantConfig.from_dict(name, entry)
+            for name, entry in spec.items()
+        }
+    default_tenant = TenantConfig(
+        "default",
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+        options=ExecutionOptions(
+            threads=args.threads,
+            timeout_ms=args.timeout_ms,
+            memory_limit_mb=args.memory_limit_mb,
+            spill_dir=args.spill_dir,
+            logic=args.logic,
+        ),
+    )
+    db = _load_db(args)
+    server = QueryServer(
+        db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        tenants=tenants,
+        default_tenant=default_tenant,
+    )
+
+    async def _main() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(workers={server.workers}, queue={server.queue_size})",
+              flush=True)
+        try:
+            await shutdown.wait()
+            print("draining: in-flight queries finishing, new requests "
+                  "rejected", flush=True)
+            await server.drain()
+        finally:
+            await server.stop()
+
+    asyncio.run(_main())
+    print("server drained and stopped", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -563,6 +632,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="also print the external engine's plan text")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP/JSON (multi-tenant, governed)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--data", help="CSV directory from 'generate'")
+    p.add_argument("--store", help="column-store directory from 'gen'")
+    p.add_argument("--tpch", type=float, help="generate TPC-H at this sf")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--not-null", action="store_true", dest="not_null")
+    p.add_argument("--workers", type=int, default=4,
+                   help="executor threads (bounds concurrent executions)")
+    p.add_argument("--queue-size", type=int, default=128, dest="queue_size",
+                   help="global admission queue bound (429 beyond it)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   dest="max_concurrent",
+                   help="default per-tenant concurrent-query quota")
+    p.add_argument("--max-queued", type=int, default=16, dest="max_queued",
+                   help="default per-tenant waiting-query quota")
+    p.add_argument("--threads", type=int,
+                   help="default intra-query parallelism per tenant")
+    p.add_argument("--timeout-ms", type=float, dest="timeout_ms",
+                   help="default per-query timeout")
+    p.add_argument("--memory-limit-mb", type=float, dest="memory_limit_mb",
+                   help="default per-query memory budget")
+    p.add_argument("--spill-dir", dest="spill_dir",
+                   help="spill directory shared by all tenants (each "
+                        "execution gets a private subdirectory)")
+    p.add_argument("--logic", choices=("3vl", "2vl"),
+                   help="default predicate semantics")
+    p.add_argument("--tenants",
+                   help="JSON file of per-tenant quotas/options "
+                        '({"name": {"max_concurrent": ..., '
+                        '"options": {...}}})')
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("strategies", help="list strategy names")
     p.set_defaults(func=cmd_strategies)

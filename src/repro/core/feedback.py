@@ -20,6 +20,7 @@ observation transparently invalidates stale choices.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Optional, Tuple
 
 #: span name of the root execution span (carries the result cardinality)
@@ -30,15 +31,23 @@ _REDUCE_RE = re.compile(r"^reduce\[T(\d+)\]$")
 class FeedbackStore:
     """Observed (plan fingerprint, operator) -> row-count map.
 
-    One per :class:`~repro.session.Session`.  Observation is additive
-    and idempotent: re-observing identical cardinalities leaves the
+    One per :class:`~repro.session.Session` — or shared by every pooled
+    session of a :mod:`repro.serve` server, in which case many traced
+    executions harvest concurrently.  Observation is additive and
+    idempotent: re-observing identical cardinalities leaves the
     :attr:`epoch` unchanged, so cached planner decisions stay valid
     until the workload actually teaches the store something new.
+
+    Thread-safe: the check-then-set in :meth:`record` (and the epoch
+    bump it guards) runs under a lock, so concurrent traced runs never
+    lose observations or epoch increments; lookups copy under the same
+    lock so the optimizer prices against a consistent snapshot.
     """
 
     def __init__(self) -> None:
         self._observations: Dict[Tuple[str, str], int] = {}
         self._epoch = 0
+        self._lock = threading.Lock()
 
     @property
     def epoch(self) -> int:
@@ -55,9 +64,10 @@ class FeedbackStore:
     def record(self, fingerprint: str, span_name: str, rows: int) -> None:
         """Record one observed cardinality (``observe`` is the bulk API)."""
         key = (fingerprint, span_name)
-        if self._observations.get(key) != rows:
-            self._observations[key] = rows
-            self._epoch += 1
+        with self._lock:
+            if self._observations.get(key) != rows:
+                self._observations[key] = rows
+                self._epoch += 1
 
     def observe(self, fingerprint: str, trace) -> int:
         """Harvest a :class:`~repro.engine.trace.Trace` span tree.
@@ -88,7 +98,9 @@ class FeedbackStore:
     def block_overrides(self, fingerprint: str) -> Dict[int, int]:
         """Observed reduced-block cardinalities: block index -> rows."""
         out: Dict[int, int] = {}
-        for (fp, name), rows in self._observations.items():
+        with self._lock:
+            items = list(self._observations.items())
+        for (fp, name), rows in items:
             if fp != fingerprint:
                 continue
             match = _REDUCE_RE.match(name)
@@ -98,21 +110,21 @@ class FeedbackStore:
 
     def out_rows(self, fingerprint: str) -> Optional[int]:
         """The observed result cardinality of this plan, if any."""
-        return self._observations.get((fingerprint, ROOT_SPAN))
+        with self._lock:
+            return self._observations.get((fingerprint, ROOT_SPAN))
 
     def observations(self, fingerprint: str) -> Dict[str, int]:
         """Every observation recorded for this plan (span name -> rows)."""
-        return {
-            name: rows
-            for (fp, name), rows in self._observations.items()
-            if fp == fingerprint
-        }
+        with self._lock:
+            items = list(self._observations.items())
+        return {name: rows for (fp, name), rows in items if fp == fingerprint}
 
     def clear(self) -> None:
         """Forget everything (bumps the epoch if anything was stored)."""
-        if self._observations:
-            self._observations.clear()
-            self._epoch += 1
+        with self._lock:
+            if self._observations:
+                self._observations.clear()
+                self._epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -28,6 +28,19 @@ The reduce cache is consulted by ``VectorBackend._reduce_block`` through
 an ambient scope (:func:`reduce_scope` / :func:`current_reduce_cache`),
 installed by the session around each execution — the backend protocol
 itself stays cache-oblivious.
+
+**Thread safety.**  One cache may be shared by every worker of a
+multi-tenant server (:mod:`repro.serve` pools sessions over a single
+cache so tenants share compiled plans and reduced builds).  All memo
+lookups/stores, the version check and the hit/miss/eviction counters
+are therefore serialized under one lock (mirroring ``_pools_lock`` in
+:mod:`repro.engine.parallel`): without it, concurrent ``prepare()``
+calls lose counter increments (``+=`` is a read-modify-write), two
+threads can FIFO-evict the same oldest key (``KeyError``), and a store
+racing ``validate()`` can resurrect an entry keyed against a dropped
+catalog version.  The lock is never held while compiling or executing —
+only around dict/counter touches — so it serializes bookkeeping, not
+work.
 """
 
 from __future__ import annotations
@@ -87,6 +100,9 @@ class SessionCache:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.stats = CacheStats()
+        # serializes every memo/counter touch; shared-session servers
+        # hit this cache from many threads at once (see module docstring)
+        self._lock = threading.Lock()
         self._version: Optional[int] = None
         self._plans: Dict[str, Any] = {}
         self._strategies: Dict[Tuple, Any] = {}
@@ -99,20 +115,27 @@ class SessionCache:
 
     def validate(self, version: int) -> None:
         """Drop everything if the catalog changed since the last use."""
-        if self._version is None:
-            self._version = version
-            return
-        if version != self._version:
-            self._version = version
-            if self._plans or self._strategies or self._reduced:
-                self.stats.invalidations += 1
-            self._plans.clear()
-            self._strategies.clear()
-            self._reduced.clear()
+        with self._lock:
+            if self._version is None:
+                self._version = version
+                return
+            if version != self._version:
+                self._version = version
+                if self._plans or self._strategies or self._reduced:
+                    self.stats.invalidations += 1
+                self._plans.clear()
+                self._strategies.clear()
+                self._reduced.clear()
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the counters (taken under the lock)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     def _bound(self, table: Dict) -> None:
         """Make room for one insertion: FIFO-evict the oldest entries of
-        *this* memo table only (dicts preserve insertion order).
+        *this* memo table only (dicts preserve insertion order; caller
+        holds the lock).
 
         Counters stay monotonic: each evicted entry increments
         ``stats.evictions`` and nothing is ever reset — so a long
@@ -127,47 +150,53 @@ class SessionCache:
     # -- parse → analyze (always on) ----------------------------------- #
 
     def plan(self, sql: str) -> Optional[Any]:
-        query = self._plans.get(sql)
-        if query is None:
-            self.stats.plan_misses += 1
-        else:
-            self.stats.plan_hits += 1
-        return query
+        with self._lock:
+            query = self._plans.get(sql)
+            if query is None:
+                self.stats.plan_misses += 1
+            else:
+                self.stats.plan_hits += 1
+            return query
 
     def store_plan(self, sql: str, query: Any) -> None:
-        self._bound(self._plans)
-        self._plans[sql] = query
+        with self._lock:
+            self._bound(self._plans)
+            self._plans[sql] = query
 
     # -- strategy resolution (plan_cache only) -------------------------- #
 
     def strategy(self, key: Tuple) -> Optional[Any]:
         if not self.enabled:
             return None
-        impl = self._strategies.get(key)
-        if impl is None:
-            self.stats.strategy_misses += 1
-        else:
-            self.stats.strategy_hits += 1
-        return impl
+        with self._lock:
+            impl = self._strategies.get(key)
+            if impl is None:
+                self.stats.strategy_misses += 1
+            else:
+                self.stats.strategy_hits += 1
+            return impl
 
     def store_strategy(self, key: Tuple, impl: Any) -> None:
         if self.enabled:
-            self._bound(self._strategies)
-            self._strategies[key] = impl
+            with self._lock:
+                self._bound(self._strategies)
+                self._strategies[key] = impl
 
     # -- reduced-relation builds (plan_cache only) ---------------------- #
 
     def reduced(self, key: Tuple) -> Optional[Any]:
-        batch = self._reduced.get(key)
-        if batch is None:
-            self.stats.reduce_misses += 1
-        else:
-            self.stats.reduce_hits += 1
-        return batch
+        with self._lock:
+            batch = self._reduced.get(key)
+            if batch is None:
+                self.stats.reduce_misses += 1
+            else:
+                self.stats.reduce_hits += 1
+            return batch
 
     def store_reduced(self, key: Tuple, batch: Any) -> None:
-        self._bound(self._reduced)
-        self._reduced[key] = batch
+        with self._lock:
+            self._bound(self._reduced)
+            self._reduced[key] = batch
 
 
 # --------------------------------------------------------------------- #

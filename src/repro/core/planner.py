@@ -242,35 +242,44 @@ def run(
         impl = decision.impl
     else:
         impl = resolve_strategy(strategy, query, backend, threads=threads)
-    with governed(governor):
-        if governor is not None:
-            governor.start()
-        checkpoint("plan")
-        tracer = current_tracer()
-        if tracer is None:
-            result = _finalize(_run_strategy(impl, query, db, governor), query)
-            current_metrics().add("rows_produced", len(result))
-            return result
-        name = getattr(impl, "name", type(impl).__name__)
-        with tracer.span("execute", {"strategy": name}, kind="root") as span:
-            planner_span = (
-                _emit_planner_span(tracer, decision)
-                if decision is not None
-                else None
-            )
+    try:
+        with governed(governor):
             if governor is not None:
-                with tracer.span(
-                    "governor", governor.describe_attrs(), kind=KIND_GOVERNOR
-                ):
+                governor.start()
+            checkpoint("plan")
+            tracer = current_tracer()
+            if tracer is None:
+                result = _finalize(
+                    _run_strategy(impl, query, db, governor), query
+                )
+                current_metrics().add("rows_produced", len(result))
+                return result
+            name = getattr(impl, "name", type(impl).__name__)
+            with tracer.span("execute", {"strategy": name}, kind="root") as span:
+                planner_span = (
+                    _emit_planner_span(tracer, decision)
+                    if decision is not None
+                    else None
+                )
+                if governor is not None:
+                    with tracer.span(
+                        "governor", governor.describe_attrs(), kind=KIND_GOVERNOR
+                    ):
+                        result = _run_strategy(impl, query, db, governor)
+                else:
                     result = _run_strategy(impl, query, db, governor)
-            else:
-                result = _run_strategy(impl, query, db, governor)
-            result = _finalize(result, query)
-            current_metrics().add("rows_produced", len(result))
-            span.add("rows_out", len(result))
-            if planner_span is not None:
-                planner_span.set("actual_rows", len(result))
-    return result
+                result = _finalize(result, query)
+                current_metrics().add("rows_produced", len(result))
+                span.add("rows_out", len(result))
+                if planner_span is not None:
+                    planner_span.set("actual_rows", len(result))
+        return result
+    finally:
+        # sweep this execution's private spill workspace (if any pass
+        # created one) so a shared spill_dir ends every execution —
+        # including aborted ones — as empty as it started
+        if governor is not None:
+            governor.cleanup_spill_workspace()
 
 
 def run_traced(

@@ -66,7 +66,9 @@ keeps its original error semantics unchanged.
 
 from __future__ import annotations
 
+import itertools
 import os
+import shutil
 import threading
 import time
 from contextlib import contextmanager
@@ -90,6 +92,12 @@ FAULT_MODES = ("worker_crash", "slow_morsel", "alloc_spike", "spill_io")
 #: rough per-value cost of a Python-object row cell, used by the row
 #: backend's accounting (the vector backend measures array bytes).
 EST_BYTES_PER_VALUE = 48
+
+#: process-wide monotonic counter naming per-execution spill workspaces;
+#: combined with the pid it makes workspace names unique even when many
+#: processes (and, within one, many concurrent executions) share a
+#: configured ``spill_dir``.  ``itertools.count`` is atomic in CPython.
+_workspace_ids = itertools.count(1)
 
 
 def _positive(value, name: str, unit: str):
@@ -150,6 +158,7 @@ class ResourceGovernor:
         #: memory budget) turns budget breaches at the spillable
         #: operators into spills instead of errors
         self.spill_dir = spill_dir
+        self._workspace: Optional[str] = None
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         self._deadline: Optional[float] = None
@@ -271,6 +280,41 @@ class ResourceGovernor:
         with self._lock:
             self.spilled_bytes += int(n_bytes)
             self.spill_count += 1
+
+    def spill_workspace(self) -> str:
+        """This execution's private spill directory (created lazily).
+
+        Concurrent executions may share one configured ``spill_dir`` (a
+        server points every tenant at the same scratch volume); each
+        execution gets its own ``exec-<pid>-<n>/`` subdirectory so
+        partition files from different queries can never collide.  The
+        planner removes the whole subtree when the execution ends
+        (:meth:`cleanup_spill_workspace`), crash or not.
+        """
+        if self.spill_dir is None:  # pragma: no cover - callers gate on it
+            raise InvalidArgumentError(
+                "spill_workspace() requires a spill_dir"
+            )
+        with self._lock:
+            if self._workspace is None:
+                name = f"exec-{os.getpid()}-{next(_workspace_ids)}"
+                path = os.path.join(self.spill_dir, name)
+                os.makedirs(path, exist_ok=True)
+                self._workspace = path
+            return self._workspace
+
+    def cleanup_spill_workspace(self) -> None:
+        """Remove this execution's spill subtree (idempotent, best-effort).
+
+        Interior spill passes already delete their own partition files;
+        this sweep guarantees the shared ``spill_dir`` ends every
+        execution as empty as it started even if a pass aborted between
+        creating its temp directory and its ``finally``.
+        """
+        with self._lock:
+            path, self._workspace = self._workspace, None
+        if path is not None:
+            shutil.rmtree(path, ignore_errors=True)
 
     def _raise_exhausted(self, what: str) -> None:
         limit = self.memory_limit_bytes or 0

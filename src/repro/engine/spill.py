@@ -161,13 +161,18 @@ def _read_partition(tmp: str, tag: str, schema, kinds: Sequence[str]):
 
 
 def _make_tmp(governor: ResourceGovernor) -> str:
-    root = governor.spill_dir
+    # Partition files live inside the governor's per-execution
+    # workspace (``spill_dir/exec-<pid>-<n>/``), never directly in the
+    # shared spill_dir — concurrent executions pointed at one scratch
+    # directory cannot collide, and the planner sweeps the whole
+    # workspace when the execution ends.
     try:
-        os.makedirs(root, exist_ok=True)
+        root = governor.spill_workspace()
         return tempfile.mkdtemp(prefix="repro-spill-", dir=root)
     except OSError as exc:
         raise SpillError(
-            f"cannot create spill directory under {root!r}: {exc}"
+            f"cannot create spill directory under "
+            f"{governor.spill_dir!r}: {exc}"
         ) from exc
 
 

@@ -126,6 +126,40 @@ class QueryCancelledError(ResourceGovernanceError):
     (:meth:`~repro.engine.governor.ResourceGovernor.cancel`)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the query server
+    (:mod:`repro.serve`): admission control, tenant quotas, and
+    lifecycle.  Execution-side failures keep their own types — the
+    server maps every :class:`ReproError` subtype onto an HTTP status,
+    it never re-wraps them.
+    """
+
+
+class ServerOverloadedError(ServeError):
+    """The server's global admission queue is full (HTTP 429).
+
+    Raised *before* any work is queued: the request was never admitted,
+    so retrying after a backoff is always safe.
+    """
+
+
+class TenantQuotaExceededError(ServeError):
+    """One tenant exceeded its own admission quota (HTTP 429).
+
+    Per-tenant queues are bounded separately from the global queue so a
+    single flooding tenant is rejected with this error while other
+    tenants' requests continue to be admitted and served fairly.
+    """
+
+
+class ServerDrainingError(ServeError):
+    """The server is draining (SIGTERM received; HTTP 503).
+
+    In-flight queries run to completion; new submissions are rejected
+    with this error so load balancers fail over promptly.
+    """
+
+
 class OracleError(ReproError):
     """Base class for errors raised by the external differential oracle
     (:mod:`repro.oracle`): adapter setup, dialect translation, and

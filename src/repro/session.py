@@ -81,6 +81,7 @@ class PreparedQuery:
         spill_dir: Optional[str] = None,
         degrade: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
+        governor: Optional[ResourceGovernor] = None,
     ) -> Relation:
         """Run the query and return the result :class:`Relation`.
 
@@ -103,6 +104,13 @@ class PreparedQuery:
         Settings layer as *session defaults ← options= ← explicit
         keyword arguments*; every ``None`` inherits from the layer
         below.
+
+        *governor* (advanced) supplies a pre-built
+        :class:`~repro.engine.governor.ResourceGovernor` instead of
+        letting the session construct one from the layered limits — a
+        serving layer passes its own so it can cancel the execution
+        from another thread and harvest degradation/spill counters
+        afterwards.
         """
         from .core import planner
 
@@ -114,9 +122,11 @@ class PreparedQuery:
         resolved, backend, threads = self._resolve(
             eff.strategy, eff.backend, eff.threads, eff.memory_limit_mb
         )
-        governor = self._session.governor(
-            eff.timeout_ms, eff.memory_limit_mb, eff.degrade, eff.spill_dir
-        )
+        if governor is None:
+            governor = self._session.governor(
+                eff.timeout_ms, eff.memory_limit_mb, eff.degrade,
+                eff.spill_dir,
+            )
         with logic_mode(self._logic(eff)), reduce_scope(
             self._session.reduce_cache()
         ):
@@ -368,6 +378,8 @@ class Session:
         degrade: Optional[str] = None,
         logic: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
+        cache: Optional[SessionCache] = None,
+        feedback: Optional[FeedbackStore] = None,
     ):
         if not isinstance(db, Database):
             raise InvalidArgumentError(
@@ -396,9 +408,15 @@ class Session:
                 self.timeout_ms, self.memory_limit_mb, self.degrade,
                 self.spill_dir,
             )
-        self._cache = SessionCache(enabled=plan_cache)
+        # *cache*/*feedback* let a server pool many sessions over ONE
+        # SessionCache and FeedbackStore (both thread-safe), so tenants
+        # share compiled plans, reduced builds and observed
+        # cardinalities; a plain connect() keeps them private
+        self._cache = (
+            cache if cache is not None else SessionCache(enabled=plan_cache)
+        )
         #: observed cardinalities feeding the cost-based planner
-        self.feedback = FeedbackStore()
+        self.feedback = feedback if feedback is not None else FeedbackStore()
 
     def governor(
         self,

@@ -1,0 +1,117 @@
+"""2VL under the parallel strategy: the ContextVar crosses the pool.
+
+The ambient logic mode lives in a ContextVar, which does NOT propagate
+into ``ThreadPoolExecutor`` workers by itself — the morsel scheduler
+must snapshot it and re-install it per morsel.  These tests pin that
+seam: on a scheduler that forgets the re-install, the pool workers
+evaluate under default 3VL while the inline path runs 2VL, and the
+parity corpus below diverges (the corpus deliberately contains queries
+whose 2VL and 3VL answers differ).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, Database, NULL
+from repro.engine.logic import current_logic, logic_mode
+from repro.engine.parallel import MorselScheduler
+from repro.session import Session
+
+#: queries over NULLable columns where Kleene 3VL and Libkin 2VL
+#: genuinely disagree.  The divergence needs an explicit NOT over a
+#: NULL-involving predicate: at the top of WHERE, UNKNOWN (3VL) and
+#: FALSE (2VL) filter identically, but NOT(UNKNOWN)=UNKNOWN excludes a
+#: row while NOT(FALSE)=TRUE keeps it.
+CORPUS = [
+    "select id from emp where not (dept = some (select ref from probe))",
+    "select id from emp where not (dept in (select ref from probe))",
+    "select id from emp where not (dept <> all (select ref from probe))",
+    "select id from emp where not (dept > some (select ref from probe))",
+    "select id from emp where dept not in (select ref from probe)",
+    "select id from emp where not exists "
+    "(select * from probe where probe.ref = emp.dept)",
+]
+
+STRATEGIES = (
+    ("nested-relational", None),
+    ("nested-relational-vectorized", None),
+    ("nested-relational-parallel", 4),
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database()
+    rows = [
+        (i, NULL if i % 5 == 0 else i % 7, f"name{i}") for i in range(64)
+    ]
+    db.create_table(
+        "emp",
+        [Column("id"), Column("dept"), Column("name")],
+        rows,
+        primary_key="id",
+    )
+    db.create_table(
+        "probe",
+        [Column("pid"), Column("ref")],
+        [(i, NULL if i % 3 == 0 else i % 6) for i in range(48)],
+        primary_key="pid",
+    )
+    return db
+
+
+@pytest.fixture(autouse=True)
+def tiny_morsels(monkeypatch):
+    """Force real pool dispatch even on these small tables."""
+    monkeypatch.setenv("REPRO_MIN_PARTITION_ROWS", "1")
+
+
+def _bag(relation):
+    return sorted(relation.rows, key=repr)
+
+
+def test_pool_workers_observe_the_ambient_logic_mode():
+    """Direct seam test: every pooled morsel sees the snapshot mode."""
+    scheduler = MorselScheduler(threads=2, min_partition_rows=1)
+    with logic_mode("2vl"):
+        modes = scheduler.run(
+            [(lambda span: current_logic()) for _ in range(8)], None
+        )
+    assert modes == ["2vl"] * 8  # pre-fix: pool threads report "3vl"
+    # and the snapshot is per-run, not sticky
+    assert scheduler.run([lambda span: current_logic()], None) == ["3vl"]
+
+
+@pytest.mark.parametrize("logic", ["3vl", "2vl"])
+def test_corpus_parity_across_strategies(db, logic):
+    """Frozen corpus: row == vectorized == parallel under BOTH logics."""
+    session = Session(db, logic=logic)
+    for sql in CORPUS:
+        prepared = session.prepare(sql)
+        results = {
+            name: _bag(prepared.execute(strategy=name, threads=threads))
+            for name, threads in STRATEGIES
+        }
+        baseline = results["nested-relational"]
+        for name, got in results.items():
+            assert got == baseline, (sql, logic, name)
+
+
+def test_corpus_has_teeth_2vl_differs_from_3vl(db):
+    """At least one corpus query answers differently under 2VL — so the
+    parity test above would catch a parallel strategy stuck on 3VL."""
+    s3 = Session(db, logic="3vl")
+    s2 = Session(db, logic="2vl")
+    differing = [
+        sql
+        for sql in CORPUS
+        if _bag(s3.execute(sql)) != _bag(s2.execute(sql))
+    ]
+    assert differing, "corpus no longer distinguishes the logic modes"
+    # the parallel strategy agrees with the row engine on those queries
+    for sql in differing:
+        got = s2.execute(
+            sql, strategy="nested-relational-parallel", threads=4
+        )
+        assert _bag(got) == _bag(s2.execute(sql)), sql

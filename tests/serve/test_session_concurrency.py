@@ -1,0 +1,152 @@
+"""Concurrency hammer: one Session shared by many threads.
+
+The serving layer pools sessions over one plan cache and one feedback
+store, so ``prepare()``/``execute()`` must be safe — and *exact* —
+under concurrent callers.  These tests pin the thread-safety fixes to
+:class:`~repro.core.plancache.SessionCache` (locked counters + FIFO
+eviction) and :class:`~repro.core.feedback.FeedbackStore` (locked
+check-then-set): on the pre-fix code the counter-conservation and
+eviction assertions fail intermittently (lost ``+=`` updates,
+double-evict ``KeyError``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.core.feedback import FeedbackStore
+from repro.core.plancache import _MAX_ENTRIES, SessionCache
+
+N_THREADS = 8
+ROUNDS = 6
+
+
+@pytest.fixture(scope="module")
+def db():
+    return repro.tpch.generate(repro.tpch.TpchConfig(scale_factor=0.001))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [
+        "select o_orderkey, o_orderpriority from orders "
+        "where o_totalprice > 1000",
+        "select o_orderkey from orders where exists "
+        "(select * from lineitem where l_orderkey = o_orderkey "
+        "and l_quantity > 30)",
+        "select o_orderkey from orders where o_totalprice > all "
+        "(select l_extendedprice from lineitem "
+        "where l_orderkey = o_orderkey)",
+        "select p_partkey from part where p_size in "
+        "(select s_suppkey from supplier)",
+    ]
+
+
+def _bag(relation):
+    return sorted(relation.rows, key=repr)
+
+
+def test_parallel_session_parity_vs_sequential(db, workload):
+    """N threads × mixed queries over ONE session == sequential answers."""
+    session = repro.connect(db)
+    baseline = {sql: _bag(session.execute(sql)) for sql in workload}
+
+    errors = []
+
+    def hammer(seed: int):
+        try:
+            for i in range(ROUNDS):
+                sql = workload[(seed + i) % len(workload)]
+                got = session.prepare(sql).execute(
+                    backend="vector" if (seed + i) % 2 else None
+                )
+                assert _bag(got) == baseline[sql], sql
+        except Exception as exc:  # surfaced below with context
+            errors.append(exc)
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(hammer, range(N_THREADS)))
+    assert errors == []
+
+
+def test_cache_counters_conserved_under_concurrent_prepare(db, workload):
+    """plan hits + misses == total prepare() calls (no lost updates)."""
+    session = repro.connect(db)
+    calls_per_thread = 25
+
+    def hammer(seed: int):
+        for i in range(calls_per_thread):
+            session.prepare(workload[(seed + i) % len(workload)])
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(hammer, range(N_THREADS)))
+    stats = session.cache_stats
+    total = N_THREADS * calls_per_thread
+    assert stats.plan_hits + stats.plan_misses == total
+    # every distinct SQL text compiled at least once, and re-compilation
+    # was the exception, not the rule
+    assert stats.plan_misses >= len(workload)
+    assert stats.plan_hits > 0
+
+
+def test_fifo_eviction_safe_and_conserved_under_concurrent_stores():
+    """Concurrent inserts far past the bound: no double-evict KeyError,
+    and evictions == inserts - retained exactly."""
+    cache = SessionCache(enabled=True)
+    cache.validate(1)
+    per_thread = _MAX_ENTRIES  # 8 × 256 inserts against a 256 bound
+
+    def hammer(seed: int):
+        for i in range(per_thread):
+            cache.store_plan(f"sql-{seed}-{i}", object())
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(hammer, range(N_THREADS)))
+    inserted = N_THREADS * per_thread
+    retained = len(cache._plans)
+    assert retained <= _MAX_ENTRIES
+    assert cache.stats.evictions == inserted - retained
+
+
+def test_feedback_store_concurrent_harvest_is_exact():
+    """Concurrent record(): no lost observations or epoch increments."""
+    store = FeedbackStore()
+    keys = [(f"fp{i}", f"reduce[T{i % 4}]") for i in range(40)]
+    barrier = threading.Barrier(N_THREADS)
+
+    def hammer(seed: int):
+        barrier.wait()
+        for fp, span in keys:
+            store.record(fp, span, 7)  # same value from every thread
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(hammer, range(N_THREADS)))
+    # every key recorded exactly once: re-observing an identical value
+    # must not bump the epoch, and no observation may be lost
+    assert len(store) == len(keys)
+    assert store.epoch == len(keys)
+    for fp, span in keys:
+        assert store.observations(fp)[span] == 7
+
+
+def test_feedback_epoch_tracks_changes_under_concurrency():
+    """Changing values concurrently: epoch lands between the number of
+    distinct keys and the number of actual transitions (never lost)."""
+    store = FeedbackStore()
+
+    def hammer(value: int):
+        for i in range(20):
+            store.record("fp", f"reduce[T{i}]", value)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(hammer, [1, 2, 3, 4]))
+    assert len(store) == 20
+    # each key's final value is one of the writers' values, and the
+    # epoch counted at least one set per key
+    assert store.epoch >= 20
+    for i, rows in store.block_overrides("fp").items():
+        assert rows in (1, 2, 3, 4)

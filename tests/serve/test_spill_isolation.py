@@ -1,0 +1,126 @@
+"""Shared-spill-dir isolation: per-execution workspaces.
+
+Concurrent executions routinely share one configured ``spill_dir`` (a
+server points every tenant at the same scratch volume).  Each execution
+must therefore spill into its own ``exec-<pid>-<n>/`` workspace — these
+tests pin that: on the pre-fix code, partition temp directories were
+created directly under ``spill_dir`` (the workspace-layout assertions
+fail), with nothing sweeping an aborted pass's debris.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.engine.colstore import load_stored_database
+from repro.engine.governor import ResourceGovernor
+from repro.engine.spill import _make_tmp
+from repro.errors import SpillError
+from repro.tpch import TpchConfig, generate_stored, pick_date_window, query1
+
+#: forces spilling on the join-heavy paper queries at sf 0.002
+CAP_MB = 0.2
+
+
+@pytest.fixture(scope="module")
+def stored_db(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve-spill-store") / "tpch")
+    generate_stored(
+        path, TpchConfig(scale_factor=0.002, seed=1234), chunk_rows=500
+    )
+    return load_stored_database(path)
+
+
+@pytest.fixture(scope="module")
+def spilling_sql(stored_db):
+    lo, hi = pick_date_window(stored_db, 40)
+    return query1(lo, hi)
+
+
+def test_workspaces_unique_per_execution(tmp_path):
+    """Two governors over one spill_dir get distinct exec-* workspaces."""
+    g1 = ResourceGovernor(memory_limit_mb=1, spill_dir=str(tmp_path))
+    g2 = ResourceGovernor(memory_limit_mb=1, spill_dir=str(tmp_path))
+    w1, w2 = g1.spill_workspace(), g2.spill_workspace()
+    assert w1 != w2
+    for w in (w1, w2):
+        assert os.path.dirname(w) == str(tmp_path)
+        assert os.path.basename(w).startswith(f"exec-{os.getpid()}-")
+        assert os.path.isdir(w)
+    # lazily memoized: one workspace per execution, not per pass
+    assert g1.spill_workspace() == w1
+    g1.cleanup_spill_workspace()
+    g2.cleanup_spill_workspace()
+    assert os.listdir(str(tmp_path)) == []
+    g1.cleanup_spill_workspace()  # idempotent
+
+
+def test_partition_tmpdirs_live_inside_the_workspace(tmp_path):
+    """Regression: spill passes create temp dirs under the execution's
+    private workspace, never directly in the shared spill_dir."""
+    gov = ResourceGovernor(memory_limit_mb=1, spill_dir=str(tmp_path))
+    tmp = _make_tmp(gov)
+    assert os.path.dirname(tmp) == gov.spill_workspace()
+    assert os.path.dirname(tmp) != str(tmp_path)  # fails on pre-fix code
+    gov.cleanup_spill_workspace()
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_concurrent_spilling_queries_share_spill_dir(
+    stored_db, spilling_sql, tmp_path
+):
+    """Two interleaved spilling executions over ONE spill_dir: correct
+    results for both, an empty spill_dir afterwards."""
+    expected = repro.connect(stored_db).execute(
+        spilling_sql, strategy="nested-relational", backend="vector"
+    )
+    session = repro.connect(
+        stored_db, memory_limit_mb=CAP_MB, spill_dir=str(tmp_path)
+    )
+    barrier = threading.Barrier(2)
+
+    def run(_seed: int):
+        barrier.wait()  # both executions genuinely overlap
+        return session.execute(
+            spilling_sql, strategy="nested-relational", backend="vector"
+        )
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(run, range(2)))
+    for got in results:
+        assert got == expected
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_spill_io_fault_two_interleaved_queries(
+    stored_db, spilling_sql, tmp_path, monkeypatch
+):
+    """REPRO_FAULT=spill_io with two interleaved queries: both surface
+    the typed SpillError and the shared spill_dir is left empty."""
+    monkeypatch.setenv("REPRO_FAULT", "spill_io")
+    session = repro.connect(
+        stored_db, memory_limit_mb=CAP_MB, spill_dir=str(tmp_path)
+    )
+    barrier = threading.Barrier(2)
+
+    def run(_seed: int):
+        barrier.wait()
+        try:
+            session.execute(
+                spilling_sql, strategy="nested-relational", backend="vector"
+            )
+            return None
+        except Exception as exc:
+            return exc
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        outcomes = list(pool.map(run, range(2)))
+    for outcome in outcomes:
+        assert isinstance(outcome, SpillError)
+        assert "injected spill write failure" in str(outcome)
+    assert os.listdir(str(tmp_path)) == []
